@@ -1,0 +1,70 @@
+"""Functional-executor overhead benchmarks: the library itself.
+
+Measures the wall-time cost of the SPMD machinery (distributed instances,
+copies, channel handshakes, drivers) relative to the plain sequential
+executor, across shard counts and drivers.  Note these task bodies are
+dominated by numpy gather/scatter, which holds the GIL, so OS threads do
+not speed them up — wall-clock parallelism is the machine simulator's
+department; this file keeps the functional executors' overhead honest
+(within ~2x of sequential, roughly flat in shard count).
+"""
+
+import pytest
+
+from repro.apps.stencil import StencilProblem
+from repro.core import control_replicate
+from repro.runtime import SequentialExecutor, SPMDExecutor
+
+
+def make_problem():
+    # Large enough that numpy kernels dominate interpreter overhead.
+    return StencilProblem(n=384, radius=2, tiles=8, steps=3)
+
+
+@pytest.fixture(scope="module")
+def compiled():
+    p = make_problem()
+    prog, _ = control_replicate(p.build_program(), num_shards=None)
+    return p, prog
+
+
+def test_sequential_baseline(benchmark):
+    p = make_problem()
+
+    def run():
+        ex = SequentialExecutor(instances=p.fresh_instances())
+        ex.run(p.build_program())
+        return ex
+
+    ex = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert ex.tasks_executed == 8 * 2 * 3
+
+
+@pytest.mark.parametrize("shards", [1, 2, 4, 8])
+def test_threaded_spmd(benchmark, compiled, shards):
+    p, _ = compiled
+    prog, _ = control_replicate(p.build_program(), num_shards=shards)
+
+    def run():
+        ex = SPMDExecutor(num_shards=shards, mode="threaded",
+                          instances=p.fresh_instances())
+        ex.run(prog)
+        return ex
+
+    ex = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert ex.tasks_executed == 8 * 2 * 3
+
+
+def test_stepped_vs_threaded_overhead(benchmark, compiled):
+    """The deterministic driver's cost relative to threads (4 shards)."""
+    p, _ = compiled
+    prog, _ = control_replicate(p.build_program(), num_shards=4)
+
+    def run():
+        ex = SPMDExecutor(num_shards=4, mode="stepped",
+                          instances=p.fresh_instances())
+        ex.run(prog)
+        return ex
+
+    ex = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert ex.tasks_executed == 48

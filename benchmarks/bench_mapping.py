@@ -1,0 +1,35 @@
+"""Mapping study (paper §4.2): shards per node.
+
+"A typical strategy is to assign one shard to each node" — this bench
+shows why: driving k nodes from one shard's control thread re-introduces
+a k-node slice of the launch bottleneck that control replication exists
+to remove.  The sweep interpolates between full CR (1 node/shard) and the
+single-control-thread limit (all nodes on one shard).
+"""
+
+import pytest
+
+from repro.apps.miniaero.perf import CELLS_PER_NODE, RATE_REGENT_1NODE, miniaero_workload
+from repro.machine.execution_models import simulate_regent_cr
+from repro.machine.model import PIZ_DAINT
+
+NODES = 1024
+
+
+@pytest.mark.parametrize("nodes_per_shard", [1, 16, 256, 1024])
+def test_shards_per_node_sweep(benchmark, nodes_per_shard):
+    machine = PIZ_DAINT
+    w = miniaero_workload(machine.cores_per_node - 1, RATE_REGENT_1NODE)
+    res = benchmark.pedantic(
+        lambda: simulate_regent_cr(w, machine, NODES,
+                                   nodes_per_shard=nodes_per_shard),
+        rounds=1, iterations=1)
+    tput = res.throughput_per_node(CELLS_PER_NODE)
+    print(f"\n[mapping §4.2] {NODES} nodes, {nodes_per_shard} node(s)/shard: "
+          f"{tput / 1e3:.1f} k cells/s/node")
+    if nodes_per_shard == 1:
+        assert tput > 0.98 * RATE_REGENT_1NODE
+    if nodes_per_shard == NODES:
+        # One control thread for all nodes: the launch wall returns even
+        # at CR's cheap per-launch cost.
+        assert tput < 0.85 * RATE_REGENT_1NODE

@@ -1,0 +1,48 @@
+"""Compile-time cost of control replication itself.
+
+The paper's compiler runs once per program, so its cost is never
+measured there — but a usable implementation must stay cheap as fragments
+grow.  These benchmarks sweep fragment size (launch count) and partition
+count and record the wall time of the full five-phase pipeline.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import ProgramBuilder, control_replicate
+from repro.regions import ispace, partition_block, partition_by_image, region
+from repro.tasks import R, RW, task
+
+
+def make_program(num_launches: int, num_partitions: int, colors: int = 16):
+    Rg = region(ispace(size=colors * 8), {"v": np.float64})
+    other = region(ispace(size=colors * 8), {"v": np.float64})
+    I = ispace(size=colors)
+    P = partition_block(Rg, I)
+    reads = [partition_by_image(other, partition_block(other, I),
+                                func=lambda p, k=k: (p + k) % (colors * 8))
+             for k in range(1, num_partitions + 1)]
+
+    @task(privileges=[RW("v"), R("v")], name="w2")
+    def w2(W, Rv):
+        pass
+
+    b = ProgramBuilder()
+    with b.for_range("t", 0, 10):
+        for k in range(num_launches):
+            b.launch(w2, I, P, reads[k % num_partitions])
+    return b.build()
+
+
+@pytest.mark.parametrize("launches", [4, 16, 64])
+def test_compile_time_vs_fragment_size(benchmark, launches):
+    program = make_program(launches, num_partitions=4)
+    prog, report = benchmark(lambda: control_replicate(program, num_shards=16))
+    assert report.num_fragments == 1
+
+
+@pytest.mark.parametrize("partitions", [2, 8])
+def test_compile_time_vs_partition_count(benchmark, partitions):
+    program = make_program(16, num_partitions=partitions)
+    prog, report = benchmark(lambda: control_replicate(program, num_shards=16))
+    assert report.num_fragments == 1

@@ -1,0 +1,77 @@
+"""Micro-benchmarks of the substrate data structures.
+
+Not a paper table — these keep the building blocks honest: interval-set
+algebra, interval-tree shallow intersections vs brute force, and the SPMD
+copy path, at sizes where asymptotic differences show.
+"""
+
+import numpy as np
+import pytest
+
+from repro.regions import (
+    IntervalSet,
+    PhysicalInstance,
+    ispace,
+    partition_block,
+    region,
+    shallow_intersection_pairs,
+)
+
+
+@pytest.fixture(scope="module")
+def big_sets():
+    rng = np.random.default_rng(0)
+    a = IntervalSet.from_indices(rng.choice(1_000_000, 50_000, replace=False))
+    b = IntervalSet.from_indices(rng.choice(1_000_000, 50_000, replace=False))
+    return a, b
+
+
+class TestIntervalSetOps:
+    def test_union(self, benchmark, big_sets):
+        a, b = big_sets
+        out = benchmark(lambda: a | b)
+        assert out.count >= max(a.count, b.count)
+
+    def test_intersection(self, benchmark, big_sets):
+        a, b = big_sets
+        out = benchmark(lambda: a & b)
+        assert out.count <= min(a.count, b.count)
+
+    def test_from_indices(self, benchmark):
+        rng = np.random.default_rng(1)
+        idx = rng.choice(1_000_000, 100_000, replace=False)
+        out = benchmark(lambda: IntervalSet.from_indices(idx))
+        assert out.count == 100_000
+
+
+class TestShallowIntersections:
+    def _sets(self, n_sets):
+        # Block-ish sets with small halo overlaps (the structural sweet spot).
+        blocks = [IntervalSet.from_range(i * 100, (i + 1) * 100 + 10)
+                  for i in range(n_sets)]
+        return blocks
+
+    def test_interval_tree_pairs(self, benchmark):
+        sets = self._sets(512)
+        pairs = benchmark(lambda: shallow_intersection_pairs(sets, sets))
+        assert len(pairs) >= 512  # diagonal plus neighbors
+
+    def test_bruteforce_baseline(self, benchmark):
+        """The O(N^2) comparison the paper's §3.3 avoids (kept small)."""
+        sets = self._sets(128)
+        def brute():
+            return [(i, j) for i in range(len(sets)) for j in range(len(sets))
+                    if sets[i].intersects(sets[j])]
+        pairs = benchmark(brute)
+        assert len(pairs) >= 128
+
+
+class TestCopyPath:
+    def test_instance_copy_throughput(self, benchmark):
+        R = region(ispace(size=1_000_000), {"v": np.float64})
+        p = partition_block(R, 2)
+        src = PhysicalInstance(p[0])
+        dst = PhysicalInstance(R, p[0].index_set)
+        pts = p[0].index_set
+        moved = benchmark(lambda: dst.copy_from(src, pts, ["v"]))
+        assert moved == 500_000

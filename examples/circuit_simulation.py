@@ -1,0 +1,51 @@
+"""Circuit simulation on an unstructured sparse graph (paper §5.4).
+
+Runs the circuit evaluation application through the full pipeline and
+shows what the compiler did with the hierarchical private/ghost region
+tree (paper §4.5 / Fig. 5): the provably-private node partition receives
+no copies; charge reductions flow through temporary buffers and
+point-to-point reduction copies (§4.3).
+
+Run:  python examples/circuit_simulation.py
+"""
+
+import numpy as np
+
+from repro.apps.circuit import CircuitProblem
+from repro.core import SymbolicRegionTree, control_replicate, format_program
+
+
+def main():
+    problem = CircuitProblem(pieces=8, nodes_per_piece=50, wires_per_piece=90,
+                             steps=10, seed=3)
+    pg = problem.pg
+
+    print("== region tree (compare paper Fig. 5) ==")
+    tree = SymbolicRegionTree([pg.private_part, pg.shared_part,
+                               pg.ghost_part, problem.PW])
+    print(tree.format())
+    print(f"\nprivate nodes: {pg.all_private.volume}, "
+          f"ghost nodes: {pg.all_ghost.volume} "
+          f"(communication involves only the ghost side)")
+
+    transformed, report = control_replicate(problem.build_program(),
+                                            num_shards=4)
+    print("\n" + report.summary())
+
+    seq, _, _ = problem.run_sequential()
+    cr, _, ex, _ = problem.run_control_replicated(num_shards=4, mode="threaded")
+    ok = np.allclose(cr["voltage"], seq["voltage"], rtol=1e-12, atol=1e-13)
+    print(f"\nSPMD voltages match sequential semantics: {ok}")
+    print(f"elements exchanged: {ex.elements_copied} over "
+          f"{ex.copies_performed} copies "
+          f"(graph has {problem.graph.num_nodes} nodes)")
+
+    v = cr["voltage"]
+    print(f"voltage range after {problem.steps} steps: "
+          f"[{v.min():+.4f}, {v.max():+.4f}], mean {v.mean():+.5f}")
+    assert ok
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

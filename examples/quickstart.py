@@ -1,0 +1,92 @@
+"""Quickstart: the paper's Figure 2 program, transformed and executed.
+
+Builds the running example of the paper — two tasks ``TF``/``TG`` over
+regions ``A`` and ``B`` with block partitions and an aliased image
+partition — applies control replication, prints the program before and
+after (compare with paper Figures 2 and 4d), and checks that the SPMD
+execution is bit-identical to the sequential semantics.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.core import ProgramBuilder, control_replicate, format_program
+from repro.regions import (
+    PhysicalInstance,
+    ispace,
+    partition_block,
+    partition_by_image,
+    region,
+)
+from repro.runtime import SequentialExecutor, SPMDExecutor
+from repro.tasks import R, RW, task
+
+N, NT, T, SHARDS = 64, 8, 5, 4
+
+
+def main():
+    rng = np.random.default_rng(0)
+    h = rng.integers(0, N, size=N)  # the arbitrary access function of Fig. 1
+
+    # -- data and partitions (paper Fig. 2, lines 16-22) -------------------
+    U = ispace(size=N, name="U")
+    I = ispace(size=NT, name="I")
+    A = region(U, {"v": np.float64}, name="A")
+    B = region(U, {"v": np.float64}, name="B")
+    PA = partition_block(A, I, name="PA")
+    PB = partition_block(B, I, name="PB")
+    QB = partition_by_image(B, PB, func=lambda pts: h[pts], name="QB")
+
+    # -- tasks (paper Fig. 2, lines 1-13) -----------------------------------
+    @task(privileges=[RW("v"), R("v")])
+    def TF(Bv, Av):
+        Bv.write("v")[:] = np.sin(Av.read("v")) + 1.0
+
+    @task(privileges=[RW("v"), R("v")])
+    def TG(Av, Bv):
+        src = Bv.localize(h[Av.points])
+        Av.write("v")[:] = 0.5 * Bv.read("v")[src] + 0.1
+
+    # -- main simulation loop (paper Fig. 2, lines 23-30) --------------------
+    b = ProgramBuilder("fig2")
+    b.let("T", T)
+    with b.for_range("t", 0, "T"):
+        b.launch(TF, I, PB, PA)
+        b.launch(TG, I, PA, QB)
+    program = b.build()
+
+    print("== implicitly parallel program (paper Fig. 2) ==")
+    print(format_program(program))
+
+    # -- control replication (paper §3) ---------------------------------------
+    transformed, report = control_replicate(program, num_shards=SHARDS)
+    print("\n== control-replicated program (paper Fig. 4d) ==")
+    print(format_program(transformed))
+    print("\n" + report.summary())
+
+    # -- execute both and compare ------------------------------------------------
+    init = rng.standard_normal(N)
+
+    def fresh():
+        ia, ib = PhysicalInstance(A), PhysicalInstance(B)
+        ia.fields["v"][:] = init
+        return {A.uid: ia, B.uid: ib}
+
+    seq = SequentialExecutor(instances=fresh())
+    seq.run(program)
+
+    spmd = SPMDExecutor(num_shards=SHARDS, mode="threaded", instances=fresh())
+    spmd.run(transformed)
+
+    same = np.array_equal(seq.instances[A.uid].fields["v"],
+                          spmd.instances[A.uid].fields["v"])
+    print(f"\nSPMD result identical to sequential semantics: {same}")
+    print(f"halo elements exchanged: {spmd.elements_copied} "
+          f"({spmd.copies_performed} point-to-point copies)")
+    assert same
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

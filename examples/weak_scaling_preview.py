@@ -1,0 +1,33 @@
+"""Preview of the paper's weak-scaling figures on the machine simulator.
+
+Runs reduced sweeps (up to 64 nodes) of Figures 6-9 through the
+discrete-event machine model; the full 1024-node sweeps live in
+``benchmarks/``.  Shows the headline phenomenon: control replication holds
+~100% parallel efficiency while the un-replicated implicit execution
+collapses once the single control thread saturates.
+
+Run:  python examples/weak_scaling_preview.py
+"""
+
+from repro.analysis import run_figure
+from repro.apps.circuit.perf import figure9_spec
+from repro.apps.miniaero.perf import figure7_spec
+from repro.apps.pennant.perf import figure8_spec
+from repro.apps.stencil.perf import figure6_spec
+from repro.machine.model import PIZ_DAINT
+
+
+def main():
+    for spec_fn in (figure6_spec, figure7_spec, figure8_spec, figure9_spec):
+        spec = spec_fn(PIZ_DAINT, max_nodes=64)
+        data = run_figure(spec)
+        print(data.format_table())
+        cr = data.efficiency_at_max("Regent (with CR)")
+        nc = data.efficiency_at_max("Regent (w/o CR)")
+        print(f"   -> at 64 nodes: CR {cr * 100:.1f}% efficient, "
+              f"w/o CR {nc * 100:.1f}%\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

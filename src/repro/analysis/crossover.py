@@ -1,0 +1,43 @@
+"""Crossover and collapse-point analysis for weak-scaling data.
+
+The paper's qualitative claims are about *where* curves cross and knees
+fall ("doesn't scale beyond 10 to 100 nodes", "matches this performance
+at small node counts (up to 16 nodes)").  These helpers extract those
+landmarks from :class:`~repro.analysis.weak_scaling.FigureData` so tests
+and EXPERIMENTS.md can state them precisely.
+"""
+
+from __future__ import annotations
+
+from .weak_scaling import FigureData
+
+__all__ = ["collapse_point", "crossover_point", "predicted_saturation_nodes"]
+
+
+def collapse_point(data: FigureData, label: str, threshold: float = 0.5) -> int | None:
+    """Smallest measured node count where a series' efficiency (relative
+    to its own smallest run) first drops below ``threshold``; ``None`` if
+    it never does."""
+    vals = data.values[label]
+    for n in sorted(vals):
+        if data.efficiency(label, n) < threshold:
+            return n
+    return None
+
+
+def crossover_point(data: FigureData, a: str, b: str) -> int | None:
+    """Smallest node count where series ``a`` falls below series ``b``
+    (on node counts where both were measured)."""
+    va, vb = data.values[a], data.values[b]
+    for n in sorted(set(va) & set(vb)):
+        if va[n] < vb[n]:
+            return n
+    return None
+
+
+def predicted_saturation_nodes(step_seconds: float, tasks_per_node_step: int,
+                               launch_overhead: float) -> float:
+    """The analytic knee of the un-replicated execution: the node count at
+    which the control thread's per-step work equals the step time —
+    ``T_step = N · tasks/node/step · t_launch`` (paper §1's argument)."""
+    return step_seconds / (tasks_per_node_step * launch_overhead)

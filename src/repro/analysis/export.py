@@ -1,0 +1,44 @@
+"""Export figure data for external plotting.
+
+The benchmarks print paper-style tables; releases also want
+machine-readable output.  ``to_csv`` writes one row per (series, nodes)
+with throughput and efficiency; ``to_gnuplot`` emits a dataset block per
+series, ready for the same log-x weak-scaling plots the paper uses.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+
+from .weak_scaling import FigureData
+
+__all__ = ["to_csv", "to_gnuplot"]
+
+
+def to_csv(data: FigureData) -> str:
+    """CSV with columns: figure, series, nodes, throughput_per_node,
+    parallel_efficiency."""
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(["figure", "series", "nodes", "throughput_per_node",
+                     "parallel_efficiency"])
+    for series in data.spec.series:
+        vals = data.values[series.label]
+        for n in sorted(vals):
+            writer.writerow([data.spec.name, series.label, n,
+                             repr(vals[n]), repr(data.efficiency(series.label, n))])
+    return buf.getvalue()
+
+
+def to_gnuplot(data: FigureData) -> str:
+    """Gnuplot-style blocks: one indexed dataset per series."""
+    out: list[str] = [f"# {data.spec.name}: {data.spec.title}"]
+    for idx, series in enumerate(data.spec.series):
+        out.append(f"\n# index {idx}: {series.label}")
+        out.append("# nodes  throughput_per_node  efficiency")
+        vals = data.values[series.label]
+        for n in sorted(vals):
+            out.append(f"{n} {vals[n]:.6g} {data.efficiency(series.label, n):.6f}")
+        out.append("")  # blank line separates gnuplot indices
+    return "\n".join(out)

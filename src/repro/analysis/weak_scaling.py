@@ -1,0 +1,93 @@
+"""Weak-scaling sweep harness and figure formatting.
+
+Each figure in the paper's evaluation is a weak-scaling plot: throughput
+per node (y) against node count (x) for several implementations.  A
+:class:`FigureSpec` names the series (label + a ``nodes -> throughput``
+callable); :func:`run_figure` evaluates them over the node sweep and
+returns a :class:`FigureData` that formats the same rows the paper plots,
+plus parallel efficiencies relative to each series' own smallest measured
+node count (the paper's "99% parallel efficiency at 1024 nodes" metric).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+__all__ = ["Series", "FigureSpec", "FigureData", "run_figure", "DEFAULT_NODES"]
+
+DEFAULT_NODES = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024)
+
+
+@dataclass
+class Series:
+    label: str
+    throughput: Callable[[int], float]  # nodes -> points/s/node
+    # Some references only run on particular node counts (e.g. the PRK
+    # stencil references require square grids: even powers of two).
+    node_filter: Callable[[int], bool] | None = None
+    unit_scale: float = 1e6
+    unit: str = "10^6 points/s"
+
+
+@dataclass
+class FigureSpec:
+    name: str
+    title: str
+    series: list[Series]
+    nodes: Sequence[int] = DEFAULT_NODES
+
+
+@dataclass
+class FigureData:
+    spec: FigureSpec
+    # series label -> {nodes: throughput_per_node}
+    values: dict[str, dict[int, float]] = field(default_factory=dict)
+
+    def efficiency(self, label: str, nodes: int) -> float:
+        vals = self.values[label]
+        base = vals[min(vals)]
+        return vals[nodes] / base
+
+    def efficiency_at_max(self, label: str) -> float:
+        vals = self.values[label]
+        return self.efficiency(label, max(vals))
+
+    def format_table(self) -> str:
+        spec = self.spec
+        lines = [f"== {spec.name}: {spec.title} ==",
+                 f"   (throughput per node, {spec.series[0].unit}; "
+                 f"efficiency vs each series' smallest node count)"]
+        header = f"{'nodes':>6}"
+        for s in spec.series:
+            header += f" | {s.label:>26}"
+        lines.append(header)
+        for n in spec.nodes:
+            row = f"{n:>6}"
+            for s in spec.series:
+                v = self.values[s.label].get(n)
+                if v is None:
+                    row += f" | {'--':>26}"
+                else:
+                    eff = self.efficiency(s.label, n)
+                    row += f" | {v / s.unit_scale:>15.1f} ({eff * 100:5.1f}%)"
+            lines.append(row)
+        return "\n".join(lines)
+
+
+def run_figure(spec: FigureSpec) -> FigureData:
+    data = FigureData(spec=spec)
+    for s in spec.series:
+        vals: dict[int, float] = {}
+        for n in spec.nodes:
+            if s.node_filter is not None and not s.node_filter(n):
+                continue
+            vals[n] = s.throughput(n)
+        data.values[s.label] = vals
+    return data
+
+
+def is_square_power_of_two(nodes: int) -> bool:
+    """Even powers of two (1, 4, 16, ...): the PRK references need square
+    process grids (paper §5.1)."""
+    return nodes > 0 and (nodes & (nodes - 1)) == 0 and (nodes.bit_length() - 1) % 2 == 0

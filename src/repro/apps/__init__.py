@@ -1,0 +1,1 @@
+"""The four evaluation applications (paper §5)."""

@@ -1,0 +1,5 @@
+"""Sparse circuit simulation on an unstructured graph (paper §5.4, Figure 9)."""
+
+from .app import CircuitGraph, CircuitProblem, make_circuit_graph
+
+__all__ = ["CircuitGraph", "CircuitProblem", "make_circuit_graph"]

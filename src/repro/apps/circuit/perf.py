@@ -1,0 +1,77 @@
+"""Figure 9 performance workloads: Circuit weak scaling.
+
+Paper configuration: a random sparse graph with 25k vertices and 100k
+edges per compute node; three phases per iteration (currents, charge
+distribution, voltage update).  Figure 9 has only the two Regent series:
+the implicitly parallel version from the original Legion paper was already
+communication-bound at 32 nodes, so the comparison is CR against the
+un-replicated execution — "Regent without control replication matches this
+performance at small node counts (up to 16 nodes) but then efficiency
+begins to drop rapidly".  CR reaches 98% parallel efficiency at 1024.
+"""
+
+from __future__ import annotations
+
+from ...analysis.weak_scaling import FigureSpec, Series
+from ...machine.execution_models import simulate_regent_cr, simulate_regent_noncr
+from ...machine.model import MachineModel
+from ...machine.patterns import random_graph_edges
+from ...machine.workload import AppWorkload, PhaseSpec
+
+__all__ = ["GRAPH_NODES_PER_NODE", "circuit_workload", "figure9_spec"]
+
+GRAPH_NODES_PER_NODE = 25_000.0
+GRAPH_EDGES_PER_NODE = 100_000
+# Single-node calibration target (graph nodes/s/machine node) from Fig. 9.
+RATE_REGENT_1NODE = 76.0e3
+# Ghost-exchange sizing: boundary nodes per piece and bytes per node.
+GHOST_FRACTION = 0.20   # 20% of wires leave their piece (app default)
+BYTES_PER_GRAPH_NODE = 8 * 2   # voltage + charge
+PIECE_NEIGHBORS = 4
+
+
+def _edges_fn(tiles_per_node: int):
+    nodes_per_piece = GRAPH_NODES_PER_NODE / tiles_per_node
+    wires_per_piece = GRAPH_EDGES_PER_NODE / tiles_per_node
+    boundary = min(nodes_per_piece, GHOST_FRACTION * wires_per_piece)
+    bytes_per_neighbor = int(boundary / PIECE_NEIGHBORS * BYTES_PER_GRAPH_NODE)
+
+    def fn(tiles: int):
+        return random_graph_edges(tiles, PIECE_NEIGHBORS, bytes_per_neighbor)
+
+    return fn
+
+
+def circuit_workload(tiles_per_node: int, rate_per_node: float) -> AppWorkload:
+    step_seconds = GRAPH_NODES_PER_NODE / rate_per_node
+    edges = _edges_fn(tiles_per_node)
+    return AppWorkload(
+        name="circuit",
+        tiles_per_node=tiles_per_node,
+        phases=[
+            PhaseSpec("calc_new_currents", 0.45 * step_seconds, edges),
+            PhaseSpec("distribute_charge", 0.40 * step_seconds, edges),
+            PhaseSpec("update_voltage", 0.15 * step_seconds, None),
+        ],
+        points_per_node=GRAPH_NODES_PER_NODE)
+
+
+def figure9_spec(machine: MachineModel, max_nodes: int = 1024) -> FigureSpec:
+    regent_tpn = machine.cores_per_node - (1 if machine.dedicated_analysis_core else 0)
+    w_regent = circuit_workload(regent_tpn, RATE_REGENT_1NODE)
+    nodes = tuple(n for n in (1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024)
+                  if n <= max_nodes)
+    return FigureSpec(
+        name="Figure 9",
+        title="Weak scaling for Circuit (25k vertices, 100k edges/node)",
+        nodes=nodes,
+        series=[
+            Series("Regent (with CR)",
+                   lambda n: simulate_regent_cr(w_regent, machine, n)
+                   .throughput_per_node(GRAPH_NODES_PER_NODE),
+                   unit_scale=1e3, unit="10^3 nodes/s"),
+            Series("Regent (w/o CR)",
+                   lambda n: simulate_regent_noncr(w_regent, machine, n)
+                   .throughput_per_node(GRAPH_NODES_PER_NODE),
+                   unit_scale=1e3, unit="10^3 nodes/s"),
+        ])

@@ -1,0 +1,87 @@
+"""Shared scaffolding for the four evaluation applications (paper §5).
+
+Each application provides an :class:`AppProblem`: the regions, partitions,
+tasks, and control program of one problem instance, plus an independent
+pure-numpy reference implementation.  The integration tests run every app
+three ways — reference, sequential executor, control-replicated SPMD — and
+demand agreement.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping
+
+import numpy as np
+
+from ..core.ir import Program
+from ..regions.region import PhysicalInstance
+
+__all__ = ["AppProblem", "grid_dims_2d", "grid_dims_3d"]
+
+
+class AppProblem:
+    """One problem instance of an evaluation application."""
+
+    name: str = "app"
+
+    def build_program(self) -> Program:
+        """The implicitly parallel control program (Fig. 2 style)."""
+        raise NotImplementedError
+
+    def fresh_instances(self) -> dict[int, PhysicalInstance]:
+        """Freshly initialized root instances, keyed by root region uid."""
+        raise NotImplementedError
+
+    def extract_state(self, instances: Mapping[int, PhysicalInstance]) -> dict[str, np.ndarray]:
+        """The observable state (for comparisons), from root instances."""
+        raise NotImplementedError
+
+    def reference_state(self) -> dict[str, np.ndarray]:
+        """Run an independent pure-numpy implementation to completion."""
+        raise NotImplementedError
+
+    # -- conveniences used by tests/examples ------------------------------
+    def run_sequential(self):
+        from ..runtime.sequential import SequentialExecutor
+        ex = SequentialExecutor(instances=self.fresh_instances())
+        scalars = ex.run(self.build_program())
+        return self.extract_state(ex.instances), scalars, ex
+
+    def run_control_replicated(self, num_shards: int, mode: str = "stepped",
+                               seed: int = 0, sync: str = "p2p", **compile_kw):
+        from ..core.compiler import control_replicate
+        from ..runtime.spmd import SPMDExecutor
+        prog, report = control_replicate(self.build_program(),
+                                         num_shards=num_shards, sync=sync,
+                                         **compile_kw)
+        ex = SPMDExecutor(num_shards=num_shards, mode=mode, seed=seed,
+                          instances=self.fresh_instances())
+        scalars = ex.run(prog)
+        return self.extract_state(ex.instances), scalars, ex, report
+
+
+def grid_dims_2d(tiles: int) -> tuple[int, int]:
+    """Near-square factorization of a tile count."""
+    gx = int(math.isqrt(tiles))
+    while tiles % gx:
+        gx -= 1
+    return gx, tiles // gx
+
+
+def grid_dims_3d(tiles: int) -> tuple[int, int, int]:
+    """Near-cubic factorization of a tile count."""
+    best = (1, 1, tiles)
+    best_cost = tiles * 3
+    for a in range(1, int(round(tiles ** (1 / 3))) + 2):
+        if tiles % a:
+            continue
+        rem = tiles // a
+        for b in range(a, int(math.isqrt(rem)) + 1):
+            if rem % b:
+                continue
+            c = rem // b
+            cost = a + b + c
+            if cost < best_cost:
+                best, best_cost = (a, b, c), cost
+    return best

@@ -1,0 +1,5 @@
+"""MiniAero compressible Navier-Stokes proxy (paper §5.2, Figure 7)."""
+
+from .app import MiniAeroProblem, RK_ALPHAS, conserved_to_flux
+
+__all__ = ["MiniAeroProblem", "RK_ALPHAS", "conserved_to_flux"]

@@ -1,0 +1,100 @@
+"""Figure 7 performance workloads: MiniAero weak scaling.
+
+Paper configuration: 512k cells per node, RK4 — nine index launches per
+time step (state save, then residual + update per stage), which is why
+MiniAero is the earliest casualty of un-replicated control: the single
+control thread saturates at only a handful of nodes.  Regent beats both
+MPI+Kokkos references on a single node thanks to Legion's hybrid data
+layouts [7]; the rank-per-node reference starts above rank-per-core but
+"performance eventually drops to the level of the rank per core
+configuration" once real inter-node exchanges appear (its halo handling
+shares one progress thread with the Kokkos kernels, modelled as a
+per-message handling cost), while at 1024 nodes CR holds ≈100% parallel
+efficiency.
+"""
+
+from __future__ import annotations
+
+from ...analysis.weak_scaling import FigureSpec, Series
+from ...machine.execution_models import (
+    simulate_mpi,
+    simulate_regent_cr,
+    simulate_regent_noncr,
+)
+from ...machine.model import MachineModel
+from ...machine.patterns import halo_edges_3d
+from ...machine.workload import AppWorkload, PhaseSpec
+
+__all__ = ["CELLS_PER_NODE", "miniaero_workload", "figure7_spec"]
+
+CELLS_PER_NODE = 512_000.0
+FIELDS_PER_CELL = 5
+BYTES_PER_FIELD = 8
+NUM_RK_STAGES = 4
+# Single-node calibration targets (cells/s/node), read off Fig. 7.
+RATE_REGENT_1NODE = 1.45e6
+RATE_MPI_RANK_PER_CORE_1NODE = 0.95e6
+RATE_MPI_RANK_PER_NODE_1NODE = 1.15e6
+# One progress thread services halo messages between Kokkos kernels in the
+# rank-per-node configuration: per-message handling cost (see module doc).
+RANK_PER_NODE_MSG_COST = 2.5e-3
+# Work split: each RK stage is one heavy residual + one light update.
+RESIDUAL_FRACTION = 0.82
+
+
+def _edges_fn(tiles_per_node: int):
+    cells_per_tile = CELLS_PER_NODE / tiles_per_node
+    face_cells = cells_per_tile ** (2.0 / 3.0)
+    face_bytes = int(face_cells * FIELDS_PER_CELL * BYTES_PER_FIELD)
+
+    def fn(tiles: int):
+        return halo_edges_3d(tiles, face_bytes)
+
+    return fn
+
+
+def miniaero_workload(tiles_per_node: int, rate_per_node: float) -> AppWorkload:
+    step_seconds = CELLS_PER_NODE / rate_per_node
+    edges = _edges_fn(tiles_per_node)
+    stage_seconds = step_seconds / (NUM_RK_STAGES + 0.5)  # save ~ half a stage
+    phases = [PhaseSpec("save_state", 0.5 * stage_seconds, None)]
+    for k in range(NUM_RK_STAGES):
+        phases.append(PhaseSpec(f"residual{k}",
+                                RESIDUAL_FRACTION * stage_seconds, edges))
+        phases.append(PhaseSpec(f"rk_update{k}",
+                                (1 - RESIDUAL_FRACTION) * stage_seconds, None))
+    return AppWorkload(name="miniaero", tiles_per_node=tiles_per_node,
+                       phases=phases, points_per_node=CELLS_PER_NODE)
+
+
+def figure7_spec(machine: MachineModel, max_nodes: int = 1024) -> FigureSpec:
+    regent_tpn = machine.cores_per_node - (1 if machine.dedicated_analysis_core else 0)
+    w_regent = miniaero_workload(regent_tpn, RATE_REGENT_1NODE)
+    w_rank_core = miniaero_workload(machine.cores_per_node,
+                                    RATE_MPI_RANK_PER_CORE_1NODE)
+    w_rank_node = miniaero_workload(1, RATE_MPI_RANK_PER_NODE_1NODE)
+    slow_msgs = machine.with_(msg_overhead=RANK_PER_NODE_MSG_COST)
+    nodes = tuple(n for n in (1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024)
+                  if n <= max_nodes)
+    return FigureSpec(
+        name="Figure 7",
+        title="Weak scaling for MiniAero (512k cells/node)",
+        nodes=nodes,
+        series=[
+            Series("Regent (with CR)",
+                   lambda n: simulate_regent_cr(w_regent, machine, n)
+                   .throughput_per_node(CELLS_PER_NODE),
+                   unit_scale=1e3, unit="10^3 cells/s"),
+            Series("Regent (w/o CR)",
+                   lambda n: simulate_regent_noncr(w_regent, machine, n)
+                   .throughput_per_node(CELLS_PER_NODE),
+                   unit_scale=1e3, unit="10^3 cells/s"),
+            Series("MPI+Kokkos (rank/core)",
+                   lambda n: simulate_mpi(w_rank_core, machine, n)
+                   .throughput_per_node(CELLS_PER_NODE),
+                   unit_scale=1e3, unit="10^3 cells/s"),
+            Series("MPI+Kokkos (rank/node)",
+                   lambda n: simulate_mpi(w_rank_node, slow_msgs, n)
+                   .throughput_per_node(CELLS_PER_NODE),
+                   unit_scale=1e3, unit="10^3 cells/s"),
+        ])

@@ -1,0 +1,5 @@
+"""PENNANT Lagrangian hydrodynamics proxy (paper §5.3, Figure 8)."""
+
+from .app import PennantMesh, PennantProblem
+
+__all__ = ["PennantMesh", "PennantProblem"]

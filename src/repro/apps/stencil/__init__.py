@@ -1,0 +1,7 @@
+"""PRK 2D star stencil (paper §5.1, Figure 6)."""
+
+from .app import (StencilProblem, make_stencil_tasks, square_weights,
+                  star_weights, stencil_offsets)
+
+__all__ = ["StencilProblem", "make_stencil_tasks", "square_weights",
+           "star_weights", "stencil_offsets"]

@@ -1,0 +1,97 @@
+"""Figure 6 performance workloads: Stencil weak scaling.
+
+Paper configuration: radius-2 star, 40k² grid points per node, Piz Daint,
+1–1024 nodes; Regent with/without control replication vs the PRK MPI and
+MPI+OpenMP references (which require square inputs, so they run only on
+even powers of two).  Paper results: CR holds 99% parallel efficiency at
+1024 nodes at ≈1.4–1.5 G points/s/node; without CR, throughput collapses
+once the single control thread's per-step launch work exceeds the step
+time; both references scale nearly flat.
+
+Calibration (single-node throughputs from Fig. 6; see EXPERIMENTS.md):
+Regent's structure-sliced layout gives it a small per-core advantage [7],
+offset by the core Legion dedicates to runtime analysis.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ...machine.model import MachineModel
+from ...machine.patterns import halo_edges_2d
+from ...machine.workload import AppWorkload, PhaseSpec
+from ...analysis.weak_scaling import (
+    FigureSpec,
+    Series,
+    is_square_power_of_two,
+)
+from ...machine.execution_models import (
+    simulate_mpi,
+    simulate_regent_cr,
+    simulate_regent_noncr,
+)
+
+__all__ = ["POINTS_PER_NODE", "stencil_workload", "figure6_spec"]
+
+POINTS_PER_NODE = 40_000.0 ** 2
+RADIUS = 2
+BYTES_PER_POINT = 8
+# Single-node calibration targets (points/s/node), read off Fig. 6.
+RATE_REGENT_1NODE = 1.45e9
+RATE_MPI_1NODE = 1.40e9
+RATE_MPI_OMP_1NODE = 1.35e9
+# Work split between the two launches of a step (stencil is the heavy one).
+STENCIL_FRACTION = 0.85
+
+
+def _edges_fn(tiles_per_node: int):
+    # Tile side at paper scale: each tile holds points_per_node/tpn points.
+    side = math.sqrt(POINTS_PER_NODE / tiles_per_node)
+    halo_bytes = int(RADIUS * side * BYTES_PER_POINT)
+
+    def fn(tiles: int):
+        return halo_edges_2d(tiles, halo_bytes)
+
+    return fn
+
+
+def stencil_workload(tiles_per_node: int, rate_per_node: float) -> AppWorkload:
+    step_seconds = POINTS_PER_NODE / rate_per_node
+    edges = _edges_fn(tiles_per_node)
+    return AppWorkload(
+        name="stencil",
+        tiles_per_node=tiles_per_node,
+        phases=[
+            PhaseSpec("stencil", STENCIL_FRACTION * step_seconds, edges),
+            PhaseSpec("increment", (1 - STENCIL_FRACTION) * step_seconds, None),
+        ],
+        points_per_node=POINTS_PER_NODE)
+
+
+def figure6_spec(machine: MachineModel, max_nodes: int = 1024) -> FigureSpec:
+    regent_tpn = machine.cores_per_node - (1 if machine.dedicated_analysis_core else 0)
+    w_regent = stencil_workload(regent_tpn, RATE_REGENT_1NODE)
+    w_mpi = stencil_workload(machine.cores_per_node, RATE_MPI_1NODE)
+    w_omp = stencil_workload(1, RATE_MPI_OMP_1NODE)
+    nodes = tuple(n for n in (1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024)
+                  if n <= max_nodes)
+    return FigureSpec(
+        name="Figure 6",
+        title="Weak scaling for Stencil (40k^2 points/node)",
+        nodes=nodes,
+        series=[
+            Series("Regent (with CR)",
+                   lambda n: simulate_regent_cr(w_regent, machine, n)
+                   .throughput_per_node(POINTS_PER_NODE)),
+            Series("Regent (w/o CR)",
+                   lambda n: simulate_regent_noncr(w_regent, machine, n)
+                   .throughput_per_node(POINTS_PER_NODE)),
+            Series("MPI",
+                   lambda n: simulate_mpi(w_mpi, machine, n)
+                   .throughput_per_node(POINTS_PER_NODE),
+                   node_filter=is_square_power_of_two),
+            Series("MPI+OpenMP",
+                   lambda n: simulate_mpi(w_omp, machine, n)
+                   .throughput_per_node(POINTS_PER_NODE),
+                   node_filter=is_square_power_of_two),
+        ])

@@ -1,0 +1,210 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``verify``  — run an evaluation application three ways (reference,
+  sequential, control-replicated SPMD) and check agreement;
+* ``compile`` — print an application's control program before and after
+  control replication, plus the compilation report;
+* ``figure``  — run one of the paper's weak-scaling figures on the machine
+  simulator and print its table;
+* ``apps``    — list the available applications.
+
+Examples::
+
+    python -m repro verify circuit --shards 4 --mode threaded
+    python -m repro compile stencil
+    python -m repro figure 8 --max-nodes 64
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["main", "build_parser", "APP_FACTORIES"]
+
+
+def _stencil(args):
+    from .apps.stencil import StencilProblem
+    return StencilProblem(n=args.size or 48, radius=2, tiles=args.tiles,
+                          steps=args.steps, shape=args.shape)
+
+
+def _circuit(args):
+    from .apps.circuit import CircuitProblem
+    return CircuitProblem(pieces=args.tiles, nodes_per_piece=args.size or 40,
+                          wires_per_piece=(args.size or 40) * 3 // 2,
+                          steps=args.steps)
+
+
+def _pennant(args):
+    from .apps.pennant import PennantProblem
+    side = args.size or 12
+    return PennantProblem(nx=side, ny=side, pieces=args.tiles,
+                          steps=args.steps)
+
+
+def _miniaero(args):
+    from .apps.miniaero import MiniAeroProblem
+    side = args.size or 8
+    return MiniAeroProblem(shape=(side, side, side), tiles=args.tiles,
+                           steps=args.steps)
+
+
+APP_FACTORIES: dict[str, Callable] = {
+    "stencil": _stencil,
+    "circuit": _circuit,
+    "pennant": _pennant,
+    "miniaero": _miniaero,
+}
+
+FIGURES = {
+    "6": ("repro.apps.stencil.perf", "figure6_spec"),
+    "7": ("repro.apps.miniaero.perf", "figure7_spec"),
+    "8": ("repro.apps.pennant.perf", "figure8_spec"),
+    "9": ("repro.apps.circuit.perf", "figure9_spec"),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="Control replication (SC'17) reproduction toolkit")
+    sub = p.add_subparsers(dest="command", required=True)
+
+    def add_app_args(sp):
+        sp.add_argument("app", choices=sorted(APP_FACTORIES))
+        sp.add_argument("--tiles", type=int, default=4,
+                        help="pieces/tiles in the partition (default 4)")
+        sp.add_argument("--steps", type=int, default=3,
+                        help="time steps (default 3)")
+        sp.add_argument("--size", type=int, default=None,
+                        help="per-app problem size knob")
+        sp.add_argument("--shape", choices=["star", "square"], default="star",
+                        help="stencil shape (stencil only)")
+
+    v = sub.add_parser("verify", help="check CR == sequential == reference")
+    add_app_args(v)
+    v.add_argument("--shards", type=int, default=4)
+    v.add_argument("--mode", choices=["stepped", "threaded"], default="stepped")
+    v.add_argument("--seed", type=int, default=0)
+    v.add_argument("--sync", choices=["p2p", "barrier"], default="p2p")
+
+    c = sub.add_parser("compile", help="show the program before/after CR")
+    add_app_args(c)
+    c.add_argument("--shards", type=int, default=4)
+
+    f = sub.add_parser("figure", help="run one of the paper's figures")
+    f.add_argument("number", choices=sorted(FIGURES))
+    f.add_argument("--max-nodes", type=int, default=64)
+    f.add_argument("--csv", action="store_true",
+                   help="emit machine-readable CSV instead of the table")
+
+    e = sub.add_parser("explain", help="show what one shard will do")
+    add_app_args(e)
+    e.add_argument("--shards", type=int, default=4)
+    e.add_argument("--shard", type=int, default=0)
+
+    sub.add_parser("apps", help="list available applications")
+    return p
+
+
+def cmd_verify(args) -> int:
+    problem = APP_FACTORIES[args.app](args)
+    t0 = time.perf_counter()
+    ref = problem.reference_state()
+    seq, seq_scalars, _ = problem.run_sequential()
+    cr, cr_scalars, ex, report = problem.run_control_replicated(
+        args.shards, mode=args.mode, seed=args.seed, sync=args.sync)
+    elapsed = time.perf_counter() - t0
+
+    ok = True
+    for key in set(ref) & set(seq):  # references may report extra scalars
+        if not np.allclose(seq[key], ref[key], rtol=1e-11, atol=1e-12):
+            print(f"FAIL sequential != reference on {key}")
+            ok = False
+    for key in seq:
+        if not np.allclose(cr[key], seq[key], rtol=1e-11, atol=1e-13):
+            print(f"FAIL control-replicated != sequential on {key} "
+                  f"(max diff {np.abs(cr[key] - seq[key]).max():.3e})")
+            ok = False
+    print(report.summary())
+    print(f"{args.app}: reference == sequential == CR({args.shards} shards, "
+          f"{args.mode}, {args.sync}): {'OK' if ok else 'MISMATCH'} "
+          f"[{ex.elements_copied} elements exchanged, {elapsed:.2f}s]")
+    return 0 if ok else 1
+
+
+def cmd_compile(args) -> int:
+    from .core import control_replicate, format_program
+    problem = APP_FACTORIES[args.app](args)
+    program = problem.build_program()
+    print("== before control replication ==")
+    print(format_program(program))
+    transformed, report = control_replicate(program, num_shards=args.shards)
+    print("\n== after control replication ==")
+    print(format_program(transformed))
+    print("\n" + report.summary())
+    return 0
+
+
+def cmd_figure(args) -> int:
+    import importlib
+
+    from .analysis import run_figure, to_csv
+    from .machine.model import PIZ_DAINT
+    mod_name, fn_name = FIGURES[args.number]
+    spec_fn = getattr(importlib.import_module(mod_name), fn_name)
+    spec = spec_fn(PIZ_DAINT, max_nodes=args.max_nodes)
+    data = run_figure(spec)
+    print(to_csv(data) if args.csv else data.format_table())
+    return 0
+
+
+def cmd_explain(args) -> int:
+    from .core import control_replicate, explain_shard, shard_communication_summary
+    problem = APP_FACTORIES[args.app](args)
+    transformed, _ = control_replicate(problem.build_program(),
+                                       num_shards=args.shards)
+    print(explain_shard(transformed, args.shard))
+    comm = shard_communication_summary(transformed)
+    inbound = sum(v for (s, d), v in comm.items()
+                  if d == args.shard and s != args.shard)
+    outbound = sum(v for (s, d), v in comm.items()
+                   if s == args.shard and d != args.shard)
+    local = comm.get((args.shard, args.shard), 0)
+    print(f"-- channels: {outbound} outbound, {inbound} inbound, {local} local")
+    return 0
+
+
+def cmd_apps(_args) -> int:
+    docs = {
+        "stencil": "PRK 2D star/square stencil (paper §5.1, Fig. 6)",
+        "circuit": "sparse unstructured circuit simulation (§5.4, Fig. 9)",
+        "pennant": "Lagrangian hydrodynamics proxy (§5.3, Fig. 8)",
+        "miniaero": "compressible Navier-Stokes proxy (§5.2, Fig. 7)",
+    }
+    for name in sorted(APP_FACTORIES):
+        print(f"  {name:<9} {docs[name]}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handler = {
+        "verify": cmd_verify,
+        "compile": cmd_compile,
+        "figure": cmd_figure,
+        "explain": cmd_explain,
+        "apps": cmd_apps,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

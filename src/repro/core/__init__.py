@@ -1,0 +1,67 @@
+"""The paper's contribution: the control replication compiler."""
+
+from .builder import ProgramBuilder
+from .compiler import CompilationReport, FragmentReport, control_replicate
+from .explain import explain_shard, shard_communication_summary
+from .ir import (
+    BarrierStmt,
+    BinOp,
+    Block,
+    ComputeIntersections,
+    Const,
+    Expr,
+    FillReductionBuffer,
+    FinalCopy,
+    ForRange,
+    IfStmt,
+    IndexLaunch,
+    InitCopy,
+    PairwiseCopy,
+    Program,
+    Proj,
+    PureCall,
+    RegionArg,
+    ScalarArg,
+    ScalarAssign,
+    ScalarCollective,
+    ScalarRef,
+    ShardLaunch,
+    SingleCall,
+    Stmt,
+    UnaryOp,
+    WhileLoop,
+    as_expr,
+    evaluate,
+    format_program,
+    walk,
+)
+from .normalize import normalize_projections
+from .region_tree import (
+    SymbolicRegionTree,
+    partitions_may_interfere,
+    regions_may_alias_symbolic,
+)
+from .shards import owner_of_color, shard_owned_colors
+from .target import (
+    CRLegalityError,
+    Fragment,
+    FragmentUsage,
+    check_launch_legality,
+    find_fragments,
+    fragment_usage,
+)
+
+__all__ = [
+    "BarrierStmt", "BinOp", "Block", "CompilationReport", "ComputeIntersections",
+    "Const", "CRLegalityError", "Expr", "FillReductionBuffer", "FinalCopy",
+    "ForRange", "Fragment", "FragmentReport", "FragmentUsage", "IfStmt",
+    "IndexLaunch", "InitCopy", "PairwiseCopy", "Program", "ProgramBuilder",
+    "Proj", "PureCall", "RegionArg", "ScalarArg", "ScalarAssign",
+    "ScalarCollective", "ScalarRef", "ShardLaunch", "SingleCall", "Stmt",
+    "SymbolicRegionTree", "UnaryOp", "WhileLoop", "as_expr",
+    "check_launch_legality", "control_replicate", "evaluate", "explain_shard", "find_fragments",
+    "format_program", "fragment_usage", "normalize_projections",
+    "owner_of_color", "partitions_may_interfere",
+    "regions_may_alias_symbolic", "shard_communication_summary",
+    "shard_owned_colors", "walk",
+]

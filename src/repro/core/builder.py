@@ -1,0 +1,127 @@
+"""Fluent construction of control programs.
+
+The builder is the user-facing way to write the paper's Figure-2 style
+main simulation loops::
+
+    b = ProgramBuilder("main")
+    b.let("T", 10)
+    with b.for_range("t", 0, "T"):
+        b.launch(TF, I, PB, PA)
+        b.launch(TG, I, PA, QB)
+    prog = b.build()
+
+Region arguments may be a :class:`~repro.regions.partition.Partition`
+(identity projection), a ``(partition, fn, name)`` tuple (projection
+``partition[fn(i)]``), or an explicit :class:`~repro.core.ir.Proj`.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Callable, Sequence
+
+from ..regions.index_space import IndexSpace
+from ..regions.partition import Partition
+from ..tasks.task import Task
+from .ir import (
+    Block,
+    Expr,
+    ForRange,
+    IfStmt,
+    IndexLaunch,
+    Program,
+    Proj,
+    RegionArg,
+    ScalarArg,
+    ScalarAssign,
+    SingleCall,
+    WhileLoop,
+    as_expr,
+)
+
+__all__ = ["ProgramBuilder"]
+
+
+def _as_launch_arg(arg: Any):
+    if isinstance(arg, RegionArg) or isinstance(arg, ScalarArg):
+        return arg
+    if isinstance(arg, Proj):
+        return RegionArg(arg)
+    if isinstance(arg, Partition):
+        return RegionArg(Proj(arg))
+    if isinstance(arg, tuple) and len(arg) in (2, 3) and isinstance(arg[0], Partition):
+        fn = arg[1]
+        fn_name = arg[2] if len(arg) == 3 else getattr(fn, "__name__", "f")
+        return RegionArg(Proj(arg[0], fn=fn, fn_name=fn_name))
+    return ScalarArg(as_expr(arg))
+
+
+class ProgramBuilder:
+    """Builds a :class:`~repro.core.ir.Program` statement by statement."""
+
+    def __init__(self, name: str = "main"):
+        self.name = name
+        self._scalars: dict[str, Any] = {}
+        self._stack: list[Block] = [Block()]
+
+    # -- scalars ---------------------------------------------------------
+    def let(self, name: str, value: Any) -> None:
+        """Bind an initial scalar value (visible to the whole program)."""
+        self._scalars[name] = value
+
+    def assign(self, name: str, expr: Any) -> None:
+        """Assign a scalar from an expression of other scalars."""
+        self._emit(ScalarAssign(name, as_expr(expr)))
+
+    # -- control flow -------------------------------------------------------
+    @contextmanager
+    def for_range(self, var: str, start: Any, stop: Any):
+        body = Block()
+        self._stack.append(body)
+        try:
+            yield
+        finally:
+            self._stack.pop()
+            self._emit(ForRange(var, as_expr(start), as_expr(stop), body))
+
+    @contextmanager
+    def while_loop(self, cond: Any):
+        body = Block()
+        self._stack.append(body)
+        try:
+            yield
+        finally:
+            self._stack.pop()
+            self._emit(WhileLoop(as_expr(cond), body))
+
+    @contextmanager
+    def if_stmt(self, cond: Any):
+        then_block = Block()
+        self._stack.append(then_block)
+        try:
+            yield
+        finally:
+            self._stack.pop()
+            self._emit(IfStmt(as_expr(cond), then_block))
+
+    # -- launches ---------------------------------------------------------
+    def launch(self, task: Task, domain: IndexSpace, *args: Any,
+               reduce: tuple[str, str] | None = None) -> None:
+        """Emit an index launch of ``task`` over ``domain``."""
+        self._emit(IndexLaunch(task, domain, [_as_launch_arg(a) for a in args],
+                               reduce=reduce))
+
+    def call(self, task: Task, regions: Sequence[Any] = (),
+             scalars: Sequence[Any] = (), result: str | None = None) -> None:
+        """Emit a single (non-indexed) task call."""
+        self._emit(SingleCall(task, regions, tuple(as_expr(s) for s in scalars),
+                              result=result))
+
+    # -- assembly ------------------------------------------------------------
+    def _emit(self, stmt) -> None:
+        self._stack[-1].stmts.append(stmt)
+
+    def build(self) -> Program:
+        if len(self._stack) != 1:
+            raise RuntimeError("unclosed control-flow block")
+        return Program(body=self._stack[0], scalars=dict(self._scalars), name=self.name)

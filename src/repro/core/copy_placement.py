@@ -1,0 +1,404 @@
+"""Control replication phase 2: copy placement (paper §3.2).
+
+The data replication phase inserts copies conservatively; this phase
+improves their placement with variants of two textbook optimizations,
+exactly as the paper describes:
+
+* **loop-invariant code motion** — a copy (or intersection computation)
+  whose source and destination partitions are not written inside a loop is
+  hoisted to the loop preheader;
+* **partial redundancy elimination**, in two dataflow passes over a CFG of
+  the fragment:
+
+  - *available-copy elimination* (forward): an identical copy already
+    performed on every incoming path, with neither source nor destination
+    written since, makes a copy redundant;
+  - *dead-copy elimination* (backward): a copy whose destination elements
+    are re-copied from the same source (or fully overwritten) on every
+    path before being read is dead.
+
+"The modifications required to the textbook descriptions ... are minimal"
+because statements here operate on whole partitions: a loop of task calls
+is summarized as reading/writing partitions, never individual elements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .ir import (
+    Block,
+    ComputeIntersections,
+    FillReductionBuffer,
+    FinalCopy,
+    ForRange,
+    IfStmt,
+    IndexLaunch,
+    InitCopy,
+    PairwiseCopy,
+    Stmt,
+    WhileLoop,
+)
+
+__all__ = ["PlacementStats", "place_copies"]
+
+
+@dataclass
+class PlacementStats:
+    hoisted: int = 0
+    removed_redundant: int = 0
+    removed_dead: int = 0
+
+
+# ---------------------------------------------------------------------------
+# Effects summaries: what a primitive statement reads/writes, per
+# (partition uid, field).  Task launches hide element-level detail — that is
+# the coarsening that makes the textbook analyses applicable.
+# ---------------------------------------------------------------------------
+
+def _launch_effects(stmt: IndexLaunch):
+    reads: set[tuple[int, str]] = set()
+    writes: set[tuple[int, str]] = set()
+    for priv, proj in stmt.privilege_pairs():
+        part = proj.partition
+        for f in priv.field_names(part.parent.fspace.names):
+            if priv.redop is not None:
+                # After data replication, reduce args target temp buffers:
+                # the fold both reads and writes the buffer.
+                reads.add((part.uid, f))
+                writes.add((part.uid, f))
+            else:
+                if priv.read:
+                    reads.add((part.uid, f))
+                if priv.write:
+                    writes.add((part.uid, f))
+    return reads, writes
+
+
+def _stmt_reads_writes(stmt: Stmt):
+    """(reads, writes) sets of (partition uid, field) pairs."""
+    if isinstance(stmt, IndexLaunch):
+        return _launch_effects(stmt)
+    if isinstance(stmt, PairwiseCopy):
+        reads = {(stmt.src.uid, f) for f in stmt.fields}
+        writes = {(stmt.dst.uid, f) for f in stmt.fields}
+        if stmt.redop is not None:
+            reads |= {(stmt.dst.uid, f) for f in stmt.fields}  # read-modify-write
+        return reads, writes
+    if isinstance(stmt, InitCopy):
+        return set(), {(stmt.partition.uid, f) for f in stmt.fields}
+    if isinstance(stmt, FinalCopy):
+        return {(stmt.partition.uid, f) for f in stmt.fields}, set()
+    if isinstance(stmt, FillReductionBuffer):
+        return set(), {(stmt.partition.uid, f) for f in stmt.fields}
+    return set(), set()
+
+
+def _copy_key(stmt: PairwiseCopy):
+    return (stmt.src.uid, stmt.dst.uid, stmt.fields, stmt.redop, stmt.pairs_name)
+
+
+# ---------------------------------------------------------------------------
+# CFG construction over the structured fragment
+# ---------------------------------------------------------------------------
+
+@dataclass
+class _CFG:
+    nodes: dict[int, Stmt] = field(default_factory=dict)
+    succ: dict[int, set[int]] = field(default_factory=dict)
+    pred: dict[int, set[int]] = field(default_factory=dict)
+    entry: int = -1
+    exit: int = -2
+
+    def add_node(self, uid: int, stmt: Stmt | None) -> None:
+        if stmt is not None:
+            self.nodes[uid] = stmt
+        self.succ.setdefault(uid, set())
+        self.pred.setdefault(uid, set())
+
+    def add_edge(self, a: int, b: int) -> None:
+        self.succ[a].add(b)
+        self.pred[b].add(a)
+
+
+def _build_cfg(stmts: list[Stmt]) -> _CFG:
+    cfg = _CFG()
+    cfg.add_node(cfg.entry, None)
+    cfg.add_node(cfg.exit, None)
+
+    def seq(stmt_list: list[Stmt], preds: list[int]) -> list[int]:
+        """Wire a statement sequence; return the exit frontier."""
+        frontier = preds
+        for s in stmt_list:
+            frontier = one(s, frontier)
+        return frontier
+
+    def one(s: Stmt, preds: list[int]) -> list[int]:
+        if isinstance(s, (ForRange, WhileLoop)):
+            cfg.add_node(s.uid, s)
+            for p in preds:
+                cfg.add_edge(p, s.uid)
+            body_exits = seq(s.body.stmts, [s.uid])
+            for e in body_exits:
+                cfg.add_edge(e, s.uid)  # back edge
+            return [s.uid]  # loop may execute zero times; exits via header
+        if isinstance(s, IfStmt):
+            cfg.add_node(s.uid, s)
+            for p in preds:
+                cfg.add_edge(p, s.uid)
+            t_exits = seq(s.then_block.stmts, [s.uid])
+            e_exits = seq(s.else_block.stmts, [s.uid]) if s.else_block.stmts else [s.uid]
+            return t_exits + e_exits
+        cfg.add_node(s.uid, s)
+        for p in preds:
+            cfg.add_edge(p, s.uid)
+        return [s.uid]
+
+    exits = seq(stmts, [cfg.entry])
+    for e in exits:
+        cfg.add_edge(e, cfg.exit)
+    return cfg
+
+
+# ---------------------------------------------------------------------------
+# Forward pass: available-copy elimination
+# ---------------------------------------------------------------------------
+
+def _available_copy_elimination(stmts: list[Stmt]) -> set[int]:
+    """Uids of PairwiseCopy statements redundant by availability."""
+    cfg = _build_cfg(stmts)
+    all_keys: set = set()
+    for uid, s in cfg.nodes.items():
+        if isinstance(s, PairwiseCopy) and s.redop is None:
+            all_keys.add(_copy_key(s))
+    if not all_keys:
+        return set()
+
+    def transfer(s: Stmt | None, avail: frozenset) -> frozenset:
+        if s is None:
+            return avail
+        reads, writes = _stmt_reads_writes(s)
+        if writes:
+            avail = frozenset(k for k in avail
+                              if not any((k[0], f) in writes or (k[1], f) in writes
+                                         for f in k[2]))
+        if isinstance(s, PairwiseCopy) and s.redop is None:
+            avail = avail | {_copy_key(s)}
+        return avail
+
+    top = frozenset(all_keys)
+    in_state: dict[int, frozenset] = {uid: top for uid in cfg.succ}
+    in_state[cfg.entry] = frozenset()
+    work = list(cfg.succ)
+    while work:
+        uid = work.pop()
+        preds = cfg.pred[uid]
+        if uid == cfg.entry:
+            new_in = frozenset()
+        elif preds:
+            outs = [transfer(cfg.nodes.get(p), in_state[p]) for p in preds]
+            new_in = frozenset.intersection(*outs)
+        else:
+            new_in = frozenset()
+        if new_in != in_state[uid]:
+            in_state[uid] = new_in
+            work.extend(cfg.succ[uid])
+    removable: set[int] = set()
+    for uid, s in cfg.nodes.items():
+        if isinstance(s, PairwiseCopy) and s.redop is None and _copy_key(s) in in_state[uid]:
+            removable.add(uid)
+    return removable
+
+
+# ---------------------------------------------------------------------------
+# Backward pass: dead-copy elimination
+# ---------------------------------------------------------------------------
+
+_READ = ("read",)
+_SAFE = ("safe",)
+
+
+def _meet(a, b):
+    """Lattice meet: READ < COPIED(src) < SAFE."""
+    if a == _READ or b == _READ:
+        return _READ
+    if a == _SAFE:
+        return b
+    if b == _SAFE:
+        return a
+    return a if a == b else _READ
+
+
+def _dead_copy_elimination(stmts: list[Stmt]) -> set[int]:
+    """Uids of PairwiseCopy statements that are dead (never observed)."""
+    cfg = _build_cfg(stmts)
+    keys: set[tuple[int, str]] = set()
+    for s in cfg.nodes.values():
+        r, w = _stmt_reads_writes(s)
+        keys |= r | w
+    if not keys:
+        return set()
+
+    def transfer(s: Stmt | None, state: dict) -> dict:
+        """Backward transfer: given what happens *after* s, what is the
+        fate of each (partition, field) starting *at* s?"""
+        if s is None:
+            return state
+        out = dict(state)
+        if isinstance(s, PairwiseCopy):
+            if s.redop is None:
+                for f in s.fields:
+                    out[(s.dst.uid, f)] = ("copied", s.src.uid)
+                    out[(s.src.uid, f)] = _READ
+            else:
+                for f in s.fields:
+                    out[(s.dst.uid, f)] = _READ  # read-modify-write observes dst
+                    out[(s.src.uid, f)] = _READ
+            return out
+        if isinstance(s, InitCopy):
+            for f in s.fields:
+                out[(s.partition.uid, f)] = _SAFE  # fully overwritten
+            return out
+        if isinstance(s, FillReductionBuffer):
+            for f in s.fields:
+                out[(s.partition.uid, f)] = _SAFE
+            return out
+        reads, writes = _stmt_reads_writes(s)
+        for k in writes:
+            # Task writes may be partial at the element level; treat them as
+            # observations (conservative: keeps prior copies alive).
+            out[k] = _READ
+        for k in reads:
+            out[k] = _READ
+        return out
+
+    bottom = {k: _SAFE for k in keys}
+    out_state: dict[int, dict] = {uid: dict(bottom) for uid in cfg.succ}
+    work = list(cfg.succ)
+    while work:
+        uid = work.pop()
+        succs = cfg.succ[uid]
+        if uid == cfg.exit:
+            new_out = dict(bottom)
+        elif succs:
+            ins = [transfer(cfg.nodes.get(t), out_state[t]) for t in succs]
+            new_out = {}
+            for k in keys:
+                v = ins[0][k]
+                for other in ins[1:]:
+                    v = _meet(v, other[k])
+                new_out[k] = v
+        else:
+            new_out = dict(bottom)
+        if new_out != out_state[uid]:
+            out_state[uid] = new_out
+            work.extend(cfg.pred[uid])
+
+    removable: set[int] = set()
+    for uid, s in cfg.nodes.items():
+        if isinstance(s, PairwiseCopy) and s.redop is None:
+            fate = out_state[uid]
+            if all(fate[(s.dst.uid, f)] == _SAFE
+                   or fate[(s.dst.uid, f)] == ("copied", s.src.uid)
+                   for f in s.fields):
+                removable.add(uid)
+    return removable
+
+
+# ---------------------------------------------------------------------------
+# Loop-invariant code motion
+# ---------------------------------------------------------------------------
+
+def _block_writes(block: Block, skip_uid: int) -> set[tuple[int, str]]:
+    writes: set[tuple[int, str]] = set()
+
+    def rec(stmts: list[Stmt]) -> None:
+        for s in stmts:
+            if s.uid == skip_uid:
+                continue
+            if isinstance(s, (ForRange, WhileLoop)):
+                rec(s.body.stmts)
+            elif isinstance(s, IfStmt):
+                rec(s.then_block.stmts)
+                rec(s.else_block.stmts)
+            else:
+                _, w = _stmt_reads_writes(s)
+                writes.update(w)
+
+    rec(block.stmts)
+    return writes
+
+
+def _hoistable(s: Stmt, loop_writes: set[tuple[int, str]]) -> bool:
+    if isinstance(s, PairwiseCopy) and s.redop is None:
+        touched = {(s.src.uid, f) for f in s.fields} | {(s.dst.uid, f) for f in s.fields}
+        return not (touched & loop_writes)
+    if isinstance(s, InitCopy):
+        touched = {(s.partition.uid, f) for f in s.fields}
+        return not (touched & loop_writes)
+    if isinstance(s, ComputeIntersections):
+        return True  # partitions are immutable once built
+    return False
+
+
+def _licm_block(block: Block, stats: PlacementStats) -> Block:
+    out: list[Stmt] = []
+    for s in block.stmts:
+        if isinstance(s, (ForRange, WhileLoop)):
+            new_body = _licm_block(s.body, stats)
+            kept: list[Stmt] = []
+            for inner in new_body.stmts:
+                if _hoistable(inner, _block_writes(new_body, inner.uid)):
+                    out.append(inner)  # preheader position
+                    stats.hoisted += 1
+                else:
+                    kept.append(inner)
+            body = Block(kept)
+            if isinstance(s, ForRange):
+                out.append(ForRange(s.var, s.start, s.stop, body))
+            else:
+                out.append(WhileLoop(s.cond, body))
+        elif isinstance(s, IfStmt):
+            out.append(IfStmt(s.cond, _licm_block(s.then_block, stats),
+                              _licm_block(s.else_block, stats)))
+        else:
+            out.append(s)
+    return Block(out)
+
+
+def _filter_block(block: Block, dead: set[int]) -> Block:
+    out: list[Stmt] = []
+    for s in block.stmts:
+        if s.uid in dead:
+            continue
+        if isinstance(s, ForRange):
+            out.append(ForRange(s.var, s.start, s.stop, _filter_block(s.body, dead)))
+        elif isinstance(s, WhileLoop):
+            out.append(WhileLoop(s.cond, _filter_block(s.body, dead)))
+        elif isinstance(s, IfStmt):
+            out.append(IfStmt(s.cond, _filter_block(s.then_block, dead),
+                              _filter_block(s.else_block, dead)))
+        else:
+            out.append(s)
+    return Block(out)
+
+
+def place_copies(init: list[Stmt], body: list[Stmt], final: list[Stmt]) -> tuple[list[Stmt], list[Stmt], list[Stmt], PlacementStats]:
+    """Run LICM + both PRE passes; returns optimized (init, body, final)."""
+    stats = PlacementStats()
+    body_block = _licm_block(Block(body), stats)
+    whole = [*init, *body_block.stmts, *final]
+    redundant = _available_copy_elimination(whole)
+    stats.removed_redundant = len(redundant)
+    whole_block = _filter_block(Block(whole), redundant)
+    dead = _dead_copy_elimination(whole_block.stmts)
+    stats.removed_dead = len(dead)
+    whole_block = _filter_block(whole_block, dead)
+    # Re-split: init prefix is the original init copies (minus removed).
+    init_uids = {s.uid for s in init}
+    final_uids = {s.uid for s in final}
+    new_init = [s for s in whole_block.stmts if s.uid in init_uids]
+    new_final = [s for s in whole_block.stmts if s.uid in final_uids]
+    new_body = [s for s in whole_block.stmts
+                if s.uid not in init_uids and s.uid not in final_uids]
+    return new_init, new_body, new_final, stats

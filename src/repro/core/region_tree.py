@@ -1,0 +1,162 @@
+"""Symbolic region trees and the static aliasing analysis (paper §2.3).
+
+The compiler reasons about regions *symbolically*: subregions are indexed
+by unevaluated loop variables, so ``PA[i]`` stands for every subregion of
+``PA``.  The only question the control replication phases ask is coarse:
+*may the subregions of partition P overlap those of partition Q at all?*
+The answer comes from the least-common-ancestor walk of §2.3, which proves
+disjointness exactly when the two partitions descend through different
+colors of a disjoint partition.
+
+The symbolic tree also answers the per-launch legality question of §2.2:
+writes must go through disjoint partitions with identity projections, or
+the loop has (non-reduction) loop-carried dependencies and is not a CR
+target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..regions.partition import Partition
+from ..regions.region import Region
+
+__all__ = [
+    "SymbolicRegionTree",
+    "partitions_may_interfere",
+    "regions_may_alias_symbolic",
+]
+
+
+def _region_path(region: Region) -> list[Region]:
+    return region.ancestors()[::-1]  # root first
+
+
+def regions_may_alias_symbolic(r1: Region, r2: Region,
+                               same_index: bool | None = None) -> bool:
+    """May the *symbolic* regions ``r1[i]``-style alias?
+
+    ``same_index`` refines the test when both regions are subregions of the
+    same partition indexed by loop variables: ``True`` means the indices are
+    known equal (same loop variable), ``False`` known distinct, ``None``
+    unknown (different loop variables — conservatively may be equal).
+
+    This is exactly the LCA rule of §2.3 with symbolic indices: a disjoint
+    partition separates the paths only when the child indices are known to
+    differ (distinct constants, or distinct-by-assumption loop iterations).
+    """
+    if r1.root is not r2.root:
+        return False
+    p1 = _region_path(r1)
+    p2 = _region_path(r2)
+    common = 0
+    while common < len(p1) and common < len(p2) and p1[common] is p2[common]:
+        common += 1
+    if common == len(p1) or common == len(p2):
+        return True  # one contains the other (or identical)
+    c1, c2 = p1[common], p2[common]
+    if c1.parent_partition is c2.parent_partition and c1.parent_partition is not None:
+        part = c1.parent_partition
+        if part.disjoint:
+            if c1.color != c2.color:
+                return False
+            # Same symbolic partition, index relation decides.
+            if same_index is False:
+                return False
+            return True
+        return True
+    # Diverging through *different* partitions of the same region: no
+    # disjointness information relates two different partitions.
+    return True
+
+
+def partitions_may_interfere(p: Partition, q: Partition) -> bool:
+    """May some ``p[i]`` overlap some ``q[j]`` (i, j arbitrary)?
+
+    This is the partition-granularity question driving copy insertion
+    (§3.1): a write through ``p`` must be forwarded to ``q`` iff they may
+    interfere.  ``p`` never "interferes" with itself here — identical
+    colors denote the *same* subregion (one storage), and distinct colors
+    of a disjoint partition are non-overlapping; a write through an
+    *aliased* partition is rejected earlier by the launch legality check.
+    """
+    if p is q:
+        return not p.disjoint
+    if p.parent.root is not q.parent.root:
+        return False
+    # Compare representative symbolic subregions with unrelated indices.
+    return regions_may_alias_symbolic(_symbolic_child(p), _symbolic_child(q),
+                                      same_index=None)
+
+
+def _symbolic_child(part: Partition) -> Region:
+    """A representative subregion standing for ``part[i]`` with fresh ``i``.
+
+    Color 0 is used as the representative; the LCA walk only inspects the
+    partition objects along the path, and ``regions_may_alias_symbolic`` is
+    called with ``same_index=None`` so the concrete color never matters
+    across *different* partitions.
+    """
+    if part.num_colors == 0:
+        raise ValueError(f"partition {part.name} has no colors")
+    return part[0]
+
+
+@dataclass
+class _Node:
+    label: str
+    disjoint: bool | None  # None for region nodes
+    children: list["_Node"] = field(default_factory=list)
+
+
+class SymbolicRegionTree:
+    """A printable compile-time view of a region forest (paper Fig. 3/5).
+
+    Built from the live region/partition objects reachable from a set of
+    partitions; used in documentation, debug output, and tests that check
+    the analysis sees the same tree shape the paper draws.
+    """
+
+    def __init__(self, partitions: list[Partition]):
+        self.roots: list[Region] = []
+        seen: set[int] = set()
+        for p in partitions:
+            root = p.parent.root
+            if id(root) not in seen:
+                seen.add(id(root))
+                self.roots.append(root)
+        self._used = {id(p) for p in partitions}
+        # Include ancestors' partitions so the printed tree shows the path.
+        for p in partitions:
+            r = p.parent
+            while r.parent_partition is not None:
+                self._used.add(id(r.parent_partition))
+                r = r.parent
+
+    def _build(self, region: Region) -> _Node:
+        node = _Node(label=region.name, disjoint=None)
+        for part in region.partitions:
+            if id(part) not in self._used:
+                continue
+            pnode = _Node(label=part.name, disjoint=part.disjoint)
+            node.children.append(pnode)
+            for sub in part._subregions.values():
+                pnode.children.append(self._build(sub))
+            if not part._subregions:
+                pnode.children.append(_Node(label=f"{part.name}[i]", disjoint=None))
+        return node
+
+    def format(self) -> str:
+        out: list[str] = []
+
+        def rec(node: _Node, depth: int) -> None:
+            tag = ""
+            if node.disjoint is not None:
+                tag = " (disjoint)" if node.disjoint else " (aliased)"
+            out.append("  " * depth + node.label + tag)
+            for c in node.children:
+                rec(c, depth + 1)
+
+        for root in self.roots:
+            rec(self._build(root), 0)
+        return "\n".join(out)

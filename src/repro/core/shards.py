@@ -1,0 +1,44 @@
+"""Control replication phase 5: creation of shards (paper §3.5).
+
+The fragment's (already copy- and sync-transformed) body becomes the body
+of a *shard task*, launched once for every shard.  Each launch domain used
+in the fragment is block-partitioned over the shards: shard ``x`` owns the
+colors ``SI[x]`` and, inside the replicated control flow, iterates its
+inner loops over only those colors; pairwise copies are executed by the
+shard owning the *source* color (producer-issued, §3.4).  The shard launch
+is a must-epoch launch: all shards run concurrently and synchronize among
+themselves.
+"""
+
+from __future__ import annotations
+
+from ..regions.index_space import IndexSpace
+from .ir import Block, ShardLaunch, Stmt
+
+__all__ = ["create_shards", "shard_owned_colors", "owner_of_color"]
+
+
+def shard_owned_colors(domain_size: int, num_shards: int, shard: int) -> range:
+    """The block of colors owned by ``shard`` (Fig. 4d, ``SI = block(I, X)``)."""
+    lo = domain_size * shard // num_shards
+    hi = domain_size * (shard + 1) // num_shards
+    return range(lo, hi)
+
+
+def owner_of_color(domain_size: int, num_shards: int, color: int) -> int:
+    """Inverse of :func:`shard_owned_colors`: which shard owns ``color``."""
+    if not 0 <= color < domain_size:
+        raise IndexError(f"color {color} out of domain of size {domain_size}")
+    # The block partition is monotone; invert by direct formula + fixup.
+    shard = (color * num_shards) // domain_size
+    while color >= shard_owned_colors(domain_size, num_shards, shard).stop:
+        shard += 1
+    while color < shard_owned_colors(domain_size, num_shards, shard).start:
+        shard -= 1
+    return shard
+
+
+def create_shards(body: list[Stmt], launch_domains: list[IndexSpace],
+                  num_shards: int | None) -> ShardLaunch:
+    """Hoist the transformed fragment body into a shard launch."""
+    return ShardLaunch(Block(body), num_shards or 0, tuple(launch_domains))

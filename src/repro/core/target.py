@@ -1,0 +1,202 @@
+"""Target-fragment identification and launch legality (paper §2.2).
+
+Control replication is a *local* optimization: it applies to the largest
+consecutive runs of statements that satisfy its requirements, and other
+statements (single task calls, unanalyzable constructs) simply split the
+program into multiple fragments.  A fragment must contain only:
+
+* index launches whose written region arguments go through *disjoint*
+  partitions with identity projections (anything else is a potential
+  non-reduction loop-carried dependency),
+* reductions (to regions or scalars), which are the one permitted form of
+  loop-carried dependency,
+* sequential control flow and scalar assignments over replicable scalars.
+
+This module also summarizes each fragment's partition usage — the
+read/write/reduce sets per (partition, field) that the data replication
+phase consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..regions.index_space import IndexSpace
+from ..regions.partition import Partition
+from .region_tree import partitions_may_interfere
+from .ir import (
+    ForRange,
+    IfStmt,
+    IndexLaunch,
+    Program,
+    ScalarAssign,
+    SingleCall,
+    Stmt,
+    WhileLoop,
+    walk,
+)
+
+__all__ = ["Fragment", "FragmentUsage", "find_fragments", "CRLegalityError",
+           "check_launch_legality", "fragment_usage"]
+
+
+class CRLegalityError(Exception):
+    """A launch inside a CR fragment violates the §2.2 requirements."""
+
+
+def check_launch_legality(launch: IndexLaunch) -> None:
+    """Reject launches with (non-reduction) loop-carried dependencies.
+
+    Two conditions (paper §2.2: iterations of the inner loop must be
+    independent up to reductions):
+
+    1. writes go through *disjoint* partitions with identity projections
+       (a write through an aliased partition races with itself);
+    2. no *cross-argument* interference within the launch: if one argument
+       writes (or reduces) partition ``P`` and another touches partition
+       ``Q`` of the same region tree on overlapping fields, iteration ``i``
+       may observe iteration ``j``'s effects through ``Q[i] ∩ P[j]`` —
+       unless ``Q`` *is* ``P`` (each point sees only its own subregion), or
+       the tree proves them disjoint (the §4.5 private/shared/ghost
+       design exists to make exactly this provable), or both sides are
+       reductions with the same operator (which commute).
+    """
+    pairs = launch.privilege_pairs()
+    for priv, proj in pairs:
+        if not proj.is_identity:
+            raise CRLegalityError(
+                f"launch of {launch.task.name}: projection {proj!r} was not "
+                f"normalized; run normalize_projections first")
+        if priv.write and not proj.partition.disjoint:
+            raise CRLegalityError(
+                f"launch of {launch.task.name} writes through aliased partition "
+                f"{proj.partition.name}: iterations are not independent")
+    for ai, (priv_a, proj_a) in enumerate(pairs):
+        if not priv_a.writes_or_reduces:
+            continue
+        pa = proj_a.partition
+        fields_a = set(priv_a.field_names(pa.parent.fspace.names))
+        for bi, (priv_b, proj_b) in enumerate(pairs):
+            if ai == bi:
+                continue
+            pb = proj_b.partition
+            if pa is pb:
+                continue  # identity projections: same subregion per point
+            if priv_a.redop is not None and priv_a.redop == priv_b.redop:
+                continue  # same-operator reductions commute
+            fields_b = set(priv_b.field_names(pb.parent.fspace.names))
+            if not (fields_a & fields_b):
+                continue
+            if partitions_may_interfere(pa, pb):
+                raise CRLegalityError(
+                    f"launch of {launch.task.name}: argument {ai} "
+                    f"({priv_a} on {pa.name}) may interfere with argument "
+                    f"{bi} ({priv_b} on {pb.name}) across iterations: the "
+                    f"loop has non-reduction loop-carried dependencies")
+
+
+def _stmt_crable(stmt: Stmt) -> bool:
+    if isinstance(stmt, IndexLaunch):
+        try:
+            check_launch_legality(stmt)
+        except CRLegalityError:
+            return False
+        return True
+    if isinstance(stmt, ScalarAssign):
+        return True
+    if isinstance(stmt, (ForRange, WhileLoop)):
+        return all(_stmt_crable(s) for s in stmt.blocks()[0].stmts)
+    if isinstance(stmt, IfStmt):
+        return all(_stmt_crable(s) for b in stmt.blocks() for s in b.stmts)
+    if isinstance(stmt, SingleCall):
+        return False
+    return False
+
+
+@dataclass
+class Fragment:
+    """A maximal run of CR-able statements within the top-level block."""
+
+    start: int  # index of first statement in the program body
+    stop: int   # one past the last
+    stmts: list[Stmt]
+
+    @property
+    def has_launches(self) -> bool:
+        return any(isinstance(s, IndexLaunch) for st in self.stmts for s in walk(st))
+
+
+def find_fragments(program: Program) -> list[Fragment]:
+    """Maximal consecutive CR-able statement runs containing a launch."""
+    body = program.body.stmts
+    fragments: list[Fragment] = []
+    i = 0
+    while i < len(body):
+        if _stmt_crable(body[i]):
+            j = i
+            while j < len(body) and _stmt_crable(body[j]):
+                j += 1
+            frag = Fragment(start=i, stop=j, stmts=list(body[i:j]))
+            if frag.has_launches:
+                fragments.append(frag)
+            i = j
+        else:
+            i += 1
+    return fragments
+
+
+@dataclass
+class FragmentUsage:
+    """Partition/field usage summary of a fragment.
+
+    Keys are partition objects (by identity); values are field-name sets.
+    ``launch_domains`` collects the index spaces launches iterate over —
+    these are what shard creation block-distributes.
+    """
+
+    reads: dict[Partition, set[str]] = field(default_factory=dict)
+    writes: dict[Partition, set[str]] = field(default_factory=dict)
+    reduces: dict[Partition, dict[str, set[str]]] = field(default_factory=dict)
+    launch_domains: list[IndexSpace] = field(default_factory=list)
+    launches: list[IndexLaunch] = field(default_factory=list)
+
+    def accessed_fields(self, part: Partition) -> set[str]:
+        out: set[str] = set()
+        out |= self.reads.get(part, set())
+        out |= self.writes.get(part, set())
+        for op_fields in self.reduces.get(part, {}).values():
+            out |= op_fields
+        return out
+
+    @property
+    def partitions(self) -> list[Partition]:
+        seen: dict[int, Partition] = {}
+        for d in (self.reads, self.writes, self.reduces):
+            for p in d:
+                seen.setdefault(p.uid, p)
+        return list(seen.values())
+
+    def read_or_written_fields(self, part: Partition) -> set[str]:
+        return self.reads.get(part, set()) | self.writes.get(part, set())
+
+
+def fragment_usage(frag: Fragment) -> FragmentUsage:
+    usage = FragmentUsage()
+    for top in frag.stmts:
+        for stmt in walk(top):
+            if not isinstance(stmt, IndexLaunch):
+                continue
+            usage.launches.append(stmt)
+            if all(stmt.domain.uid != d.uid for d in usage.launch_domains):
+                usage.launch_domains.append(stmt.domain)
+            for priv, proj in stmt.privilege_pairs():
+                part = proj.partition
+                fields = set(priv.field_names(part.parent.fspace.names))
+                if priv.redop is not None:
+                    usage.reduces.setdefault(part, {}).setdefault(priv.redop, set()).update(fields)
+                else:
+                    if priv.read:
+                        usage.reads.setdefault(part, set()).update(fields)
+                    if priv.write:
+                        usage.writes.setdefault(part, set()).update(fields)
+    return usage

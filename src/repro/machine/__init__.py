@@ -1,0 +1,32 @@
+"""Distributed-machine performance simulation (the Piz Daint substitute)."""
+
+from .execution_models import (
+    StepResult,
+    simulate_mpi,
+    simulate_regent_cr,
+    simulate_regent_noncr,
+    throughput_per_node,
+)
+from .from_graph import simulate_dependence_graph
+from .model import PIZ_DAINT, MachineModel
+from .patterns import halo_edges_2d, halo_edges_3d, random_graph_edges
+from .simulator import Simulation, SimTask
+from .workload import AppWorkload, PhaseSpec
+
+__all__ = [
+    "AppWorkload",
+    "MachineModel",
+    "PIZ_DAINT",
+    "PhaseSpec",
+    "SimTask",
+    "Simulation",
+    "StepResult",
+    "simulate_mpi",
+    "simulate_regent_cr",
+    "simulate_dependence_graph",
+    "simulate_regent_noncr",
+    "halo_edges_2d",
+    "halo_edges_3d",
+    "random_graph_edges",
+    "throughput_per_node",
+]

@@ -1,0 +1,298 @@
+"""Execution models: one workload, four runtime structures.
+
+Each function turns an :class:`~repro.machine.workload.AppWorkload` into a
+task graph on the discrete-event simulator and returns the steady-state
+time per step.  The *same* phases, durations, and communication edges are
+used everywhere; the models differ exactly where the paper says the
+implementations differ:
+
+* ``simulate_regent_cr`` — one shard (control thread) per node; each shard
+  launches only its owned tasks (deferred, non-blocking), copies are
+  producer-issued point-to-point messages, scalar reductions are
+  asynchronous collective trees over nodes.
+* ``simulate_regent_noncr`` — identical task graph, but every launch is
+  serialized through the single control thread on node 0 at
+  ``launch_overhead`` per task: the O(N)-per-step control cost of paper §1.
+* ``simulate_mpi`` — rank-per-core or rank-per-node (OpenMP) SPMD: no
+  control-thread costs, full use of all cores, blocking allreduce trees
+  over *ranks*, per-step progress overhead.
+
+Regent configurations reserve one core per node for runtime analysis
+(``dedicated_analysis_core``), reproducing the single-node gap of §5.3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .model import MachineModel
+from .simulator import Simulation
+from .workload import AppWorkload
+
+__all__ = ["StepResult", "simulate_regent_cr", "simulate_regent_noncr",
+           "simulate_mpi", "throughput_per_node"]
+
+
+@dataclass
+class StepResult:
+    seconds_per_step: float
+    makespan: float
+    num_sim_tasks: int
+
+    def throughput_per_node(self, points_per_node: float) -> float:
+        return points_per_node / self.seconds_per_step
+
+
+def _tile_node(tile: int, tiles: int, nodes: int) -> int:
+    return tile * nodes // tiles
+
+
+def _noise(workload: AppWorkload, tile: int, step: int, phase: int,
+           prob_scale: float = 1.0, delay_scale: float = 1.0) -> float:
+    """Deterministic pseudo-random system noise for one point task.
+
+    A splitmix-style integer hash of (tile, step, phase) drives a Bernoulli
+    delay, so sweeps are reproducible and every execution model sees the
+    *same* noise realization — the models differ only in how their
+    synchronization structure amplifies it.
+    """
+    p = workload.noise_prob * prob_scale
+    if p <= 0.0:
+        return 0.0
+    x = (tile * 0x9E3779B97F4A7C15 + step * 0xBF58476D1CE4E5B9
+         + phase * 0x94D049BB133111EB + 0xDA3E39CB94B95BDB) & 0xFFFFFFFFFFFFFFFF
+    x ^= x >> 30
+    x = (x * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+    x ^= x >> 27
+    u = (x & 0xFFFFFFFF) / 2.0 ** 32
+    return workload.noise_delay * delay_scale if u < p else 0.0
+
+
+def _steady_state(step_ends: list[float], makespan: float, ntasks: int) -> StepResult:
+    if len(step_ends) >= 2:
+        per_step = (step_ends[-1] - step_ends[0]) / (len(step_ends) - 1)
+    else:
+        per_step = step_ends[-1]
+    return StepResult(seconds_per_step=per_step, makespan=makespan,
+                      num_sim_tasks=ntasks)
+
+
+def _collective_tree(sim: Simulation, machine: MachineModel,
+                     leaf_uids: dict[int, int], nodes: int) -> dict[int, int]:
+    """Binomial reduce + broadcast over nodes; returns per-node result uids.
+
+    Built from explicit hop messages so its latency genuinely overlaps
+    whatever else the simulator has in flight (Legion dynamic collectives
+    are asynchronous, paper §4.4/§5.3).
+    """
+    level = dict(leaf_uids)
+    span = 1
+    while span < nodes:
+        nxt: dict[int, int] = {}
+        for n in range(0, nodes, span * 2):
+            partner = n + span
+            if partner < nodes:
+                uid = sim.add(machine.allreduce_alpha, n, kind="none",
+                              deps=[level[n], (level[partner], machine.net_latency)],
+                              label="allreduce-up")
+            else:
+                uid = level[n]
+            nxt[n] = uid
+        level = nxt
+        span *= 2
+    # Broadcast back down.
+    have = {0: level[0]}
+    span = 1 << max(0, (nodes - 1).bit_length() - 1)
+    while span >= 1:
+        for n in list(have):
+            partner = n + span
+            if partner < nodes and partner not in have:
+                have[partner] = sim.add(machine.allreduce_alpha, partner, kind="none",
+                                        deps=[(have[n], machine.net_latency)],
+                                        label="allreduce-down")
+        span //= 2
+    return have
+
+
+def _wire_comm(sim: Simulation, machine: MachineModel, edges, prev_uids,
+               tiles: int, nodes: int):
+    """Turn an edge map into message tasks; returns per-consumer dep lists."""
+    deps: dict[int, list] = {}
+    for j, producers in edges.items():
+        for (i, nbytes) in producers:
+            ni, nj = _tile_node(i, tiles, nodes), _tile_node(j, tiles, nodes)
+            if prev_uids is None:
+                continue
+            if ni == nj:
+                deps.setdefault(j, []).append(prev_uids[i])
+            else:
+                uid = sim.add(machine.copy_seconds(int(nbytes)), ni, kind="nic",
+                              deps=[prev_uids[i]], label="halo")
+                deps.setdefault(j, []).append((uid, machine.net_latency))
+    return deps
+
+
+def simulate_regent_cr(workload: AppWorkload, machine: MachineModel,
+                       nodes: int, nodes_per_shard: int = 1) -> StepResult:
+    """CR execution.  ``nodes_per_shard`` is the mapping study knob of
+    paper §4.2: the default maps one shard (control thread) per node;
+    larger values make one shard drive several nodes, whose launches then
+    serialize on a single control thread — interpolating between full
+    control replication and the single-thread limit."""
+    if nodes_per_shard < 1:
+        raise ValueError("nodes_per_shard must be >= 1")
+    tiles = workload.num_tiles(nodes)
+    cores = machine.cores_per_node - (1 if machine.dedicated_analysis_core else 0)
+    sim = Simulation(nodes, max(1, cores))
+    prev_phase: dict[int, int] | None = None
+    step_ends: list[float] = []
+    end_markers: list[int] = []
+    collective_dep: dict[int, int] | None = None  # per-node dt future
+    for _step in range(workload.steps):
+        for pi, phase in enumerate(workload.phases):
+            comm = _wire_comm(sim, machine, workload.phase_edges(pi, nodes),
+                              prev_phase, tiles, nodes)
+            cur: dict[int, int] = {}
+            for t in range(tiles):
+                node = _tile_node(t, tiles, nodes)
+                deps: list = []
+                # Shard control thread pays a small per-launch cost; deferred
+                # execution means the task just depends on its launch op.
+                ctrl_node = (node // nodes_per_shard) * nodes_per_shard
+                launch = sim.add(machine.shard_launch_overhead, ctrl_node,
+                                 kind="ctrl", label=f"launch:{phase.name}")
+                deps.append(launch)
+                if prev_phase is not None:
+                    deps.append(prev_phase[t])
+                deps.extend(comm.get(t, ()))
+                if (collective_dep is not None
+                        and pi == workload.collective_consumer_phase):
+                    # Deferred execution: only the phase that actually uses
+                    # the reduced scalar waits on the collective (§4.4).
+                    deps.append(collective_dep[node])
+                dur = phase.task_seconds + _noise(workload, t, _step, pi)
+                cur[t] = sim.add(dur, node, kind="core",
+                                 deps=deps, label=phase.name)
+            prev_phase = cur
+            if pi == workload.collective_consumer_phase:
+                collective_dep = None
+        if workload.collective:
+            per_node_last: dict[int, int] = {}
+            for t in range(tiles):
+                node = _tile_node(t, tiles, nodes)
+                per_node_last[node] = prev_phase[t] if node not in per_node_last else \
+                    sim.add(0.0, node, kind="none",
+                            deps=[per_node_last[node], prev_phase[t]])
+            collective_dep = _collective_tree(sim, machine, per_node_last, nodes)
+        marker = sim.add(0.0, 0, kind="none",
+                         deps=list(prev_phase.values()), label="step-end")
+        end_markers.append(marker)
+    makespan = sim.run()
+    step_ends = [sim.finish_of(m) for m in end_markers]
+    return _steady_state(step_ends, makespan, len(sim.tasks))
+
+
+def simulate_regent_noncr(workload: AppWorkload, machine: MachineModel,
+                          nodes: int) -> StepResult:
+    tiles = workload.num_tiles(nodes)
+    cores = machine.cores_per_node - (1 if machine.dedicated_analysis_core else 0)
+    sim = Simulation(nodes, max(1, cores))
+    prev_phase: dict[int, int] | None = None
+    end_markers: list[int] = []
+    collective_dep: int | None = None
+    for _step in range(workload.steps):
+        for pi, phase in enumerate(workload.phases):
+            comm = _wire_comm(sim, machine, workload.phase_edges(pi, nodes),
+                              prev_phase, tiles, nodes)
+            cur: dict[int, int] = {}
+            for t in range(tiles):
+                node = _tile_node(t, tiles, nodes)
+                # Every launch goes through the single control thread on
+                # node 0 — dynamic dependence analysis plus distribution.
+                launch = sim.add(machine.launch_overhead, 0, kind="ctrl",
+                                 label=f"launch:{phase.name}")
+                deps: list = [launch]
+                if prev_phase is not None:
+                    deps.append(prev_phase[t])
+                deps.extend(comm.get(t, ()))
+                if (collective_dep is not None
+                        and pi == workload.collective_consumer_phase):
+                    deps.append(collective_dep)
+                dur = phase.task_seconds + _noise(workload, t, _step, pi)
+                cur[t] = sim.add(dur, node, kind="core",
+                                 deps=deps, label=phase.name)
+            prev_phase = cur
+            if pi == workload.collective_consumer_phase:
+                collective_dep = None
+        if workload.collective:
+            # The single control thread folds the future values.
+            collective_dep = sim.add(machine.launch_overhead, 0, kind="ctrl",
+                                     deps=[(u, machine.net_latency)
+                                           for u in prev_phase.values()],
+                                     label="scalar-reduce")
+        marker = sim.add(0.0, 0, kind="none", deps=list(prev_phase.values()))
+        end_markers.append(marker)
+    makespan = sim.run()
+    return _steady_state([sim.finish_of(m) for m in end_markers], makespan,
+                         len(sim.tasks))
+
+
+def simulate_mpi(workload: AppWorkload, machine: MachineModel, nodes: int,
+                 omp_efficiency: float = 1.0,
+                 omp_fork_join: float = 0.0) -> StepResult:
+    """MPI (rank per tile).  ``tiles_per_node`` selects the configuration:
+    cores-per-node tiles = rank/core, one tile = rank/node (+OpenMP), with
+    ``omp_efficiency``/``omp_fork_join`` modelling the threaded runtime."""
+    tiles = workload.num_tiles(nodes)
+    ranks = tiles
+    # A rank spanning the whole node via threads stalls if *any* of its
+    # threads takes the noise hit, so the per-task hit probability scales
+    # with the number of cores the rank covers — and the stall is worse
+    # (the team idles at the join barrier and restarts with cold caches).
+    spans_node = workload.tiles_per_node < machine.cores_per_node
+    noise_scale = (machine.cores_per_node / max(1, workload.tiles_per_node)
+                   if spans_node else 1.0)
+    delay_scale = 1.3 if spans_node else 1.0
+    sim = Simulation(nodes, machine.cores_per_node)
+    prev_phase: dict[int, int] | None = None
+    end_markers: list[int] = []
+    barrier_dep: int | None = None
+    for _step in range(workload.steps):
+        for pi, phase in enumerate(workload.phases):
+            comm = _wire_comm(sim, machine, workload.phase_edges(pi, nodes),
+                              prev_phase, tiles, nodes)
+            cur: dict[int, int] = {}
+            for t in range(tiles):
+                node = _tile_node(t, tiles, nodes)
+                deps: list = []
+                if prev_phase is not None:
+                    deps.append(prev_phase[t])
+                deps.extend(comm.get(t, ()))
+                if barrier_dep is not None:
+                    deps.append(barrier_dep)
+                dur = (phase.task_seconds / omp_efficiency + omp_fork_join
+                       + _noise(workload, t, _step, pi, noise_scale, delay_scale))
+                cur[t] = sim.add(dur, node, kind="core", deps=deps,
+                                 label=phase.name)
+            prev_phase = cur
+            barrier_dep = None
+        # Per-step progress overhead, and the blocking allreduce if any.
+        overhead_uids = [sim.add(machine.mpi_per_step_overhead,
+                                 _tile_node(t, tiles, nodes), kind="core",
+                                 deps=[prev_phase[t]], label="mpi-progress")
+                         for t in range(tiles)]
+        prev_phase = dict(zip(range(tiles), overhead_uids))
+        if workload.collective:
+            barrier_dep = sim.add(machine.allreduce_seconds(ranks), 0, kind="none",
+                                  deps=[(u, machine.net_latency)
+                                        for u in prev_phase.values()],
+                                  label="mpi-allreduce")
+        marker = sim.add(0.0, 0, kind="none", deps=list(prev_phase.values()))
+        end_markers.append(marker)
+    makespan = sim.run()
+    return _steady_state([sim.finish_of(m) for m in end_markers], makespan,
+                         len(sim.tasks))
+
+
+def throughput_per_node(workload: AppWorkload, result: StepResult) -> float:
+    return workload.points_per_node / result.seconds_per_step

@@ -1,0 +1,77 @@
+"""Tile-level communication patterns for the performance workloads.
+
+These generate the edge maps (consumer tile -> [(producer tile, bytes)])
+that the execution models wire into the simulated task graphs.  Each
+mirrors the partition geometry of the corresponding functional
+application — 2D block halos for Stencil/PENNANT, 3D block halos for
+MiniAero, a piece-locality-biased random graph for Circuit — and the test
+suite cross-validates them against real partition intersections computed
+by the runtime at small scale.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..apps.common import grid_dims_2d, grid_dims_3d
+
+__all__ = ["halo_edges_2d", "halo_edges_3d", "random_graph_edges"]
+
+
+def halo_edges_2d(tiles: int, halo_bytes_per_side: int,
+                  radius_tiles: int = 1):
+    """4-neighbor halo exchange on a near-square 2D tile grid."""
+    gx, gy = grid_dims_2d(tiles)
+    out: dict[int, list[tuple[int, int]]] = {}
+    for t in range(tiles):
+        x, y = t // gy, t % gy
+        nbrs = []
+        for dx, dy in ((1, 0), (-1, 0), (0, 1), (0, -1)):
+            xx, yy = x + dx, y + dy
+            if 0 <= xx < gx and 0 <= yy < gy:
+                nbrs.append((xx * gy + yy, halo_bytes_per_side))
+        out[t] = nbrs
+    return out
+
+
+def halo_edges_3d(tiles: int, halo_bytes_per_face: int):
+    """6-neighbor halo exchange on a near-cubic 3D tile grid."""
+    ga, gb, gc = grid_dims_3d(tiles)
+    out: dict[int, list[tuple[int, int]]] = {}
+    for t in range(tiles):
+        a = t // (gb * gc)
+        b = (t // gc) % gb
+        c = t % gc
+        nbrs = []
+        for da, db, dc in ((1, 0, 0), (-1, 0, 0), (0, 1, 0), (0, -1, 0),
+                           (0, 0, 1), (0, 0, -1)):
+            aa, bb, cc = a + da, b + db, c + dc
+            if 0 <= aa < ga and 0 <= bb < gb and 0 <= cc < gc:
+                nbrs.append(((aa * gb + bb) * gc + cc, halo_bytes_per_face))
+        out[t] = nbrs
+    return out
+
+
+def random_graph_edges(tiles: int, neighbors_per_tile: int,
+                       bytes_per_neighbor: int, seed: int = 1234):
+    """Piece-connectivity of a random circuit: each tile exchanges with a
+    few pseudo-random others (plus ring neighbors for locality bias).
+
+    Deterministic in (tiles, seed) so weak-scaling sweeps are reproducible.
+    Edges are symmetrized — if i reads from j, j reads from i — matching an
+    undirected wire crossing two pieces.
+    """
+    rng = np.random.default_rng(seed)
+    adjacency: dict[int, set[int]] = {t: set() for t in range(tiles)}
+    for t in range(tiles):
+        if tiles > 1:
+            adjacency[t].add((t + 1) % tiles)
+            adjacency[(t + 1) % tiles].add(t)
+        want = max(0, neighbors_per_tile - len(adjacency[t]))
+        for other in rng.integers(0, tiles, size=want):
+            o = int(other)
+            if o != t:
+                adjacency[t].add(o)
+                adjacency[o].add(t)
+    return {t: [(o, bytes_per_neighbor) for o in sorted(nbrs)]
+            for t, nbrs in adjacency.items()}

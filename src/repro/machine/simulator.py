@@ -1,0 +1,130 @@
+"""Discrete-event simulator for task/copy/sync graphs.
+
+A Realm-flavoured execution model: a simulation is a DAG of *sim tasks*,
+each bound to a resource pool (a node's worker cores, its control thread,
+or its NIC).  A task becomes ready when all its dependencies have
+completed (plus any per-edge latency, used for network transit time), and
+then occupies the earliest-available server of its pool.  List scheduling
+in ready order — greedy, deterministic, and adequate for the structural
+phenomena we reproduce (control-thread saturation, halo-exchange
+pipelines, collective trees).
+
+Resource kinds per node:
+
+* ``core`` — ``cores_per_node`` servers running point tasks;
+* ``ctrl`` — one server; the control thread that pays launch overhead
+  (this is the resource whose saturation kills un-replicated scaling);
+* ``nic`` — one server; serializes message injection at the sender.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+
+__all__ = ["SimTask", "Simulation"]
+
+
+@dataclass
+class SimTask:
+    uid: int
+    duration: float
+    node: int
+    kind: str  # "core", "ctrl", "nic", or "none" (no resource, pure delay)
+    deps: list[tuple[int, float]] = field(default_factory=list)  # (uid, edge latency)
+    label: str = ""
+    # Filled by the run:
+    start: float = -1.0
+    finish: float = -1.0
+
+
+class Simulation:
+    """Build a task graph, then :meth:`run` it to completion."""
+
+    def __init__(self, num_nodes: int, cores_per_node: int):
+        if num_nodes <= 0 or cores_per_node <= 0:
+            raise ValueError("need positive node and core counts")
+        self.num_nodes = num_nodes
+        self.cores_per_node = cores_per_node
+        self.tasks: dict[int, SimTask] = {}
+        self._uid = itertools.count()
+        self._core_free: list[list[float]] = [[0.0] * cores_per_node
+                                              for _ in range(num_nodes)]
+        self._ctrl_free: list[float] = [0.0] * num_nodes
+        self._nic_free: list[float] = [0.0] * num_nodes
+
+    # -- graph construction -----------------------------------------------
+    def add(self, duration: float, node: int, kind: str = "core",
+            deps: list | None = None, label: str = "") -> int:
+        """Add a task; ``deps`` entries are uids or (uid, latency) pairs."""
+        if not 0 <= node < self.num_nodes:
+            raise ValueError(f"node {node} out of range")
+        if kind not in ("core", "ctrl", "nic", "none"):
+            raise ValueError(f"unknown resource kind {kind!r}")
+        uid = next(self._uid)
+        norm: list[tuple[int, float]] = []
+        for d in deps or []:
+            if isinstance(d, tuple):
+                norm.append((d[0], float(d[1])))
+            else:
+                norm.append((int(d), 0.0))
+        self.tasks[uid] = SimTask(uid=uid, duration=float(duration), node=node,
+                                  kind=kind, deps=norm, label=label)
+        return uid
+
+    # -- execution --------------------------------------------------------------
+    def run(self) -> float:
+        """Schedule everything; returns the makespan."""
+        indeg: dict[int, int] = {}
+        dependents: dict[int, list[int]] = {}
+        for t in self.tasks.values():
+            indeg[t.uid] = len(t.deps)
+            for (d, _lat) in t.deps:
+                dependents.setdefault(d, []).append(t.uid)
+        ready_time: dict[int, float] = {uid: 0.0 for uid in self.tasks}
+        heap: list[tuple[float, int]] = []
+        for uid, n in indeg.items():
+            if n == 0:
+                heapq.heappush(heap, (0.0, uid))
+        completed = 0
+        makespan = 0.0
+        while heap:
+            rt, uid = heapq.heappop(heap)
+            task = self.tasks[uid]
+            start = self._acquire(task.kind, task.node, rt, task.duration)
+            task.start = start
+            task.finish = start + task.duration
+            makespan = max(makespan, task.finish)
+            completed += 1
+            for succ in dependents.get(uid, ()):  # release dependents
+                lat = next(l for (d, l) in self.tasks[succ].deps if d == uid)
+                ready_time[succ] = max(ready_time[succ], task.finish + lat)
+                indeg[succ] -= 1
+                if indeg[succ] == 0:
+                    heapq.heappush(heap, (ready_time[succ], succ))
+        if completed != len(self.tasks):
+            stuck = len(self.tasks) - completed
+            raise RuntimeError(f"simulation deadlock: {stuck} tasks never ready "
+                               f"(dependency cycle?)")
+        return makespan
+
+    def _acquire(self, kind: str, node: int, ready: float, duration: float) -> float:
+        if kind == "none":
+            return ready
+        if kind == "core":
+            free = self._core_free[node]
+            i = min(range(len(free)), key=free.__getitem__)
+            start = max(ready, free[i])
+            free[i] = start + duration
+            return start
+        if kind == "ctrl":
+            start = max(ready, self._ctrl_free[node])
+            self._ctrl_free[node] = start + duration
+            return start
+        start = max(ready, self._nic_free[node])
+        self._nic_free[node] = start + duration
+        return start
+
+    def finish_of(self, uid: int) -> float:
+        return self.tasks[uid].finish

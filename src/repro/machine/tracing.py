@@ -1,0 +1,72 @@
+"""Execution traces and utilization analysis for simulations.
+
+After a :class:`~repro.machine.simulator.Simulation` runs, every sim task
+carries its start/finish times.  This module summarizes them: per-resource
+busy fractions, per-label time breakdowns, and a textual timeline — the
+evidence behind statements like "the control thread is saturated" or "the
+halo exchange is fully overlapped".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .simulator import Simulation
+
+__all__ = ["UtilizationReport", "analyze_simulation"]
+
+
+@dataclass
+class UtilizationReport:
+    makespan: float
+    # resource kind -> busy seconds summed over all servers of that kind.
+    busy: dict[str, float]
+    capacity: dict[str, float]  # kind -> servers * makespan
+    by_label: dict[str, float]  # label prefix -> total busy seconds
+    per_node_ctrl: dict[int, float] = field(default_factory=dict)
+
+    def utilization(self, kind: str) -> float:
+        cap = self.capacity.get(kind, 0.0)
+        return self.busy.get(kind, 0.0) / cap if cap else 0.0
+
+    def ctrl_saturated(self, node: int = 0, threshold: float = 0.95) -> bool:
+        """Is a node's control thread the bottleneck resource?"""
+        if self.makespan <= 0:
+            return False
+        return self.per_node_ctrl.get(node, 0.0) / self.makespan >= threshold
+
+    def format(self) -> str:
+        lines = [f"makespan: {self.makespan * 1e3:.3f} ms"]
+        for kind in sorted(self.busy):
+            lines.append(f"  {kind:>5}: {self.utilization(kind) * 100:5.1f}% busy "
+                         f"({self.busy[kind] * 1e3:.3f} ms over capacity "
+                         f"{self.capacity[kind] * 1e3:.3f} ms)")
+        top = sorted(self.by_label.items(), key=lambda kv: -kv[1])[:8]
+        for label, secs in top:
+            lines.append(f"  [{label}] {secs * 1e3:.3f} ms busy")
+        return "\n".join(lines)
+
+
+def analyze_simulation(sim: Simulation) -> UtilizationReport:
+    """Summarize a completed simulation run."""
+    makespan = max((t.finish for t in sim.tasks.values()), default=0.0)
+    busy: dict[str, float] = {}
+    by_label: dict[str, float] = {}
+    per_node_ctrl: dict[int, float] = {}
+    for t in sim.tasks.values():
+        if t.finish < 0:
+            raise ValueError("simulation has not been run")
+        if t.kind == "none":
+            continue
+        busy[t.kind] = busy.get(t.kind, 0.0) + t.duration
+        label = t.label.split(":", 1)[0] if t.label else "task"
+        by_label[label] = by_label.get(label, 0.0) + t.duration
+        if t.kind == "ctrl":
+            per_node_ctrl[t.node] = per_node_ctrl.get(t.node, 0.0) + t.duration
+    capacity = {
+        "core": sim.num_nodes * sim.cores_per_node * makespan,
+        "ctrl": sim.num_nodes * makespan,
+        "nic": sim.num_nodes * makespan,
+    }
+    return UtilizationReport(makespan=makespan, busy=busy, capacity=capacity,
+                             by_label=by_label, per_node_ctrl=per_node_ctrl)

@@ -1,0 +1,77 @@
+"""Abstract per-application workload descriptions for the simulator.
+
+A workload describes one *time step* of an application as an ordered list
+of phases (index launches): per-tile compute durations plus the
+communication pattern each phase consumes.  The same description is
+executed under three models (Regent+CR, Regent without CR, MPI flavours)
+by :mod:`repro.machine.execution_models` — only the control/runtime
+structure differs, which is precisely the paper's claim about where the
+scaling differences come from.
+
+Application modules construct workloads with tile counts and durations
+appropriate to each configuration (e.g. one tile per core for Regent and
+MPI-rank-per-core, one tile per node for MPI+OpenMP); the communication
+patterns are derived from the same partition geometry the functional apps
+use, and tests cross-validate them against real partition intersections
+at small scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+__all__ = ["PhaseSpec", "AppWorkload"]
+
+# An edge map: consumer tile j -> list of (producer tile i, bytes).
+EdgeMap = dict[int, list[tuple[int, int]]]
+
+
+@dataclass
+class PhaseSpec:
+    """One index launch within a time step.
+
+    ``task_seconds`` is the per-tile compute duration.  ``edges`` (given a
+    total tile count) yields the communication this phase consumes: data
+    produced by tiles of the *previous* phase (wrapping to the last phase
+    of the previous step for the first phase).  ``None`` means no
+    communication — a purely local phase.
+    """
+
+    name: str
+    task_seconds: float
+    edges: Callable[[int], EdgeMap] | None = None
+
+
+@dataclass
+class AppWorkload:
+    """One application configuration for the performance simulator."""
+
+    name: str
+    tiles_per_node: int
+    phases: list[PhaseSpec]
+    points_per_node: float          # throughput numerator (paper's y axes)
+    collective: bool = False        # a global scalar reduction closes each step
+    # Which phase of the *next* step actually consumes the reduced scalar.
+    # A deferred-execution runtime (Legion futures, §4.4/§5.3) only stalls
+    # that phase; a blocking MPI_Allreduce stalls every rank at step end.
+    collective_consumer_phase: int = 0
+    steps: int = 3                  # simulated steps (steady state via differencing)
+    # System-noise model: with probability noise_prob, a point task is
+    # delayed by noise_delay seconds (OS jitter, page faults, ...).  Blocking
+    # per-step collectives amplify this into a max-over-ranks penalty — the
+    # mechanism behind PENNANT's baseline efficiency losses.
+    noise_prob: float = 0.0
+    noise_delay: float = 0.0
+    edge_cache: dict = field(default_factory=dict)
+
+    def num_tiles(self, nodes: int) -> int:
+        return self.tiles_per_node * nodes
+
+    def phase_edges(self, phase_index: int, nodes: int) -> EdgeMap:
+        """Memoized evaluation of a phase's communication pattern."""
+        key = (phase_index, nodes)
+        if key not in self.edge_cache:
+            fn = self.phases[phase_index].edges
+            self.edge_cache[key] = fn(self.num_tiles(nodes)) if fn else {}
+        return self.edge_cache[key]

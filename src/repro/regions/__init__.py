@@ -1,0 +1,74 @@
+"""Logical regions, index spaces, and dependent partitioning.
+
+This subpackage is the data-model substrate the paper assumes from
+Regent/Legion: regions over structured or unstructured index spaces,
+physical instances, and a partitioning sublanguage whose one statically
+analyzable property — disjointness — drives the control replication
+compiler.
+"""
+
+from .bvh import BVH, structured_intersection_pairs
+from .hierarchical import PrivateGhost, private_ghost_decomposition
+from .index_space import IndexSpace, ispace
+from .interval_tree import IntervalTree, shallow_intersection_pairs
+from .intervals import IntervalSet
+from .partition import Partition
+from .partition_ops import (
+    partition_block,
+    partition_blocks_nd,
+    partition_by_field,
+    partition_by_image,
+    partition_by_preimage,
+    partition_difference,
+    partition_equal,
+    partition_from_subsets,
+    partition_halo_blocks_nd,
+    partition_intersection,
+    partition_restrict,
+    partition_union,
+)
+from .rects import Rect, bounding_rect_of_intervals, rect_to_intervals
+from .region import (
+    FieldSpace,
+    PhysicalInstance,
+    Region,
+    apply_reduction,
+    lca_may_alias,
+    reduction_identity,
+    region,
+)
+
+__all__ = [
+    "BVH",
+    "FieldSpace",
+    "IndexSpace",
+    "IntervalSet",
+    "IntervalTree",
+    "Partition",
+    "PhysicalInstance",
+    "PrivateGhost",
+    "Rect",
+    "Region",
+    "apply_reduction",
+    "bounding_rect_of_intervals",
+    "ispace",
+    "lca_may_alias",
+    "partition_block",
+    "partition_blocks_nd",
+    "partition_by_field",
+    "partition_by_image",
+    "partition_by_preimage",
+    "partition_difference",
+    "partition_equal",
+    "partition_from_subsets",
+    "partition_halo_blocks_nd",
+    "partition_intersection",
+    "partition_restrict",
+    "partition_union",
+    "private_ghost_decomposition",
+    "rect_to_intervals",
+    "reduction_identity",
+    "region",
+    "shallow_intersection_pairs",
+    "structured_intersection_pairs",
+]

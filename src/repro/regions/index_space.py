@@ -1,0 +1,115 @@
+"""Index spaces: the sets of points regions are defined over.
+
+Mirrors Regent's ``ispace``.  An index space is either *unstructured* (a
+flat set of ``n`` points, e.g. mesh cells or graph nodes) or *structured*
+(an n-dimensional rectangular grid).  Structured points are addressed both
+by multi-dimensional coordinates and by their row-major linearization; all
+set machinery (subregions, partitions, intersections) operates on
+linearized :class:`~repro.regions.intervals.IntervalSet` values so that the
+structured and unstructured paths share one algebra.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from .intervals import IntervalSet
+from .rects import Rect, rect_to_intervals
+
+__all__ = ["IndexSpace", "ispace"]
+
+_counter = itertools.count()
+
+
+class IndexSpace:
+    """A named set of points, optionally with a structured (grid) shape."""
+
+    def __init__(self, size: int | None = None, shape: tuple[int, ...] | None = None,
+                 name: str | None = None):
+        if (size is None) == (shape is None):
+            raise ValueError("exactly one of size= (unstructured) or shape= (structured) is required")
+        self.uid = next(_counter)
+        if shape is not None:
+            self.shape: tuple[int, ...] | None = tuple(int(s) for s in shape)
+            if any(s <= 0 for s in self.shape):
+                raise ValueError(f"shape must be positive, got {self.shape}")
+            self.size = int(np.prod(self.shape))
+        else:
+            assert size is not None
+            if size < 0:
+                raise ValueError("size must be non-negative")
+            self.shape = None
+            self.size = int(size)
+        self.name = name or f"ispace{self.uid}"
+        self._points = IntervalSet.from_range(0, self.size)
+
+    # -- queries ------------------------------------------------------------
+    @property
+    def structured(self) -> bool:
+        return self.shape is not None
+
+    @property
+    def dim(self) -> int:
+        return len(self.shape) if self.shape is not None else 1
+
+    @property
+    def points(self) -> IntervalSet:
+        """All points of the space as an interval set."""
+        return self._points
+
+    @property
+    def volume(self) -> int:
+        return self.size
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __iter__(self):
+        return iter(range(self.size))
+
+    # -- structured addressing ------------------------------------------------
+    def linearize(self, coords: Sequence[int] | np.ndarray) -> np.ndarray | int:
+        """Convert grid coordinates to linear indices (row-major)."""
+        if self.shape is None:
+            raise TypeError(f"{self.name} is unstructured")
+        arr = np.asarray(coords, dtype=np.int64)
+        if arr.ndim == 1 and arr.shape[0] == len(self.shape):
+            return int(np.ravel_multi_index(tuple(arr), self.shape))
+        return np.ravel_multi_index(tuple(arr.T), self.shape)
+
+    def delinearize(self, index: int | np.ndarray) -> tuple:
+        """Convert linear indices back to grid coordinates."""
+        if self.shape is None:
+            raise TypeError(f"{self.name} is unstructured")
+        return np.unravel_index(index, self.shape)
+
+    def rect_subset(self, rect: Rect) -> IntervalSet:
+        """Linearized points of a rectangular sub-box of a structured space."""
+        if self.shape is None:
+            raise TypeError(f"{self.name} is unstructured")
+        return rect_to_intervals(rect, self.shape)
+
+    def full_rect(self) -> Rect:
+        if self.shape is None:
+            raise TypeError(f"{self.name} is unstructured")
+        return Rect((0,) * len(self.shape), self.shape)
+
+    def subset_from_indices(self, indices: Iterable[int]) -> IntervalSet:
+        sub = IntervalSet.from_indices(indices)
+        if sub and (sub.bounds[0] < 0 or sub.bounds[1] > self.size):
+            raise IndexError(f"indices out of range for {self.name} (size {self.size})")
+        return sub
+
+    def __repr__(self) -> str:
+        if self.shape is not None:
+            return f"IndexSpace({self.name}, shape={self.shape})"
+        return f"IndexSpace({self.name}, size={self.size})"
+
+
+def ispace(size: int | None = None, shape: tuple[int, ...] | None = None,
+           name: str | None = None) -> IndexSpace:
+    """Create an index space (Regent's ``ispace`` constructor)."""
+    return IndexSpace(size=size, shape=shape, name=name)

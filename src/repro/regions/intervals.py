@@ -1,0 +1,278 @@
+"""Interval-set algebra over integer points.
+
+An :class:`IntervalSet` is the canonical representation of a set of
+(linearized) index points: a sorted array of disjoint half-open intervals
+``[start, stop)``.  All region index sets, partition colors, and dynamic
+intersection results are interval sets.  The representation is compact for
+the contiguous blocks produced by ``block``/``equal`` partitioning and
+degrades gracefully (one interval per point) for arbitrary image sets.
+
+The algebra here is deliberately allocation-light: set operations are
+performed on numpy arrays with two-pointer merges, and conversion to a flat
+point array (`to_indices`) is vectorized via `numpy.repeat`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+__all__ = ["IntervalSet"]
+
+
+def _normalize_pairs(pairs: np.ndarray) -> np.ndarray:
+    """Sort, drop empty intervals, and coalesce adjacent/overlapping ones."""
+    if pairs.size == 0:
+        return pairs.reshape(0, 2)
+    pairs = pairs[pairs[:, 1] > pairs[:, 0]]
+    if pairs.shape[0] == 0:
+        return pairs.reshape(0, 2)
+    order = np.argsort(pairs[:, 0], kind="stable")
+    pairs = pairs[order]
+    # Coalesce: an interval starts a new run iff its start exceeds the
+    # running maximum stop of everything before it.
+    stops = np.maximum.accumulate(pairs[:, 1])
+    new_run = np.empty(pairs.shape[0], dtype=bool)
+    new_run[0] = True
+    new_run[1:] = pairs[1:, 0] > stops[:-1]
+    run_ids = np.cumsum(new_run) - 1
+    nruns = run_ids[-1] + 1
+    out = np.empty((nruns, 2), dtype=np.int64)
+    out[:, 0] = pairs[new_run, 0]
+    # Last element of each run in `stops` is the run's stop.
+    last_of_run = np.empty(pairs.shape[0], dtype=bool)
+    last_of_run[:-1] = new_run[1:]
+    last_of_run[-1] = True
+    out[:, 1] = stops[last_of_run]
+    return out
+
+
+class IntervalSet:
+    """An immutable set of int64 points stored as disjoint sorted intervals."""
+
+    __slots__ = ("_ivals", "_count")
+
+    def __init__(self, pairs: np.ndarray | Sequence[tuple[int, int]] = ()):
+        arr = np.asarray(pairs, dtype=np.int64).reshape(-1, 2)
+        self._ivals = _normalize_pairs(arr)
+        self._ivals.setflags(write=False)
+        self._count = int((self._ivals[:, 1] - self._ivals[:, 0]).sum())
+
+    # -- constructors -----------------------------------------------------
+    @classmethod
+    def empty(cls) -> "IntervalSet":
+        return _EMPTY
+
+    @classmethod
+    def from_range(cls, start: int, stop: int) -> "IntervalSet":
+        if stop <= start:
+            return _EMPTY
+        return cls(np.array([[start, stop]], dtype=np.int64))
+
+    @classmethod
+    def from_indices(cls, indices: Iterable[int]) -> "IntervalSet":
+        idx = np.unique(np.asarray(list(indices) if not isinstance(indices, np.ndarray) else indices, dtype=np.int64))
+        if idx.size == 0:
+            return _EMPTY
+        breaks = np.nonzero(np.diff(idx) > 1)[0]
+        starts = np.concatenate(([idx[0]], idx[breaks + 1]))
+        stops = np.concatenate((idx[breaks] + 1, [idx[-1] + 1]))
+        out = cls.__new__(cls)
+        ivals = np.column_stack((starts, stops))
+        ivals.setflags(write=False)
+        out._ivals = ivals
+        out._count = int(idx.size)
+        return out
+
+    @classmethod
+    def _from_normalized(cls, ivals: np.ndarray) -> "IntervalSet":
+        out = cls.__new__(cls)
+        ivals = np.ascontiguousarray(ivals, dtype=np.int64)
+        ivals.setflags(write=False)
+        out._ivals = ivals
+        out._count = int((ivals[:, 1] - ivals[:, 0]).sum()) if ivals.size else 0
+        return out
+
+    # -- basic queries -----------------------------------------------------
+    @property
+    def intervals(self) -> np.ndarray:
+        """The ``(k, 2)`` array of disjoint sorted ``[start, stop)`` pairs."""
+        return self._ivals
+
+    @property
+    def count(self) -> int:
+        """Number of points in the set."""
+        return self._count
+
+    @property
+    def num_intervals(self) -> int:
+        return self._ivals.shape[0]
+
+    @property
+    def bounds(self) -> tuple[int, int]:
+        """Smallest half-open range covering the set; ``(0, 0)`` if empty."""
+        if self._count == 0:
+            return (0, 0)
+        return (int(self._ivals[0, 0]), int(self._ivals[-1, 1]))
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __bool__(self) -> bool:
+        return self._count > 0
+
+    def __iter__(self) -> Iterator[int]:
+        for lo, hi in self._ivals:
+            yield from range(int(lo), int(hi))
+
+    def __contains__(self, point: int) -> bool:
+        i = np.searchsorted(self._ivals[:, 0], point, side="right") - 1
+        return i >= 0 and point < self._ivals[i, 1]
+
+    def contains_points(self, points: np.ndarray) -> np.ndarray:
+        """Vectorized membership test; returns a boolean array."""
+        points = np.asarray(points, dtype=np.int64)
+        if self._count == 0:
+            return np.zeros(points.shape, dtype=bool)
+        i = np.searchsorted(self._ivals[:, 0], points, side="right") - 1
+        ok = i >= 0
+        stops = np.where(ok, self._ivals[np.maximum(i, 0), 1], 0)
+        return ok & (points < stops)
+
+    def to_indices(self) -> np.ndarray:
+        """Materialize the set as a sorted int64 point array."""
+        if self._count == 0:
+            return np.empty(0, dtype=np.int64)
+        lengths = self._ivals[:, 1] - self._ivals[:, 0]
+        # offsets of each interval start within the output
+        out = np.repeat(self._ivals[:, 0] - np.concatenate(([0], np.cumsum(lengths)[:-1])), lengths)
+        return out + np.arange(self._count, dtype=np.int64)
+
+    # -- set algebra ---------------------------------------------------------
+    def union(self, other: "IntervalSet") -> "IntervalSet":
+        if not self:
+            return other
+        if not other:
+            return self
+        return IntervalSet(np.concatenate((self._ivals, other._ivals)))
+
+    def intersection(self, other: "IntervalSet") -> "IntervalSet":
+        a, b = self._ivals, other._ivals
+        if self._count == 0 or other._count == 0:
+            return _EMPTY
+        # Quick reject on bounds.
+        if a[0, 0] >= b[-1, 1] or b[0, 0] >= a[-1, 1]:
+            return _EMPTY
+        if a.shape[0] > b.shape[0]:
+            a, b = b, a
+        # For each interval of the smaller set, find overlapping range in b.
+        lo_idx = np.searchsorted(b[:, 1], a[:, 0], side="right")
+        hi_idx = np.searchsorted(b[:, 0], a[:, 1], side="left")
+        counts = hi_idx - lo_idx
+        total = int(counts.sum())
+        if total == 0:
+            return _EMPTY
+        # Expand pairs (vectorized repeat of a rows against slices of b rows).
+        a_rep = np.repeat(np.arange(a.shape[0]), counts)
+        b_ids = np.concatenate([np.arange(l, h) for l, h in zip(lo_idx, hi_idx) if h > l]) if total else np.empty(0, np.int64)
+        starts = np.maximum(a[a_rep, 0], b[b_ids, 0])
+        stops = np.minimum(a[a_rep, 1], b[b_ids, 1])
+        return IntervalSet._from_normalized(_normalize_pairs(np.column_stack((starts, stops))))
+
+    def difference(self, other: "IntervalSet") -> "IntervalSet":
+        if self._count == 0 or other._count == 0:
+            return self
+        out: list[tuple[int, int]] = []
+        b = other._ivals
+        for lo, hi in self._ivals:
+            cur = int(lo)
+            j = int(np.searchsorted(b[:, 1], cur, side="right"))
+            while j < b.shape[0] and b[j, 0] < hi:
+                if b[j, 0] > cur:
+                    out.append((cur, int(b[j, 0])))
+                cur = max(cur, int(b[j, 1]))
+                if cur >= hi:
+                    break
+                j += 1
+            if cur < hi:
+                out.append((cur, int(hi)))
+        if not out:
+            return _EMPTY
+        return IntervalSet._from_normalized(np.asarray(out, dtype=np.int64))
+
+    def intersects(self, other: "IntervalSet") -> bool:
+        """True iff the two sets share at least one point (early-out scan)."""
+        a, b = self._ivals, other._ivals
+        if self._count == 0 or other._count == 0:
+            return False
+        if a[0, 0] >= b[-1, 1] or b[0, 0] >= a[-1, 1]:
+            return False
+        i = j = 0
+        while i < a.shape[0] and j < b.shape[0]:
+            if a[i, 1] <= b[j, 0]:
+                i += 1
+            elif b[j, 1] <= a[i, 0]:
+                j += 1
+            else:
+                return True
+        return False
+
+    def intersection_count(self, other: "IntervalSet") -> int:
+        """Number of shared points, without materializing the intersection."""
+        a, b = self._ivals, other._ivals
+        if self._count == 0 or other._count == 0:
+            return 0
+        i = j = total = 0
+        while i < a.shape[0] and j < b.shape[0]:
+            lo = max(a[i, 0], b[j, 0])
+            hi = min(a[i, 1], b[j, 1])
+            if hi > lo:
+                total += int(hi - lo)
+            if a[i, 1] <= b[j, 1]:
+                i += 1
+            else:
+                j += 1
+        return total
+
+    def issubset(self, other: "IntervalSet") -> bool:
+        return self.intersection_count(other) == self._count
+
+    def isdisjoint(self, other: "IntervalSet") -> bool:
+        return not self.intersects(other)
+
+    def shift(self, offset: int) -> "IntervalSet":
+        if self._count == 0:
+            return self
+        return IntervalSet._from_normalized(self._ivals + np.int64(offset))
+
+    # -- dunder --------------------------------------------------------------
+    def __or__(self, other: "IntervalSet") -> "IntervalSet":
+        return self.union(other)
+
+    def __and__(self, other: "IntervalSet") -> "IntervalSet":
+        return self.intersection(other)
+
+    def __sub__(self, other: "IntervalSet") -> "IntervalSet":
+        return self.difference(other)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, IntervalSet):
+            return NotImplemented
+        return self._ivals.shape == other._ivals.shape and bool(np.all(self._ivals == other._ivals))
+
+    def __hash__(self) -> int:
+        return hash(self._ivals.tobytes())
+
+    def __repr__(self) -> str:
+        if self.num_intervals <= 4:
+            body = ", ".join(f"[{lo}, {hi})" for lo, hi in self._ivals)
+        else:
+            body = f"{self.num_intervals} intervals, bounds [{self.bounds[0]}, {self.bounds[1]})"
+        return f"IntervalSet({body}; n={self._count})"
+
+
+_EMPTY = IntervalSet.__new__(IntervalSet)
+_EMPTY._ivals = np.empty((0, 2), dtype=np.int64)
+_EMPTY._ivals.setflags(write=False)
+_EMPTY._count = 0

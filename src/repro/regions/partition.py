@@ -1,0 +1,105 @@
+"""Partitions: named families of subregions.
+
+A partition maps colors ``0..n-1`` to subregions of a parent region.  As in
+Regent, partitions need not be mathematical partitions: subregions may
+overlap (*aliased*) and need not cover the parent (*incomplete*).  The
+``disjoint`` flag records what is *statically provable* from the operator
+that built the partition — the property the control replication analysis
+consumes (paper §2.1): ``block``/``equal``/``by_field`` partitions are
+disjoint, ``image`` partitions are assumed aliased because the image
+function is unconstrained.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator, Mapping, Sequence
+
+from .index_space import IndexSpace
+from .intervals import IntervalSet
+from .region import Region
+
+__all__ = ["Partition"]
+
+_counter = itertools.count()
+
+
+class Partition:
+    """A family of subregions of ``parent`` indexed by color."""
+
+    def __init__(self, parent: Region, subsets: Sequence[IntervalSet] | Mapping[int, IntervalSet],
+                 disjoint: bool, name: str | None = None,
+                 color_space: IndexSpace | None = None):
+        self.uid = next(_counter)
+        self.parent = parent
+        if isinstance(subsets, Mapping):
+            n = (max(subsets) + 1) if subsets else 0
+            self._subsets = [subsets.get(i, IntervalSet.empty()) for i in range(n)]
+        else:
+            self._subsets = list(subsets)
+        for i, sub in enumerate(self._subsets):
+            if not sub.issubset(parent.index_set):
+                raise ValueError(
+                    f"subset {i} is not contained in parent region {parent.name}")
+        self.disjoint = bool(disjoint)
+        self.name = name or f"partition{self.uid}"
+        self.color_space = color_space
+        self._subregions: dict[int, Region] = {}
+        parent.partitions.append(self)
+
+    # -- queries -------------------------------------------------------------
+    @property
+    def num_colors(self) -> int:
+        return len(self._subsets)
+
+    @property
+    def colors(self) -> range:
+        return range(len(self._subsets))
+
+    def subset(self, color: int) -> IntervalSet:
+        return self._subsets[color]
+
+    def __getitem__(self, color: int) -> Region:
+        """The subregion for ``color`` (created lazily, cached)."""
+        color = int(color)
+        if color not in self._subregions:
+            if not 0 <= color < len(self._subsets):
+                raise IndexError(f"color {color} out of range for {self.name}")
+            self._subregions[color] = Region(
+                self.parent.ispace, self.parent.fspace,
+                index_set=self._subsets[color],
+                parent_partition=self, color=color)
+        return self._subregions[color]
+
+    def __iter__(self) -> Iterator[Region]:
+        for c in self.colors:
+            yield self[c]
+
+    def __len__(self) -> int:
+        return len(self._subsets)
+
+    # -- verification ----------------------------------------------------------
+    def compute_disjoint(self) -> bool:
+        """Actual (dynamic) disjointness: total point count equals union count."""
+        total = sum(s.count for s in self._subsets)
+        union = IntervalSet.empty()
+        for s in self._subsets:
+            union = union | s
+        return total == union.count
+
+    def compute_complete(self) -> bool:
+        """True iff the subregions cover the parent region exactly."""
+        union = IntervalSet.empty()
+        for s in self._subsets:
+            union = union | s
+        return union == self.parent.index_set
+
+    def union_of_subsets(self) -> IntervalSet:
+        union = IntervalSet.empty()
+        for s in self._subsets:
+            union = union | s
+        return union
+
+    def __repr__(self) -> str:
+        kind = "disjoint" if self.disjoint else "aliased"
+        return f"Partition({self.name}, {self.num_colors} colors, {kind}, of {self.parent.name})"

@@ -1,0 +1,146 @@
+"""Dense n-dimensional rectangles and their linearization.
+
+Structured index spaces are rectangular grids whose points are linearized
+in C (row-major) order.  A :class:`Rect` is a half-open box ``[lo, hi)`` in
+each dimension.  Rectangles are the unit of the structured shallow
+intersection test (paper §3.3: "for structured regions, we use a bounding
+volume hierarchy").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from .intervals import IntervalSet
+
+__all__ = ["Rect", "rect_to_intervals", "bounding_rect_of_intervals"]
+
+
+@dataclass(frozen=True)
+class Rect:
+    """A half-open box: ``lo[d] <= x[d] < hi[d]`` for each dimension ``d``."""
+
+    lo: tuple[int, ...]
+    hi: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.lo) != len(self.hi):
+            raise ValueError(f"rank mismatch: lo={self.lo} hi={self.hi}")
+        object.__setattr__(self, "lo", tuple(int(x) for x in self.lo))
+        object.__setattr__(self, "hi", tuple(int(x) for x in self.hi))
+
+    @property
+    def dim(self) -> int:
+        return len(self.lo)
+
+    @property
+    def empty(self) -> bool:
+        return any(h <= l for l, h in zip(self.lo, self.hi))
+
+    @property
+    def volume(self) -> int:
+        if self.empty:
+            return 0
+        v = 1
+        for l, h in zip(self.lo, self.hi):
+            v *= h - l
+        return v
+
+    @property
+    def extents(self) -> tuple[int, ...]:
+        return tuple(max(0, h - l) for l, h in zip(self.lo, self.hi))
+
+    def intersect(self, other: "Rect") -> "Rect":
+        if self.dim != other.dim:
+            raise ValueError("rank mismatch")
+        return Rect(
+            tuple(max(a, b) for a, b in zip(self.lo, other.lo)),
+            tuple(min(a, b) for a, b in zip(self.hi, other.hi)),
+        )
+
+    def overlaps(self, other: "Rect") -> bool:
+        return not self.intersect(other).empty
+
+    def contains_point(self, point: Sequence[int]) -> bool:
+        return all(l <= p < h for l, p, h in zip(self.lo, point, self.hi))
+
+    def contains_rect(self, other: "Rect") -> bool:
+        if other.empty:
+            return True
+        return all(sl <= ol and oh <= sh for sl, ol, oh, sh in zip(self.lo, other.lo, other.hi, self.hi))
+
+    def union_bounds(self, other: "Rect") -> "Rect":
+        """Smallest rect containing both (a bounding box, not a set union)."""
+        if self.empty:
+            return other
+        if other.empty:
+            return self
+        return Rect(
+            tuple(min(a, b) for a, b in zip(self.lo, other.lo)),
+            tuple(max(a, b) for a, b in zip(self.hi, other.hi)),
+        )
+
+    def iter_points(self) -> Iterator[tuple[int, ...]]:
+        if self.empty:
+            return
+        ranges = [range(l, h) for l, h in zip(self.lo, self.hi)]
+        idx = [r.start for r in ranges]
+        dim = self.dim
+        while True:
+            yield tuple(idx)
+            d = dim - 1
+            while d >= 0:
+                idx[d] += 1
+                if idx[d] < ranges[d].stop:
+                    break
+                idx[d] = ranges[d].start
+                d -= 1
+            if d < 0:
+                return
+
+    def __repr__(self) -> str:
+        return f"Rect(lo={self.lo}, hi={self.hi})"
+
+
+def rect_to_intervals(rect: Rect, shape: tuple[int, ...]) -> IntervalSet:
+    """Linearize ``rect`` inside a row-major grid of the given ``shape``.
+
+    Every row of the rectangle (all dims fixed except the last) is one
+    contiguous run of linear indices.
+    """
+    if rect.dim != len(shape):
+        raise ValueError(f"rect rank {rect.dim} does not match shape rank {len(shape)}")
+    clipped = rect.intersect(Rect((0,) * len(shape), tuple(shape)))
+    if clipped.empty:
+        return IntervalSet.empty()
+    if clipped.dim == 1:
+        return IntervalSet.from_range(clipped.lo[0], clipped.hi[0])
+    strides = np.ones(len(shape), dtype=np.int64)
+    for d in range(len(shape) - 2, -1, -1):
+        strides[d] = strides[d + 1] * shape[d + 1]
+    # Cartesian product of all leading dims; last dim is a contiguous run.
+    lead_ranges = [np.arange(l, h, dtype=np.int64) for l, h in zip(clipped.lo[:-1], clipped.hi[:-1])]
+    grids = np.meshgrid(*lead_ranges, indexing="ij") if lead_ranges else []
+    base = np.zeros(1, dtype=np.int64) if not grids else sum(
+        g.ravel() * strides[d] for d, g in enumerate(grids)
+    )
+    starts = base + clipped.lo[-1] * strides[-1]
+    stops = base + clipped.hi[-1] * strides[-1]
+    return IntervalSet(np.column_stack((starts, stops)))
+
+
+def bounding_rect_of_intervals(ivals: IntervalSet, shape: tuple[int, ...]) -> Rect:
+    """Bounding box (in grid coordinates) of a linearized point set."""
+    if not ivals:
+        return Rect((0,) * len(shape), (0,) * len(shape))
+    pairs = ivals.intervals
+    # Delinearize interval endpoints; since rows are contiguous in the last
+    # dimension, the bounding box of the endpoints bounds the whole set.
+    pts = np.concatenate((pairs[:, 0], pairs[:, 1] - 1))
+    coords = np.stack(np.unravel_index(pts, shape), axis=1)
+    lo = coords.min(axis=0)
+    hi = coords.max(axis=0) + 1
+    return Rect(tuple(int(x) for x in lo), tuple(int(x) for x in hi))

@@ -1,0 +1,31 @@
+"""Executors and runtime services (Legion/Realm substrate analogues)."""
+
+from .collectives import SCALAR_REDUCTIONS, DynamicCollective
+from .dependence import DependenceAnalyzer, DependenceGraph, OpNode
+from .events import Event, GlobalBarrier, PhaseBarrier, Sequence
+from .intersection_exec import (IntersectionResult, compute_intersections,
+                                compute_intersections_sharded)
+from .mapping import BlockMapper, Mapper
+from .sequential import SequentialExecutor
+from .spmd import DeadlockError, ReplicationDivergence, SPMDExecutor
+
+__all__ = [
+    "DeadlockError",
+    "DependenceAnalyzer",
+    "DependenceGraph",
+    "OpNode",
+    "DynamicCollective",
+    "Event",
+    "GlobalBarrier",
+    "IntersectionResult",
+    "BlockMapper",
+    "Mapper",
+    "PhaseBarrier",
+    "ReplicationDivergence",
+    "SCALAR_REDUCTIONS",
+    "SPMDExecutor",
+    "Sequence",
+    "SequentialExecutor",
+    "compute_intersections",
+    "compute_intersections_sharded",
+]

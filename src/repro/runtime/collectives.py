@@ -1,0 +1,75 @@
+"""Dynamic collectives for scalar reductions (paper §4.4).
+
+Scalar variables are replicated across shards; reductions into scalars
+(e.g. the global ``dt`` in PENNANT) are accumulated locally on each shard
+and combined with a *dynamic collective* — an asynchronous all-reduce with
+a generation counter, so successive loop iterations use successive
+generations of the same collective object.  Shards that own no tasks for a
+launch contribute nothing (``None``), matching Legion's dynamically
+determined participant counts.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable
+
+from .events import Event
+
+__all__ = ["DynamicCollective", "SCALAR_REDUCTIONS"]
+
+SCALAR_REDUCTIONS: dict[str, Callable[[Any, Any], Any]] = {
+    "+": lambda a, b: a + b,
+    "*": lambda a, b: a * b,
+    "min": min,
+    "max": max,
+}
+
+
+class DynamicCollective:
+    """A generational all-reduce over a fixed set of shards."""
+
+    def __init__(self, num_shards: int, redop: str):
+        if redop not in SCALAR_REDUCTIONS:
+            raise ValueError(f"unknown scalar reduction {redop!r}")
+        self.num_shards = num_shards
+        self.redop = redop
+        self._fold = SCALAR_REDUCTIONS[redop]
+        self._lock = threading.Lock()
+        self._partial: dict[int, Any] = {}
+        self._arrived: dict[int, int] = {}
+        self._results: dict[int, Any] = {}
+        self._events: dict[int, Event] = {}
+
+    def _event(self, generation: int) -> Event:
+        if generation not in self._events:
+            self._events[generation] = Event()
+        return self._events[generation]
+
+    def contribute(self, generation: int, value: Any | None) -> Event:
+        """Add one shard's partial value (or ``None``); returns the
+        completion event for this generation."""
+        with self._lock:
+            if value is not None:
+                if generation in self._partial:
+                    self._partial[generation] = self._fold(self._partial[generation], value)
+                else:
+                    self._partial[generation] = value
+            n = self._arrived.get(generation, 0) + 1
+            self._arrived[generation] = n
+            ev = self._event(generation)
+            if n == self.num_shards:
+                if generation not in self._partial:
+                    raise RuntimeError(
+                        f"collective generation {generation}: every shard "
+                        f"contributed None (empty launch domain?)")
+                self._results[generation] = self._partial.pop(generation)
+                ev.trigger()
+            elif n > self.num_shards:
+                raise RuntimeError("collective over-arrived")
+        return ev
+
+    def result(self, generation: int) -> Any:
+        """The reduced value; only valid once the generation's event fired."""
+        with self._lock:
+            return self._results[generation]

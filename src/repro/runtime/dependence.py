@@ -1,0 +1,235 @@
+"""Dynamic dependence analysis: the Legion runtime's implicit parallelism.
+
+In non-control-replicated programs, Legion "discovers parallelism between
+tasks by computing a dynamic dependence graph over the tasks in an
+executing program" (paper §4.1).  This module is that substrate: it
+interprets a (non-transformed) control program, expands index launches
+into point tasks, and computes pairwise dependences from region
+requirements — two tasks conflict iff their regions *actually* overlap
+(precise dynamic index-set intersection, as in Legion) on a shared field
+with incompatible privileges (read/read and same-operator reduce/reduce
+commute; everything else orders).
+
+Uses:
+
+* ``replay_topological`` re-executes the recorded graph in an arbitrary
+  (seeded) topological order — the functional meaning of Fig. 1c's
+  implicitly parallel execution; equivalence with sequential execution is
+  the correctness property of the analysis.
+* ``parallelism_profile`` and ``critical_path`` quantify the available
+  parallelism, and :mod:`repro.machine.from_graph` turns the graph into a
+  discrete-event simulation — the honest version of the "Regent w/o CR"
+  performance model, cross-validated against the analytic one.
+
+The control thread pays for this analysis per task at runtime — exactly
+the O(N)-per-step cost control replication exists to eliminate.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..core.ir import IndexLaunch, SingleCall
+from ..regions.intervals import IntervalSet
+from ..regions.region import Region
+from ..tasks.privileges import Privilege
+from .collectives import SCALAR_REDUCTIONS
+from .sequential import SequentialExecutor
+
+__all__ = ["OpNode", "DependenceGraph", "DependenceAnalyzer"]
+
+
+@dataclass
+class _Requirement:
+    region: Region
+    privilege: Privilege
+    fields: tuple[str, ...]
+
+    @property
+    def index_set(self) -> IntervalSet:
+        return self.region.index_set
+
+
+@dataclass
+class OpNode:
+    """One operation in the dynamic dependence graph (a point task)."""
+
+    uid: int
+    task_name: str
+    launch_uid: int          # which IndexLaunch (or SingleCall) spawned it
+    point: int               # launch index (or -1 for single calls)
+    requirements: list[_Requirement]
+    # Re-execution payload: enough to run the point task again.
+    launch_stmt: Any
+    scalar_env: dict[str, Any]
+    deps: set[int] = field(default_factory=set)
+
+    def conflicts_with(self, other: "OpNode") -> bool:
+        for a in self.requirements:
+            for b in other.requirements:
+                if _requirements_conflict(a, b):
+                    return True
+        return False
+
+
+def _privileges_conflict(a: Privilege, b: Privilege) -> bool:
+    """Do two accesses to the same data need ordering?"""
+    if a.redop is not None and b.redop is not None:
+        return a.redop != b.redop  # same-op reductions commute
+    a_writes = a.write or a.redop is not None
+    b_writes = b.write or b.redop is not None
+    return a_writes or b_writes  # read/read is the only other safe pair
+
+
+def _requirements_conflict(a: _Requirement, b: _Requirement) -> bool:
+    if a.region.root is not b.region.root:
+        return False
+    if not (set(a.fields) & set(b.fields)):
+        return False
+    if not _privileges_conflict(a.privilege, b.privilege):
+        return False
+    # Precise dynamic test: do the regions actually share elements?
+    return a.index_set.intersects(b.index_set)
+
+
+@dataclass
+class DependenceGraph:
+    nodes: list[OpNode] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    # -- structure queries ---------------------------------------------------
+    def edges(self) -> int:
+        return sum(len(n.deps) for n in self.nodes)
+
+    def levels(self) -> list[list[int]]:
+        """Topological levels: ops in the same level are mutually
+        independent (the 'height' of Fig. 1c's execution graph)."""
+        depth: dict[int, int] = {}
+        for node in self.nodes:  # nodes are in program order: deps precede
+            depth[node.uid] = 1 + max((depth[d] for d in node.deps), default=-1)
+        out: dict[int, list[int]] = {}
+        for node in self.nodes:
+            out.setdefault(depth[node.uid], []).append(node.uid)
+        return [out[k] for k in sorted(out)]
+
+    def parallelism_profile(self) -> list[int]:
+        return [len(level) for level in self.levels()]
+
+    def critical_path(self) -> int:
+        return len(self.levels())
+
+    def max_parallelism(self) -> int:
+        return max(self.parallelism_profile(), default=0)
+
+    def topological_order(self, seed: int | None = None) -> list[int]:
+        """A (optionally randomized) topological order of op uids."""
+        rng = random.Random(seed)
+        indeg = {n.uid: len(n.deps) for n in self.nodes}
+        dependents: dict[int, list[int]] = {}
+        for n in self.nodes:
+            for d in n.deps:
+                dependents.setdefault(d, []).append(n.uid)
+        ready = [n.uid for n in self.nodes if indeg[n.uid] == 0]
+        order: list[int] = []
+        while ready:
+            i = rng.randrange(len(ready)) if seed is not None else 0
+            uid = ready.pop(i)
+            order.append(uid)
+            for succ in dependents.get(uid, ()):
+                indeg[succ] -= 1
+                if indeg[succ] == 0:
+                    ready.append(succ)
+        if len(order) != len(self.nodes):
+            raise RuntimeError("dependence graph has a cycle")
+        return order
+
+
+class DependenceAnalyzer(SequentialExecutor):
+    """Interpret a program, executing tasks AND recording the graph.
+
+    Execution is needed because control flow (loop bounds, while
+    conditions, scalar reductions) can depend on task results; Legion has
+    the same property — analysis happens as the program runs.
+    """
+
+    def __init__(self, instances=None, window: int | None = None):
+        super().__init__(instances=instances)
+        self.graph = DependenceGraph()
+        # Bounded analysis window (Legion's mapping window): a new op is
+        # tested against at most `window` predecessors plus a barrier node
+        # summarizing everything older.  None = unbounded (fully precise).
+        self.window = window
+        self._frontier: list[OpNode] = []
+        self._uid = 0
+
+    # -- graph construction -------------------------------------------------
+    def _record(self, task, launch_stmt, point: int,
+                regions: list[Region], privileges, scalar_env) -> OpNode:
+        reqs = []
+        for region, priv in zip(regions, privileges):
+            reqs.append(_Requirement(region=region, privilege=priv,
+                                     fields=tuple(priv.field_names(
+                                         region.fspace.names))))
+        node = OpNode(uid=self._uid, task_name=task.name,
+                      launch_uid=launch_stmt.uid if launch_stmt is not None else -1,
+                      point=point, requirements=reqs,
+                      launch_stmt=launch_stmt, scalar_env=dict(scalar_env))
+        self._uid += 1
+        # Precise pairwise dependence against (windowed) predecessors,
+        # skipping edges already implied transitively one hop back.
+        candidates = self._frontier if self.window is None \
+            else self._frontier[-self.window:]
+        if self.window is not None and len(self._frontier) > self.window:
+            # Everything older is summarized: depend on the newest op
+            # outside the window to preserve ordering soundness.
+            node.deps.add(self._frontier[-self.window - 1].uid)
+        for prev in candidates:
+            if node.conflicts_with(prev):
+                node.deps.add(prev.uid)
+        self.graph.nodes.append(node)
+        self._frontier.append(node)
+        return node
+
+    # -- overridden execution hooks -------------------------------------------
+    def _run_point_task(self, stmt: IndexLaunch, index: int):
+        regions = []
+        for arg in stmt.args:
+            if hasattr(arg, "proj"):
+                regions.append(arg.proj.partition[arg.proj.color_for(index)])
+        self._record(stmt.task, stmt, index, regions, stmt.task.privileges,
+                     self.scalars)
+        return super()._run_point_task(stmt, index)
+
+    def _single_call(self, stmt: SingleCall) -> None:
+        self._record(stmt.task, stmt, -1, list(stmt.regions),
+                     stmt.task.privileges, self.scalars)
+        super()._single_call(stmt)
+
+    # -- replay -----------------------------------------------------------------
+    def replay_topological(self, instances, seed: int = 0) -> "SequentialExecutor":
+        """Re-execute the recorded ops in a randomized topological order
+        against fresh instances — the implicitly parallel execution of
+        Fig. 1c, serialized to one thread but in a legal reordering."""
+        ex = SequentialExecutor(instances=instances)
+        order = self.graph.topological_order(seed=seed)
+        by_uid = {n.uid: n for n in self.graph.nodes}
+        partials: dict[int, Any] = {}
+        for uid in order:
+            node = by_uid[uid]
+            stmt = node.launch_stmt
+            ex.scalars = dict(node.scalar_env)
+            if isinstance(stmt, IndexLaunch):
+                result = ex._run_point_task(stmt, node.point)
+                if stmt.reduce is not None and result is not None:
+                    op, name = stmt.reduce
+                    fold = SCALAR_REDUCTIONS[op]
+                    key = stmt.uid
+                    partials[key] = result if key not in partials \
+                        else fold(partials[key], result)
+            else:
+                ex._single_call(stmt)
+        return ex

@@ -1,0 +1,129 @@
+"""Realm-style events and phase barriers.
+
+Legion's deferred execution model is built on events produced and consumed
+by the low-level Realm runtime (paper §4.1): every operation completes by
+triggering an event, and operations declare event preconditions instead of
+blocking a control thread.  The functional executors here use the same
+vocabulary: shard interpreters *yield* the events they need, and a
+scheduler (deterministic single-threaded, or OS threads) resumes them when
+the events trigger.
+
+:class:`PhaseBarrier` is the generation-based barrier Legion uses for
+point-to-point synchronization (§3.4): each generation must receive a
+fixed number of arrivals before its wait event triggers, and the barrier
+can be arrived at / waited on for any future generation without blocking.
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = ["Event", "Sequence", "PhaseBarrier", "GlobalBarrier"]
+
+
+class Event:
+    """A one-shot trigger, safe for both cooperative and threaded use."""
+
+    __slots__ = ("_ev",)
+
+    def __init__(self, triggered: bool = False):
+        self._ev = threading.Event()
+        if triggered:
+            self._ev.set()
+
+    def trigger(self) -> None:
+        self._ev.set()
+
+    def is_set(self) -> bool:
+        return self._ev.is_set()
+
+    def wait_blocking(self, timeout: float | None = None) -> bool:
+        return self._ev.wait(timeout)
+
+    def __repr__(self) -> str:
+        return f"Event({'set' if self.is_set() else 'unset'})"
+
+
+_TRIGGERED = Event(triggered=True)
+
+
+class Sequence:
+    """A monotone counter with an event per threshold.
+
+    ``event_for(n)`` triggers once ``advance_to(m)`` has been called with
+    ``m >= n``.  This is the building block of the per-channel copy
+    handshake: "data generation n is ready" / "generation n consumed".
+    """
+
+    def __init__(self, start: int = 0):
+        self._value = start
+        self._waiters: dict[int, Event] = {}
+        self._lock = threading.Lock()
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def advance_to(self, n: int) -> None:
+        with self._lock:
+            if n <= self._value:
+                return
+            self._value = n
+            ready = [g for g in self._waiters if g <= n]
+            for g in ready:
+                self._waiters.pop(g).trigger()
+
+    def event_for(self, n: int) -> Event:
+        with self._lock:
+            if self._value >= n:
+                return _TRIGGERED
+            if n not in self._waiters:
+                self._waiters[n] = Event()
+            return self._waiters[n]
+
+
+class PhaseBarrier:
+    """A generational barrier: each generation needs ``arrivals`` arrivals."""
+
+    def __init__(self, arrivals: int):
+        if arrivals <= 0:
+            raise ValueError("arrivals must be positive")
+        self.arrivals = arrivals
+        self._counts: dict[int, int] = {}
+        self._events: dict[int, Event] = {}
+        self._lock = threading.Lock()
+
+    def _event(self, generation: int) -> Event:
+        if generation not in self._events:
+            self._events[generation] = Event()
+        return self._events[generation]
+
+    def arrive(self, generation: int, count: int = 1) -> None:
+        with self._lock:
+            got = self._counts.get(generation, 0) + count
+            if got > self.arrivals:
+                raise RuntimeError(
+                    f"phase barrier over-arrived: generation {generation} got "
+                    f"{got} > {self.arrivals}")
+            self._counts[generation] = got
+            if got == self.arrivals:
+                self._event(generation).trigger()
+
+    def wait_event(self, generation: int) -> Event:
+        with self._lock:
+            return self._event(generation)
+
+
+class GlobalBarrier:
+    """A reusable all-shards barrier (the naive §3.4 synchronization).
+
+    Implemented as a phase barrier sequence: generation ``g`` completes when
+    all participants have arrived ``g`` times.
+    """
+
+    def __init__(self, participants: int):
+        self._pb = PhaseBarrier(participants)
+
+    def arrive_and_wait_event(self, generation: int) -> Event:
+        self._pb.arrive(generation)
+        return self._pb.wait_event(generation)

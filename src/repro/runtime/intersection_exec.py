@@ -1,0 +1,118 @@
+"""Runtime evaluation of intersection statements (paper §3.3).
+
+The compiler defers the number, size, and extent of subregion
+intersections to runtime.  Evaluation is two-phase:
+
+* **shallow** — find the candidate pairs ``(i, j)`` whose subregions may
+  overlap, using an interval tree for unstructured regions and a bounding
+  volume hierarchy for structured ones; ``O(N log N)`` in the number of
+  subregions rather than all-pairs;
+* **complete** — compute the exact shared element set for each candidate
+  pair (after shard creation this runs per shard over its owned sources,
+  which is how the paper keeps it ``O(M^2)`` in per-shard terms).
+
+Timings of both phases are recorded — they are what Table 1 of the paper
+reports.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from ..regions.bvh import structured_intersection_pairs
+from ..regions.interval_tree import shallow_intersection_pairs
+from ..regions.intervals import IntervalSet
+from ..regions.partition import Partition
+
+__all__ = ["IntersectionResult", "compute_intersections",
+           "compute_intersections_sharded"]
+
+
+@dataclass
+class IntersectionResult:
+    """The evaluated pair set of one ComputeIntersections statement."""
+
+    src: Partition
+    dst: Partition
+    pairs: dict[tuple[int, int], IntervalSet]
+    shallow_seconds: float
+    complete_seconds: float
+    candidate_pairs: int = 0
+
+    def nonempty_pairs(self) -> list[tuple[int, int]]:
+        return sorted(self.pairs)
+
+    def src_pairs(self, colors) -> list[tuple[int, int]]:
+        """Pairs whose source color is in ``colors`` (a shard's slice)."""
+        cs = set(colors)
+        return [(i, j) for (i, j) in sorted(self.pairs) if i in cs]
+
+
+def compute_intersections(src: Partition, dst: Partition) -> IntersectionResult:
+    """Evaluate ``{ i, j | dst[j] ∩ src[i] ≠ ∅ }`` with exact element sets."""
+    src_sets = [src.subset(c) for c in src.colors]
+    dst_sets = [dst.subset(c) for c in dst.colors]
+
+    t0 = time.perf_counter()
+    shape = src.parent.ispace.shape
+    if shape is not None:
+        candidates = structured_intersection_pairs(src_sets, dst_sets, shape)
+    else:
+        candidates = shallow_intersection_pairs(src_sets, dst_sets)
+    t1 = time.perf_counter()
+
+    pairs: dict[tuple[int, int], IntervalSet] = {}
+    for i, j in candidates:
+        inter = src_sets[i] & dst_sets[j]
+        if inter:
+            pairs[(i, j)] = inter
+    t2 = time.perf_counter()
+
+    return IntersectionResult(src=src, dst=dst, pairs=pairs,
+                              shallow_seconds=t1 - t0,
+                              complete_seconds=t2 - t1,
+                              candidate_pairs=len(candidates))
+
+
+def compute_intersections_sharded(src: Partition, dst: Partition,
+                                  num_shards: int) -> tuple[IntersectionResult, list[float]]:
+    """The paper's full §3.3 protocol: one shallow pass, then *per-shard*
+    complete passes over each shard's owned source colors.
+
+    Returns the merged result plus each shard's complete-phase time; the
+    cost a real deployment pays is ``shallow + max(per-shard complete)``
+    since the shards compute their exact intersections concurrently —
+    "making them O(M²) where M is the number of non-empty intersections
+    for regions owned by that shard".
+    """
+    from ..core.shards import owner_of_color
+
+    src_sets = [src.subset(c) for c in src.colors]
+    dst_sets = [dst.subset(c) for c in dst.colors]
+    t0 = time.perf_counter()
+    shape = src.parent.ispace.shape
+    if shape is not None:
+        candidates = structured_intersection_pairs(src_sets, dst_sets, shape)
+    else:
+        candidates = shallow_intersection_pairs(src_sets, dst_sets)
+    t1 = time.perf_counter()
+
+    by_shard: dict[int, list[tuple[int, int]]] = {}
+    for (i, j) in candidates:
+        by_shard.setdefault(owner_of_color(src.num_colors, num_shards, i),
+                            []).append((i, j))
+    pairs: dict[tuple[int, int], IntervalSet] = {}
+    per_shard: list[float] = []
+    for s in range(num_shards):
+        ts = time.perf_counter()
+        for (i, j) in by_shard.get(s, ()):
+            inter = src_sets[i] & dst_sets[j]
+            if inter:
+                pairs[(i, j)] = inter
+        per_shard.append(time.perf_counter() - ts)
+    result = IntersectionResult(src=src, dst=dst, pairs=pairs,
+                                shallow_seconds=t1 - t0,
+                                complete_seconds=max(per_shard, default=0.0),
+                                candidate_pairs=len(candidates))
+    return result, per_shard

@@ -1,0 +1,46 @@
+"""Mapping interface (paper §4.2).
+
+All tasks — shard tasks included — are assigned to processors through a
+mapper.  The default mirrors the typical strategy the paper describes:
+one shard per node, with each shard's point tasks distributed over the
+cores of that node.  Mappers are orthogonal to the CR transformation
+("the techniques described in this paper are agnostic to the mapping
+used"), so alternative mappers only affect the performance model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.shards import owner_of_color
+
+__all__ = ["Mapper", "BlockMapper"]
+
+
+class Mapper:
+    """Assignment of shards to nodes and point tasks to processors."""
+
+    def shard_to_node(self, shard: int, num_shards: int, num_nodes: int) -> int:
+        raise NotImplementedError
+
+    def tile_to_shard(self, tile: int, num_tiles: int, num_shards: int) -> int:
+        raise NotImplementedError
+
+    def tile_to_node(self, tile: int, num_tiles: int, num_shards: int,
+                     num_nodes: int) -> int:
+        return self.shard_to_node(
+            self.tile_to_shard(tile, num_tiles, num_shards), num_shards, num_nodes)
+
+
+@dataclass
+class BlockMapper(Mapper):
+    """The default: shard x -> node x (one shard per node); tiles in blocks."""
+
+    def shard_to_node(self, shard: int, num_shards: int, num_nodes: int) -> int:
+        if num_shards == num_nodes:
+            return shard
+        return owner_of_color(num_shards, num_nodes, shard) if num_shards > num_nodes \
+            else shard % num_nodes
+
+    def tile_to_shard(self, tile: int, num_tiles: int, num_shards: int) -> int:
+        return owner_of_color(num_tiles, num_shards, tile)

@@ -1,0 +1,426 @@
+"""SPMD execution of control-replicated programs.
+
+The transformed program (paper Fig. 4d) is ``initialization; shard launch;
+finalization``.  This executor runs the initialization/finalization parts
+with ordinary sequential semantics and executes the shard launch as ``NS``
+replicas of the control flow, each owning a block of every launch domain.
+
+Storage follows the distributed-memory implementation of region semantics:
+every subregion named by a partition has its own physical instance; all
+coherence traffic is the compiler-inserted copies.
+
+Synchronization of producer-issued copies uses per-channel (copy
+statement × intersection pair) handshakes built from monotone sequences —
+the functional equivalent of Legion phase barriers:
+
+* the consumer, on reaching the copy statement in epoch ``g``, *acks*
+  generation ``g-1`` of each inbound channel (all its reads of the old
+  data precede this point in replicated program order);
+* the producer waits for ``ack(g-1)`` (write-after-read), performs the
+  copy, and advances ``ready`` to ``g``;
+* the consumer proceeds once every inbound channel is ``ready(g)``
+  (read-after-write).
+
+Two drivers share one shard interpreter (a generator that yields the
+events it blocks on): a **stepped** driver interleaves shards
+deterministically-adversarially under a seeded RNG (used by the
+failure-injection tests — removing synchronization makes it observably
+wrong), and a **threaded** driver runs each shard on an OS thread with
+blocking waits (numpy releases the GIL, so point tasks genuinely overlap).
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from ..core.ir import (
+    BarrierStmt,
+    Block,
+    ComputeIntersections,
+    FillReductionBuffer,
+    FinalCopy,
+    ForRange,
+    IfStmt,
+    IndexLaunch,
+    InitCopy,
+    PairwiseCopy,
+    ScalarAssign,
+    ScalarCollective,
+    ShardLaunch,
+    Stmt,
+    WhileLoop,
+    evaluate,
+    walk,
+)
+from ..core.shards import owner_of_color, shard_owned_colors
+from ..regions.partition import Partition
+from ..regions.region import PhysicalInstance, reduction_identity
+from ..tasks.views import RegionView
+from .collectives import SCALAR_REDUCTIONS, DynamicCollective
+from .events import Event, GlobalBarrier, Sequence
+from .intersection_exec import IntersectionResult, compute_intersections
+from .sequential import SequentialExecutor
+
+__all__ = ["SPMDExecutor", "DeadlockError", "ReplicationDivergence"]
+
+
+class DeadlockError(RuntimeError):
+    """No shard can make progress — synchronization is inconsistent."""
+
+
+class ReplicationDivergence(RuntimeError):
+    """Replicated scalar state diverged across shards (compiler bug)."""
+
+
+@dataclass
+class _Channel:
+    ready: Sequence = field(default_factory=Sequence)
+    acked: Sequence = field(default_factory=Sequence)
+
+
+@dataclass
+class _ShardState:
+    shard: int
+    scalars: dict[str, Any]
+    epochs: dict[int, int] = field(default_factory=dict)
+    pending_reductions: dict[str, Any] = field(default_factory=dict)
+
+    def next_epoch(self, uid: int) -> int:
+        g = self.epochs.get(uid, 0) + 1
+        self.epochs[uid] = g
+        return g
+
+
+class SPMDExecutor(SequentialExecutor):
+    """Execute a control-replicated program across ``num_shards`` shards."""
+
+    def __init__(self, num_shards: int, mode: str = "stepped", seed: int = 0,
+                 instances=None, validate_replication: bool = True):
+        super().__init__(instances=instances)
+        if mode not in ("stepped", "threaded"):
+            raise ValueError(f"unknown mode {mode!r}")
+        if num_shards <= 0:
+            raise ValueError("need at least one shard")
+        self.num_shards = num_shards
+        self.mode = mode
+        self.seed = seed
+        self.validate_replication = validate_replication
+        self.dist: dict[tuple[int, int], PhysicalInstance] = {}
+        self.pair_sets: dict[str, IntersectionResult] = {}
+        self.elements_copied = 0
+        self.copies_performed = 0
+        self.pair_visits = 0  # copy pairs visited, including empty ones
+        self._copy_lock = threading.Lock()
+
+    # -- distributed storage -----------------------------------------------
+    def dist_instance(self, part: Partition, color: int) -> PhysicalInstance:
+        key = (part.uid, color)
+        inst = self.dist.get(key)
+        if inst is None:
+            inst = PhysicalInstance(part[color])
+            self.dist[key] = inst
+        return inst
+
+    def _precreate_instances(self, stmt: ShardLaunch) -> None:
+        """Materialize every instance a shard might touch, before threads."""
+        parts: dict[int, Partition] = {}
+        for s in walk(stmt):
+            if isinstance(s, IndexLaunch):
+                for arg in s.region_args:
+                    parts[arg.proj.partition.uid] = arg.proj.partition
+            elif isinstance(s, PairwiseCopy):
+                parts[s.src.uid] = s.src
+                parts[s.dst.uid] = s.dst
+            elif isinstance(s, FillReductionBuffer):
+                parts[s.partition.uid] = s.partition
+        for p in parts.values():
+            for c in p.colors:
+                self.dist_instance(p, c)
+
+    # -- main-level statements ----------------------------------------------
+    def _stmt(self, stmt: Stmt) -> None:
+        if isinstance(stmt, InitCopy):
+            self._init_copy(stmt)
+        elif isinstance(stmt, FinalCopy):
+            self._final_copy(stmt)
+        elif isinstance(stmt, ComputeIntersections):
+            self.pair_sets[stmt.name] = compute_intersections(stmt.src, stmt.dst)
+        elif isinstance(stmt, ShardLaunch):
+            self._shard_launch(stmt)
+        elif isinstance(stmt, PairwiseCopy):
+            # Possible if placement hoisted a copy out of the whole fragment;
+            # at main level it is sequential, no synchronization needed.
+            state = _ShardState(shard=0, scalars=self.scalars)
+            for _ in self._exec_copy(stmt, state, every_pair=True):
+                pass
+        else:
+            super()._stmt(stmt)
+
+    def _init_copy(self, stmt: InitCopy) -> None:
+        part = stmt.partition
+        root_inst = self.root_instance(part.parent)
+        for c in part.colors:
+            pts = part.subset(c)
+            if pts:
+                self.dist_instance(part, c).copy_from(root_inst, pts, stmt.fields)
+
+    def _final_copy(self, stmt: FinalCopy) -> None:
+        part = stmt.partition
+        root_inst = self.root_instance(part.parent)
+        for c in part.colors:
+            pts = part.subset(c)
+            if pts:
+                root_inst.copy_from(self.dist_instance(part, c), pts, stmt.fields)
+
+    # -- shard launch ------------------------------------------------------------
+    def _shard_launch(self, stmt: ShardLaunch) -> None:
+        ns = stmt.num_shards or self.num_shards
+        self._precreate_instances(stmt)
+        channels = self._build_channels(stmt, ns)
+        collectives: dict[int, DynamicCollective] = {}
+        barriers: dict[str, GlobalBarrier] = {}
+        for s in walk(stmt):
+            if isinstance(s, ScalarCollective):
+                collectives[s.uid] = DynamicCollective(ns, s.redop)
+            elif isinstance(s, BarrierStmt):
+                barriers[s.tag] = GlobalBarrier(ns)
+            elif isinstance(s, PairwiseCopy) and s.sync_mode == "barrier":
+                barriers.setdefault(f"pre:{s.uid}", GlobalBarrier(ns))
+                barriers.setdefault(f"post:{s.uid}", GlobalBarrier(ns))
+        states = [_ShardState(shard=x, scalars=dict(self.scalars)) for x in range(ns)]
+        ctx = _EpochContext(channels=channels, collectives=collectives,
+                            barriers=barriers, num_shards=ns)
+        gens = [self._shard_body(stmt.body, states[x], ctx) for x in range(ns)]
+        if self.mode == "threaded":
+            self._drive_threaded(gens)
+        else:
+            self._drive_stepped(gens)
+        self._merge_scalars(states)
+
+    def _build_channels(self, stmt: ShardLaunch, ns: int):
+        channels: dict[int, dict[tuple[int, int], _Channel]] = {}
+        for s in walk(stmt):
+            if isinstance(s, PairwiseCopy):
+                channels[s.uid] = {p: _Channel() for p in self._copy_pairs(s)}
+        return channels
+
+    def _copy_pairs(self, stmt: PairwiseCopy) -> list[tuple[int, int]]:
+        if stmt.pairs_name is not None:
+            return self.pair_sets[stmt.pairs_name].nonempty_pairs()
+        return [(i, j) for i in stmt.src.colors for j in stmt.dst.colors]
+
+    def _merge_scalars(self, states: list[_ShardState]) -> None:
+        if self.validate_replication and len(states) > 1:
+            ref = states[0].scalars
+            for st in states[1:]:
+                if st.scalars != ref:
+                    diff = {k for k in ref if st.scalars.get(k) != ref.get(k)}
+                    raise ReplicationDivergence(
+                        f"shard {st.shard} scalar state diverged on {sorted(diff)}")
+        self.scalars.update(states[0].scalars)
+
+    # -- drivers --------------------------------------------------------------
+    def _drive_stepped(self, gens: list[Iterator[Event | None]]) -> None:
+        ns = len(gens)
+        pending: list[Event | None] = [None] * ns
+        done = [False] * ns
+        rng = random.Random(self.seed)
+        while not all(done):
+            runnable = [x for x in range(ns)
+                        if not done[x] and (pending[x] is None or pending[x].is_set())]
+            if not runnable:
+                blocked = [x for x in range(ns) if not done[x]]
+                raise DeadlockError(
+                    f"shards {blocked} all blocked: missing or inconsistent "
+                    f"synchronization")
+            x = rng.choice(runnable)
+            try:
+                pending[x] = next(gens[x])
+            except StopIteration:
+                done[x] = True
+                pending[x] = None
+
+    def _drive_threaded(self, gens: list[Iterator[Event | None]]) -> None:
+        errors: list[BaseException] = []
+        lock = threading.Lock()
+
+        def run(gen: Iterator[Event | None]) -> None:
+            try:
+                for ev in gen:
+                    if ev is not None:
+                        if not ev.wait_blocking(timeout=60.0):
+                            raise DeadlockError("shard blocked for 60s")
+            except BaseException as exc:  # propagate to the launcher
+                with lock:
+                    errors.append(exc)
+
+        threads = [threading.Thread(target=run, args=(g,), daemon=True) for g in gens]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        if errors:
+            raise errors[0]
+
+    # -- shard interpreter (a generator yielding blocking events) -------------
+    def _shard_body(self, block: Block, state: _ShardState,
+                    ctx: "_EpochContext") -> Iterator[Event | None]:
+        for stmt in block.stmts:
+            yield from self._shard_stmt(stmt, state, ctx)
+
+    def _shard_stmt(self, stmt: Stmt, state: _ShardState,
+                    ctx: "_EpochContext") -> Iterator[Event | None]:
+        if isinstance(stmt, ScalarAssign):
+            state.scalars[stmt.name] = evaluate(stmt.expr, state.scalars)
+        elif isinstance(stmt, ForRange):
+            start = evaluate(stmt.start, state.scalars)
+            stop = evaluate(stmt.stop, state.scalars)
+            for v in range(int(start), int(stop)):
+                state.scalars[stmt.var] = v
+                yield from self._shard_body(stmt.body, state, ctx)
+        elif isinstance(stmt, WhileLoop):
+            while evaluate(stmt.cond, state.scalars):
+                yield from self._shard_body(stmt.body, state, ctx)
+        elif isinstance(stmt, IfStmt):
+            if evaluate(stmt.cond, state.scalars):
+                yield from self._shard_body(stmt.then_block, state, ctx)
+            else:
+                yield from self._shard_body(stmt.else_block, state, ctx)
+        elif isinstance(stmt, IndexLaunch):
+            yield from self._shard_launch_stmt(stmt, state, ctx)
+        elif isinstance(stmt, FillReductionBuffer):
+            self._shard_fill(stmt, state, ctx)
+            yield None
+        elif isinstance(stmt, PairwiseCopy):
+            yield from self._exec_copy(stmt, state, ctx=ctx)
+        elif isinstance(stmt, BarrierStmt):
+            g = state.next_epoch(stmt.uid)
+            yield ctx.barriers[stmt.tag].arrive_and_wait_event(g)
+        elif isinstance(stmt, ScalarCollective):
+            coll = ctx.collectives[stmt.uid]
+            g = state.next_epoch(stmt.uid)
+            partial = state.pending_reductions.pop(stmt.name, None)
+            ev = coll.contribute(g, partial)
+            yield ev
+            state.scalars[stmt.name] = coll.result(g)
+        elif isinstance(stmt, ShardLaunch):
+            raise TypeError("nested shard launches are not supported")
+        else:
+            raise TypeError(
+                f"shard interpreter cannot execute {type(stmt).__name__}")
+
+    def _shard_launch_stmt(self, stmt: IndexLaunch, state: _ShardState,
+                           ctx: "_EpochContext") -> Iterator[Event | None]:
+        owned = shard_owned_colors(stmt.domain.size, ctx.num_shards, state.shard)
+        fold = SCALAR_REDUCTIONS[stmt.reduce[0]] if stmt.reduce else None
+        partial = state.pending_reductions.get(stmt.reduce[1]) if stmt.reduce else None
+        for i in owned:
+            views: list[RegionView] = []
+            args: list[Any] = []
+            for arg in stmt.args:
+                if hasattr(arg, "proj"):
+                    part = arg.proj.partition
+                    color = arg.proj.color_for(i)
+                    view = RegionView(part[color], self.dist_instance(part, color),
+                                      stmt.task.privileges[len(views)])
+                    views.append(view)
+                    args.append(view)
+                else:
+                    args.append(evaluate(arg.expr, {**state.scalars, "i": i}))
+            result = stmt.task(*args)
+            for v in views:
+                v.finalize()
+            self.tasks_executed += 1
+            if stmt.reduce is not None and result is not None:
+                partial = result if partial is None else fold(partial, result)
+            yield None  # preemption point: one point task executed
+        if stmt.reduce is not None:
+            if partial is not None:
+                state.pending_reductions[stmt.reduce[1]] = partial
+
+    def _shard_fill(self, stmt: FillReductionBuffer, state: _ShardState,
+                    ctx: "_EpochContext") -> None:
+        part = stmt.partition
+        owned = shard_owned_colors(part.num_colors, ctx.num_shards, state.shard)
+        for c in owned:
+            inst = self.dist_instance(part, c)
+            for f in stmt.fields:
+                inst.fields[f][...] = reduction_identity(stmt.redop,
+                                                         inst.fields[f].dtype)
+
+    # -- copies -----------------------------------------------------------------
+    def _exec_copy(self, stmt: PairwiseCopy, state: _ShardState,
+                   ctx: "_EpochContext | None" = None,
+                   every_pair: bool = False) -> Iterator[Event | None]:
+        pairs = self._copy_pairs(stmt)
+        me = state.shard
+        ns = ctx.num_shards if ctx is not None else 1
+        src_n = stmt.src.num_colors
+        dst_n = stmt.dst.num_colors
+        chans = ctx.channels[stmt.uid] if ctx is not None else {}
+        g = state.next_epoch(stmt.uid)
+        sync = stmt.sync_mode if not every_pair else "none"
+
+        if sync == "barrier":
+            yield ctx.barriers[f"pre:{stmt.uid}"].arrive_and_wait_event(g)
+
+        if sync == "p2p":
+            # Consumer side first: arrival at this statement in epoch g means
+            # every read of the epoch g-1 data precedes this point in the
+            # replicated program order — the write-after-read release.
+            for (i, j) in pairs:
+                if owner_of_color(dst_n, ns, j) == me:
+                    chans[(i, j)].acked.advance_to(g)
+
+        # Producer side: perform owned copies.
+        for (i, j) in pairs:
+            if not every_pair and owner_of_color(src_n, ns, i) != me:
+                continue
+            if sync == "p2p":
+                # WAR: wait for the consumer to have arrived at epoch g
+                # before overwriting its instance with epoch g data.
+                yield chans[(i, j)].acked.event_for(g)
+            self._do_pair_copy(stmt, i, j)
+            if sync == "p2p":
+                chans[(i, j)].ready.advance_to(g)
+            yield None
+
+        if sync == "p2p":
+            for (i, j) in pairs:
+                if owner_of_color(dst_n, ns, j) == me:
+                    yield chans[(i, j)].ready.event_for(g)
+        elif sync == "barrier":
+            yield ctx.barriers[f"post:{stmt.uid}"].arrive_and_wait_event(g)
+
+    def _do_pair_copy(self, stmt: PairwiseCopy, i: int, j: int) -> None:
+        with self._copy_lock:
+            self.pair_visits += 1
+        if stmt.pairs_name is not None:
+            pts = self.pair_sets[stmt.pairs_name].pairs[(i, j)]
+        else:
+            pts = stmt.src.subset(i) & stmt.dst.subset(j)
+        if not pts:
+            return
+        dst_inst = self.dist_instance(stmt.dst, j)
+        src_inst = self.dist_instance(stmt.src, i)
+        if stmt.redop is not None:
+            # Reduction applies from different producers may touch the same
+            # destination elements; ufunc.at is not atomic across threads.
+            with self._copy_lock:
+                n = dst_inst.copy_from(src_inst, pts, stmt.fields, redop=stmt.redop)
+        else:
+            n = dst_inst.copy_from(src_inst, pts, stmt.fields)
+        with self._copy_lock:
+            self.elements_copied += n
+            self.copies_performed += 1
+
+
+@dataclass
+class _EpochContext:
+    channels: dict[int, dict[tuple[int, int], _Channel]]
+    collectives: dict[int, DynamicCollective]
+    barriers: dict[str, GlobalBarrier]
+    num_shards: int

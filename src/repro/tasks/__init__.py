@@ -1,0 +1,22 @@
+"""Tasks, privileges, and privilege-checked region views."""
+
+from .checking import TaskContext, check_subtask_call, current_context, task_context
+from .privileges import NO_ACCESS, Privilege, PrivilegeError, R, Reduce, RW
+from .task import Task, task
+from .views import RegionView
+
+__all__ = [
+    "NO_ACCESS",
+    "Privilege",
+    "PrivilegeError",
+    "R",
+    "RW",
+    "Reduce",
+    "RegionView",
+    "Task",
+    "TaskContext",
+    "check_subtask_call",
+    "current_context",
+    "task",
+    "task_context",
+]

@@ -1,0 +1,75 @@
+"""Strict privilege enforcement for subtask calls.
+
+Paper §2.1: "a task may only call another task if its own privileges are a
+superset of those required by the other task."  Executors push a
+:class:`TaskContext` for the running task; :func:`check_subtask_call`
+verifies that every region argument of a callee is a subregion of some
+caller argument whose privilege covers the callee's.  The main (top-level)
+control program runs with no context and may call anything.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..regions.region import Region
+from .privileges import Privilege, PrivilegeError
+from .task import Task
+
+__all__ = ["TaskContext", "check_subtask_call", "current_context", "task_context"]
+
+_tls = threading.local()
+
+
+@dataclass
+class TaskContext:
+    """The privilege environment of a running task."""
+
+    task: Task
+    regions: tuple[Region, ...]
+
+    def grants(self, region: Region, needed: Privilege) -> bool:
+        """Does this context hold ``needed`` on ``region`` (or an ancestor)?
+
+        Privileges on a region extend to all its subregions — a subregion's
+        points are literally a subset of its ancestor's.
+        """
+        ancestors = {id(r) for r in region.ancestors()}
+        for held_region, held_priv in zip(self.regions, self.task.privileges):
+            if id(held_region) in ancestors and held_priv.covers(needed):
+                return True
+        return False
+
+
+def current_context() -> TaskContext | None:
+    return getattr(_tls, "ctx", None)
+
+
+@contextmanager
+def task_context(task: Task, regions: Sequence[Region]):
+    """Install a privilege context for the duration of a task body."""
+    prev = current_context()
+    _tls.ctx = TaskContext(task=task, regions=tuple(regions))
+    try:
+        yield _tls.ctx
+    finally:
+        _tls.ctx = prev
+
+
+def check_subtask_call(callee: Task, regions: Sequence[Region]) -> None:
+    """Raise :class:`PrivilegeError` unless the caller covers the callee."""
+    if len(regions) != callee.num_region_args:
+        raise TypeError(
+            f"task {callee.name} expects {callee.num_region_args} region args, "
+            f"got {len(regions)}")
+    ctx = current_context()
+    if ctx is None:
+        return  # top-level control program owns everything it created
+    for region, needed in zip(regions, callee.privileges):
+        if not ctx.grants(region, needed):
+            raise PrivilegeError(
+                f"task {ctx.task.name} may not launch {callee.name} with "
+                f"{needed} on {region.name}: caller privileges do not cover it")

@@ -1,0 +1,124 @@
+"""Privileges on region arguments (paper §2.1).
+
+Tasks declare, per region parameter, what they may do to it: ``reads``,
+``reads writes``, or ``reduces <op>`` — optionally restricted to named
+fields.  Privileges are *strict*: a task body may only access what it
+declared, and may only call subtasks whose privileges it covers.  That
+strictness is what lets control replication analyze programs entirely at
+the level of task declarations, never looking inside bodies (§2.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+__all__ = ["Privilege", "R", "RW", "Reduce", "NO_ACCESS", "PrivilegeError"]
+
+
+class PrivilegeError(Exception):
+    """An access or subtask call exceeded the declared privileges."""
+
+
+@dataclass(frozen=True)
+class Privilege:
+    """What a task may do to one region argument.
+
+    ``fields=None`` means all fields of the region's field space.
+    ``redop`` is set iff this is a reduction privilege; reduction and
+    read/write modes are mutually exclusive, as in Regent.
+    """
+
+    read: bool = False
+    write: bool = False
+    redop: str | None = None
+    fields: frozenset[str] | None = None
+
+    def __post_init__(self) -> None:
+        if self.redop is not None and (self.read or self.write):
+            raise ValueError("reduce privileges exclude read/write")
+
+    # -- queries ---------------------------------------------------------
+    def field_names(self, all_fields: Iterable[str]) -> tuple[str, ...]:
+        names = tuple(all_fields)
+        if self.fields is None:
+            return names
+        return tuple(f for f in names if f in self.fields)
+
+    def allows_read(self, field: str) -> bool:
+        return self.read and self._has_field(field)
+
+    def allows_write(self, field: str) -> bool:
+        return self.write and self._has_field(field)
+
+    def allows_reduce(self, field: str, redop: str) -> bool:
+        if self._has_field(field):
+            if self.write:  # read-write subsumes any reduction
+                return True
+            if self.redop == redop:
+                return True
+        return False
+
+    def _has_field(self, field: str) -> bool:
+        return self.fields is None or field in self.fields
+
+    @property
+    def writes_or_reduces(self) -> bool:
+        return self.write or self.redop is not None
+
+    def covers(self, other: "Privilege") -> bool:
+        """True iff holding ``self`` is enough to grant ``other`` to a callee."""
+        if other.fields is None and self.fields is not None:
+            return False
+        if other.fields is not None and self.fields is not None:
+            if not other.fields <= self.fields:
+                return False
+        if other.read and not self.read:
+            return False
+        if other.write and not self.write:
+            return False
+        if other.redop is not None:
+            if not (self.write or self.redop == other.redop):
+                return False
+        return True
+
+    def restricted(self, fields: Iterable[str]) -> "Privilege":
+        return Privilege(read=self.read, write=self.write, redop=self.redop,
+                         fields=frozenset(fields))
+
+    def __repr__(self) -> str:
+        if self.redop is not None:
+            mode = f"reduces({self.redop})"
+        elif self.read and self.write:
+            mode = "reads writes"
+        elif self.read:
+            mode = "reads"
+        elif self.write:
+            mode = "writes"
+        else:
+            mode = "no_access"
+        if self.fields is not None:
+            mode += f"[{', '.join(sorted(self.fields))}]"
+        return mode
+
+
+def _fieldset(fields: tuple[str, ...]) -> frozenset[str] | None:
+    return frozenset(fields) if fields else None
+
+
+def R(*fields: str) -> Privilege:
+    """``reads`` privilege, optionally on specific fields."""
+    return Privilege(read=True, fields=_fieldset(fields))
+
+
+def RW(*fields: str) -> Privilege:
+    """``reads writes`` privilege, optionally on specific fields."""
+    return Privilege(read=True, write=True, fields=_fieldset(fields))
+
+
+def Reduce(redop: str, *fields: str) -> Privilege:
+    """``reduces <op>`` privilege for an associative commutative operator."""
+    return Privilege(redop=redop, fields=_fieldset(fields))
+
+
+NO_ACCESS = Privilege()

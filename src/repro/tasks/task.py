@@ -1,0 +1,67 @@
+"""Task declarations.
+
+A task is a Python function plus a declaration of privileges on its region
+parameters (paper §2.1, Fig. 2).  Region parameters come first in the
+signature, one per privilege; any remaining parameters are scalars passed
+by value.  Tasks may return a scalar (a future); index launches can fold
+returned scalars with an associative reduction operator (paper §4.4).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from .privileges import Privilege
+
+__all__ = ["Task", "task"]
+
+_counter = itertools.count()
+
+
+@dataclass
+class Task:
+    """A declared task: body + per-region-argument privileges."""
+
+    fn: Callable[..., Any]
+    privileges: tuple[Privilege, ...]
+    name: str
+    uid: int = field(default_factory=lambda: next(_counter))
+    leaf: bool = True  # leaf tasks launch no subtasks; informational
+
+    @property
+    def num_region_args(self) -> int:
+        return len(self.privileges)
+
+    def __call__(self, *args, **kwargs):
+        """Direct invocation — used by executors after views are built."""
+        return self.fn(*args, **kwargs)
+
+    def __hash__(self) -> int:
+        return self.uid
+
+    def __eq__(self, other: object) -> bool:
+        return self is other
+
+    def __repr__(self) -> str:
+        privs = ", ".join(repr(p) for p in self.privileges)
+        return f"Task({self.name}; {privs})"
+
+
+def task(privileges: Sequence[Privilege], name: str | None = None,
+         leaf: bool = True) -> Callable[[Callable[..., Any]], Task]:
+    """Decorator declaring a task.
+
+    Example::
+
+        @task(privileges=[RW("b"), R("a")])
+        def TF(B, A):
+            B.write("b")[:] = f(A.read("a"))
+    """
+    privs = tuple(privileges)
+
+    def decorate(fn: Callable[..., Any]) -> Task:
+        return Task(fn=fn, privileges=privs, name=name or fn.__name__, leaf=leaf)
+
+    return decorate

@@ -1,0 +1,131 @@
+"""Tests for the weak-scaling harness and crossover analysis."""
+
+import pytest
+
+from repro.analysis import (
+    FigureData,
+    FigureSpec,
+    Series,
+    collapse_point,
+    crossover_point,
+    is_square_power_of_two,
+    predicted_saturation_nodes,
+    run_figure,
+)
+
+
+def make_data():
+    spec = FigureSpec(
+        name="toy", title="toy figure", nodes=(1, 2, 4, 8),
+        series=[
+            Series("flat", lambda n: 100.0),
+            Series("collapsing", lambda n: 100.0 / max(1, n // 2)),
+            Series("squares-only", lambda n: 90.0,
+                   node_filter=is_square_power_of_two),
+        ])
+    return run_figure(spec)
+
+
+class TestHarness:
+    def test_values_and_efficiency(self):
+        data = make_data()
+        assert data.values["flat"][8] == 100.0
+        assert data.efficiency("flat", 8) == pytest.approx(1.0)
+        assert data.efficiency("collapsing", 8) == pytest.approx(0.25)
+        assert data.efficiency_at_max("collapsing") == pytest.approx(0.25)
+
+    def test_node_filter(self):
+        data = make_data()
+        assert sorted(data.values["squares-only"]) == [1, 4]
+
+    def test_format_table(self):
+        text = make_data().format_table()
+        assert "toy figure" in text
+        assert "--" in text  # filtered node counts print as missing
+        assert "100.0" in text.replace(" ", "")
+
+    def test_square_powers(self):
+        assert [n for n in (1, 2, 4, 8, 16, 64, 256, 1024)
+                if is_square_power_of_two(n)] == [1, 4, 16, 64, 256, 1024]
+        assert not is_square_power_of_two(0)
+        assert not is_square_power_of_two(3)
+
+
+class TestCrossover:
+    def test_collapse_point(self):
+        data = make_data()
+        assert collapse_point(data, "flat") is None
+        assert collapse_point(data, "collapsing") == 8  # first eff < 0.5
+
+    def test_collapse_threshold(self):
+        data = make_data()
+        assert collapse_point(data, "collapsing", threshold=0.6) == 4
+        assert collapse_point(data, "collapsing", threshold=0.2) is None
+
+    def test_crossover_point(self):
+        data = make_data()
+        assert crossover_point(data, "collapsing", "flat") == 4
+        assert crossover_point(data, "flat", "collapsing") is None
+
+    def test_predicted_saturation(self):
+        # 1s steps, 24 tasks/node/step, 0.7ms per launch -> ~60 nodes.
+        knee = predicted_saturation_nodes(1.0, 24, 7e-4)
+        assert knee == pytest.approx(59.5, rel=0.01)
+
+    def test_prediction_matches_simulation(self):
+        """The analytic knee agrees with where the simulated no-CR curve
+        actually collapses."""
+        from repro.machine import MachineModel, AppWorkload, PhaseSpec
+        from repro.machine.execution_models import simulate_regent_noncr
+        machine = MachineModel(cores_per_node=4)
+        w = AppWorkload("toy", 3, [PhaseSpec("p", 0.05, None),
+                                   PhaseSpec("q", 0.05, None)], 1.0)
+        knee = predicted_saturation_nodes(0.1, 3 * 2, machine.launch_overhead)
+        below = simulate_regent_noncr(w, machine, max(1, int(knee / 2)))
+        above = simulate_regent_noncr(w, machine, int(knee * 2))
+        assert below.seconds_per_step == pytest.approx(0.1, rel=0.1)
+        assert above.seconds_per_step > 0.15
+
+
+class TestExport:
+    def test_csv_round_numbers(self):
+        from repro.analysis import to_csv
+        data = make_data()
+        text = to_csv(data)
+        lines = text.strip().splitlines()
+        assert lines[0].startswith("figure,series,nodes")
+        # 4 nodes x 2 full series + 2 filtered = 10 data rows.
+        assert len(lines) == 1 + 4 + 4 + 2
+        assert "flat" in text and "squares-only" in text
+
+    def test_csv_values_parse(self):
+        import csv as _csv
+        import io
+        from repro.analysis import to_csv
+        rows = list(_csv.DictReader(io.StringIO(to_csv(make_data()))))
+        flat8 = next(r for r in rows
+                     if r["series"] == "flat" and r["nodes"] == "8")
+        assert float(flat8["throughput_per_node"]) == 100.0
+        assert float(flat8["parallel_efficiency"]) == 1.0
+
+    def test_gnuplot_blocks(self):
+        from repro.analysis import to_gnuplot
+        text = to_gnuplot(make_data())
+        assert "# index 0: flat" in text
+        assert "# index 1: collapsing" in text
+        assert "8 25 0.250000" in text
+
+
+class TestFigureDataEdgeCases:
+    def test_efficiency_relative_to_smallest_measured(self):
+        """Filtered series measure efficiency against their own smallest
+        node count (4 for squares-only here), not 1."""
+        data = make_data()
+        assert data.efficiency("squares-only", 4) == pytest.approx(1.0)
+
+    def test_single_point_series(self):
+        spec = FigureSpec(name="one", title="one", nodes=(1,),
+                          series=[Series("s", lambda n: 5.0, unit_scale=1.0)])
+        data = run_figure(spec)
+        assert data.efficiency_at_max("s") == 1.0
+        assert "5.0" in data.format_table().replace(" ", "")

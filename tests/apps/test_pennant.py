@@ -1,0 +1,109 @@
+"""Tests for the PENNANT application (paper §5.3)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.pennant import PennantMesh, PennantProblem
+
+
+class TestMesh:
+    def test_counts(self):
+        m = PennantMesh(4, 3, 2)
+        assert m.num_zones == 12 and m.num_points == 20
+        assert m.corners.shape == (12, 4)
+
+    def test_corners_ccw_unit_area(self):
+        m = PennantMesh(4, 4, 1)
+        from repro.apps.pennant.app import _zone_geometry
+        vol = _zone_geometry(m.init_x, m.corners)
+        assert np.allclose(vol, 1.0 / 16)
+
+    def test_point_mass_conserves_total(self):
+        m = PennantMesh(5, 5, 1)
+        assert m.point_mass.sum() == pytest.approx(m.zone_mass.sum())
+
+    def test_boundary_points_lighter(self):
+        m = PennantMesh(4, 4, 1)
+        interior = m.point_mass.reshape(5, 5)[2, 2]
+        corner = m.point_mass.reshape(5, 5)[0, 0]
+        assert corner == pytest.approx(interior / 4)
+
+
+class TestFunctional:
+    def test_sequential_matches_reference(self):
+        p = PennantProblem(nx=8, ny=8, pieces=4, steps=5)
+        ref = p.reference_state()
+        seq, scalars, _ = p.run_sequential()
+        assert np.allclose(seq["x"], ref["x"], rtol=1e-12, atol=1e-14)
+        assert np.allclose(seq["v"], ref["v"], rtol=1e-12, atol=1e-14)
+        assert np.allclose(seq["p"], ref["p"], rtol=1e-12, atol=1e-14)
+        assert scalars["dt"] == pytest.approx(ref["dt"], rel=1e-12)
+
+    @pytest.mark.parametrize("shards", [1, 2, 4])
+    def test_cr_matches_sequential(self, shards):
+        p = PennantProblem(nx=8, ny=8, pieces=4, steps=4)
+        seq, scal, _ = p.run_sequential()
+        cr, scal2, _, _ = p.run_control_replicated(shards, seed=13)
+        assert np.allclose(cr["x"], seq["x"], rtol=1e-11, atol=1e-13)
+        assert scal2["dt"] == pytest.approx(scal["dt"], rel=1e-12)
+
+    def test_dt_adapts(self):
+        p = PennantProblem(nx=8, ny=8, pieces=4, steps=5, dt0=1e-5)
+        _, scalars, _ = p.run_sequential()
+        # Courant bound is much larger than dt0: growth cap kicks in.
+        assert scalars["dt"] == pytest.approx(1e-5 * 1.05 ** 5, rel=1e-9)
+
+    def test_uniform_pressure_zero_interior_force(self):
+        """Uniform state: pressure forces cancel on interior points."""
+        p = PennantProblem(nx=6, ny=6, pieces=4, steps=1)
+        m = p.mesh
+        # Zero velocity => uniform density => uniform pressure.
+        m.init_v[:] = 0.0
+        seq, _, ex = p.run_sequential()
+        f = ex.instances[p.POINTS.uid].fields["f"].reshape(7, 7, 2)
+        assert np.allclose(f[1:-1, 1:-1], 0.0, atol=1e-13)
+        # Boundary points feel net outward pressure.
+        assert not np.allclose(f[0, :], 0.0)
+
+    def test_momentum_conserved_with_uniform_state(self):
+        p = PennantProblem(nx=6, ny=6, pieces=4, steps=3)
+        seq, _, ex = p.run_sequential()
+        f = ex.instances[p.POINTS.uid].fields["f"]
+        # Pressure forces are internal: they sum to zero over the mesh.
+        assert np.allclose(f.sum(axis=0), 0.0, atol=1e-12)
+
+    def test_collective_in_compiled_program(self):
+        from repro.core import ScalarCollective, control_replicate, walk
+        p = PennantProblem(nx=8, ny=8, pieces=4, steps=2)
+        prog, report = control_replicate(p.build_program(), num_shards=2)
+        colls = [s for s in walk(prog.body) if isinstance(s, ScalarCollective)]
+        assert len(colls) == 1
+        assert colls[0].name == "dtnew" and colls[0].redop == "min"
+        assert report.fragments[0].sync.collectives == 1
+
+
+class TestEnergyEquation:
+    def test_compression_heats_expansion_cools(self):
+        """pdV work: zones that shrink gain internal energy."""
+        p = PennantProblem(nx=8, ny=8, pieces=4, steps=6, dt0=1e-3)
+        seq, _, ex = p.run_sequential()
+        from repro.apps.pennant.app import _zone_geometry
+        e = ex.instances[p.ZONES.uid].fields["e"]
+        vol = ex.instances[p.ZONES.uid].fields["vol"]
+        vol0 = _zone_geometry(p.mesh.init_x, p.mesh.corners)
+        changed = np.abs(vol - vol0) > 1e-12
+        assert changed.any()
+        # Energy moves opposite to volume: de = -p dV / m with p > 0.
+        de = e - p.mesh.init_energy
+        assert np.all((vol - vol0)[changed] * de[changed] < 0)
+
+    def test_total_energy_budget_reasonable(self):
+        """Kinetic + internal energy stays bounded (no blow-up)."""
+        p = PennantProblem(nx=8, ny=8, pieces=4, steps=6)
+        seq, _, ex = p.run_sequential()
+        e = ex.instances[p.ZONES.uid].fields["e"]
+        v = ex.instances[p.POINTS.uid].fields["v"]
+        internal = float((p.mesh.zone_mass * e).sum())
+        kinetic = float(0.5 * (p.mesh.point_mass[:, None] * v ** 2).sum())
+        initial_internal = float((p.mesh.zone_mass * p.mesh.init_energy).sum())
+        assert 0.5 * initial_internal < internal + kinetic < 2.0 * initial_internal

@@ -1,0 +1,85 @@
+"""Tests for the Figure 6-9 performance workload definitions."""
+
+import pytest
+
+from repro.apps.circuit.perf import circuit_workload, figure9_spec
+from repro.apps.miniaero.perf import miniaero_workload, figure7_spec
+from repro.apps.pennant.perf import pennant_workload, figure8_spec
+from repro.apps.stencil.perf import stencil_workload, figure6_spec
+from repro.machine.model import PIZ_DAINT
+
+
+class TestWorkloadDefinitions:
+    def test_stencil_two_phases(self):
+        w = stencil_workload(11, 1.45e9)
+        assert [p.name for p in w.phases] == ["stencil", "increment"]
+        total = sum(p.task_seconds for p in w.phases)
+        assert total == pytest.approx(40_000.0 ** 2 / 1.45e9)
+        assert not w.collective
+
+    def test_miniaero_nine_phases(self):
+        w = miniaero_workload(11, 1.45e6)
+        assert len(w.phases) == 9
+        # Only residual phases communicate.
+        comm = [p.name for p in w.phases if p.edges is not None]
+        assert all(name.startswith("residual") for name in comm)
+        assert len(comm) == 4
+
+    def test_pennant_collective(self):
+        w = pennant_workload(11, 17e6)
+        assert w.collective
+        assert w.phases[w.collective_consumer_phase].name == "advance"
+        assert w.noise_prob > 0
+
+    def test_circuit_three_phases(self):
+        w = circuit_workload(11, 76e3)
+        assert len(w.phases) == 3
+        total = sum(p.task_seconds for p in w.phases)
+        assert total == pytest.approx(25_000.0 / 76e3)
+
+    def test_edges_memoized(self):
+        w = stencil_workload(11, 1.45e9)
+        a = w.phase_edges(0, 4)
+        b = w.phase_edges(0, 4)
+        assert a is b
+
+    def test_edge_maps_well_formed(self):
+        for w in (stencil_workload(11, 1.45e9), miniaero_workload(11, 1.45e6),
+                  pennant_workload(11, 17e6), circuit_workload(11, 76e3)):
+            tiles = w.num_tiles(2)
+            for pi, phase in enumerate(w.phases):
+                edges = w.phase_edges(pi, 2)
+                for j, producers in edges.items():
+                    assert 0 <= j < tiles
+                    for (i, nbytes) in producers:
+                        assert 0 <= i < tiles and nbytes > 0
+
+
+class TestSpecs:
+    @pytest.mark.parametrize("spec_fn,n_series", [
+        (figure6_spec, 4), (figure7_spec, 4), (figure8_spec, 4),
+        (figure9_spec, 2),
+    ])
+    def test_series_counts(self, spec_fn, n_series):
+        spec = spec_fn(PIZ_DAINT, max_nodes=4)
+        assert len(spec.series) == n_series
+        assert max(spec.nodes) <= 4
+
+    def test_single_node_calibration(self):
+        """Single-node throughput hits each series' calibration target."""
+        from repro.analysis import run_figure
+        data = run_figure(figure6_spec(PIZ_DAINT, max_nodes=1))
+        assert data.values["Regent (with CR)"][1] == pytest.approx(1.45e9, rel=0.01)
+        assert data.values["MPI"][1] == pytest.approx(1.40e9, rel=0.01)
+
+    def test_regent_beats_refs_for_miniaero_single_node(self):
+        from repro.analysis import run_figure
+        data = run_figure(figure7_spec(PIZ_DAINT, max_nodes=1))
+        assert (data.values["Regent (with CR)"][1]
+                > data.values["MPI+Kokkos (rank/node)"][1]
+                > data.values["MPI+Kokkos (rank/core)"][1])
+
+    def test_regent_below_refs_for_pennant_single_node(self):
+        from repro.analysis import run_figure
+        data = run_figure(figure8_spec(PIZ_DAINT, max_nodes=1))
+        assert data.values["Regent (with CR)"][1] < data.values["MPI"][1]

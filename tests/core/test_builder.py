@@ -1,0 +1,115 @@
+"""Tests for the program builder."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Const,
+    ForRange,
+    IfStmt,
+    IndexLaunch,
+    ProgramBuilder,
+    Proj,
+    RegionArg,
+    ScalarArg,
+    ScalarAssign,
+    ScalarRef,
+    SingleCall,
+    WhileLoop,
+)
+from repro.regions import ispace, partition_block, region
+from repro.tasks import R, RW, task
+
+
+@task(privileges=[RW("v")], name="one")
+def one(A):
+    pass
+
+
+@task(privileges=[RW("v")], name="with_scalar")
+def with_scalar(A, x):
+    pass
+
+
+@pytest.fixture
+def env():
+    Rg = region(ispace(size=8), {"v": np.float64}, name="R")
+    I = ispace(size=2, name="I")
+    P = partition_block(Rg, I, name="P")
+    return Rg, I, P
+
+
+class TestBuilder:
+    def test_scalars(self, env):
+        b = ProgramBuilder("p")
+        b.let("T", 5)
+        b.assign("x", "T")
+        prog = b.build()
+        assert prog.scalars == {"T": 5}
+        assert isinstance(prog.body.stmts[0], ScalarAssign)
+        assert prog.body.stmts[0].expr == ScalarRef("T")
+
+    def test_launch_arg_coercion(self, env):
+        Rg, I, P = env
+        b = ProgramBuilder()
+        b.launch(with_scalar, I, P, 3.5)
+        (l,) = b.build().body.stmts
+        assert isinstance(l.args[0], RegionArg)
+        assert isinstance(l.args[1], ScalarArg)
+        assert l.args[1].expr == Const(3.5)
+
+    def test_projection_tuple(self, env):
+        Rg, I, P = env
+        fn = lambda i: 1 - i
+        b = ProgramBuilder()
+        b.launch(one, I, (P, fn, "flip"))
+        (l,) = b.build().body.stmts
+        proj = l.region_args[0].proj
+        assert not proj.is_identity
+        assert proj.color_for(0) == 1
+        assert "flip" in repr(proj)
+
+    def test_explicit_proj(self, env):
+        Rg, I, P = env
+        b = ProgramBuilder()
+        b.launch(one, I, Proj(P))
+        (l,) = b.build().body.stmts
+        assert l.region_args[0].proj.partition is P
+
+    def test_nested_control_flow(self, env):
+        Rg, I, P = env
+        b = ProgramBuilder()
+        b.let("go", True)
+        with b.while_loop("go"):
+            with b.if_stmt("go"):
+                with b.for_range("t", 0, 3):
+                    b.launch(one, I, P)
+            b.assign("go", False)
+        prog = b.build()
+        w = prog.body.stmts[0]
+        assert isinstance(w, WhileLoop)
+        assert isinstance(w.body.stmts[0], IfStmt)
+        assert isinstance(w.body.stmts[0].then_block.stmts[0], ForRange)
+
+    def test_single_call(self, env):
+        Rg, I, P = env
+        b = ProgramBuilder()
+        b.call(one, [Rg], result="out")
+        (c,) = b.build().body.stmts
+        assert isinstance(c, SingleCall)
+        assert c.result == "out"
+
+    def test_reduce_launch(self, env):
+        Rg, I, P = env
+        b = ProgramBuilder()
+        b.launch(one, I, P, reduce=("min", "dt"))
+        (l,) = b.build().body.stmts
+        assert l.reduce == ("min", "dt")
+
+    def test_unclosed_block_rejected(self, env):
+        Rg, I, P = env
+        b = ProgramBuilder()
+        cm = b.for_range("t", 0, 1)
+        cm.__enter__()
+        with pytest.raises(RuntimeError):
+            b.build()

@@ -1,0 +1,144 @@
+"""End-to-end tests of the control replication pipeline (paper §3, Fig. 4)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ComputeIntersections,
+    FinalCopy,
+    ForRange,
+    IndexLaunch,
+    InitCopy,
+    PairwiseCopy,
+    ProgramBuilder,
+    ShardLaunch,
+    SingleCall,
+    control_replicate,
+    format_program,
+    walk,
+)
+from repro.regions import ispace, partition_block, partition_by_image, region
+from repro.tasks import R, RW, task
+
+
+class TestFig4dStructure:
+    """The transformed program should have the shape of paper Fig. 4d."""
+
+    def test_overall_shape(self, fig2):
+        prog, report = control_replicate(fig2.build(), num_shards=4)
+        kinds = [type(s).__name__ for s in prog.body.stmts]
+        # intersections, inits, shard launch, finals.
+        assert kinds == ["ComputeIntersections", "InitCopy", "InitCopy",
+                         "InitCopy", "ShardLaunch", "FinalCopy", "FinalCopy"]
+
+    def test_shard_body_is_the_loop(self, fig2):
+        prog, _ = control_replicate(fig2.build(), num_shards=4)
+        sl = next(s for s in prog.body.stmts if isinstance(s, ShardLaunch))
+        assert sl.num_shards == 4
+        assert isinstance(sl.body.stmts[0], ForRange)
+        inner = [type(s).__name__ for s in sl.body.stmts[0].body.stmts]
+        assert inner == ["IndexLaunch", "PairwiseCopy", "IndexLaunch"]
+
+    def test_intersection_names_wired(self, fig2):
+        prog, _ = control_replicate(fig2.build(), num_shards=4)
+        ci = next(s for s in walk(prog.body) if isinstance(s, ComputeIntersections))
+        copy = next(s for s in walk(prog.body) if isinstance(s, PairwiseCopy))
+        assert copy.pairs_name == ci.name
+        assert ci.src.name == "PB" and ci.dst.name == "QB"
+
+    def test_report(self, fig2):
+        prog, report = control_replicate(fig2.build(), num_shards=4)
+        assert report.num_fragments == 1
+        f = report.fragments[0]
+        assert f.exchange_copies == 1
+        assert f.intersections.pair_sets == 1
+        assert f.sync.p2p_copies == 1
+        assert "control replication" in report.summary()
+
+    def test_format_matches_paper_pseudocode(self, fig2):
+        prog, _ = control_replicate(fig2.build(), num_shards=4)
+        text = format_program(prog)
+        assert "must_epoch" in text
+        assert "∩" in text
+        assert "QB[j] <- PB[i]" in text
+
+
+class TestPipelineOptions:
+    def test_barrier_mode(self, fig2):
+        prog, report = control_replicate(fig2.build(), num_shards=2,
+                                         sync="barrier")
+        assert report.fragments[0].sync.barriers == 2
+
+    def test_no_intersection_opt(self, fig2):
+        prog, report = control_replicate(fig2.build(), num_shards=2,
+                                         optimize_intersection=False)
+        copy = next(s for s in walk(prog.body) if isinstance(s, PairwiseCopy))
+        assert copy.pairs_name is None
+        assert not any(isinstance(s, ComputeIntersections)
+                       for s in walk(prog.body))
+
+    def test_no_placement(self, fig2):
+        prog, report = control_replicate(fig2.build(), num_shards=2,
+                                         optimize_placement=False)
+        assert report.fragments[0].placement.hoisted == 0
+
+
+class TestFragmentBoundaries:
+    def test_non_crable_code_survives(self, fig2):
+        @task(privileges=[R("v")], name="checkpoint")
+        def checkpoint(A):
+            return float(np.sum(A.read("v")))
+
+        b = ProgramBuilder("mixed")
+        b.let("T", 2)
+        with b.for_range("t", 0, "T"):
+            b.launch(fig2.TF, fig2.I, fig2.PB, fig2.PA)
+            b.launch(fig2.TG, fig2.I, fig2.PA, fig2.QB)
+        b.call(checkpoint, [fig2.A], result="total")
+        with b.for_range("t2", 0, "T"):
+            b.launch(fig2.TF, fig2.I, fig2.PB, fig2.PA)
+        prog, report = control_replicate(b.build(), num_shards=2)
+        assert report.num_fragments == 2
+        kinds = [type(s).__name__ for s in prog.body.stmts]
+        assert kinds.count("ShardLaunch") == 2
+        assert "SingleCall" in kinds
+        # The single call sits between the two transformed fragments.
+        assert kinds.index("SingleCall") > kinds.index("ShardLaunch")
+
+    def test_program_without_fragments_unchanged(self):
+        b = ProgramBuilder("scalars")
+        b.assign("x", 1)
+        prog, report = control_replicate(b.build())
+        assert report.num_fragments == 0
+        assert [type(s).__name__ for s in prog.body.stmts] == ["ScalarAssign"]
+
+
+class TestCompilerScalability:
+    def test_many_launches_compile_quickly(self, fig2):
+        """The pipeline stays usable on large fragments (sanity bound)."""
+        import time
+        from repro.core import ProgramBuilder
+        b = ProgramBuilder("big")
+        with b.for_range("t", 0, 5):
+            for _ in range(40):
+                b.launch(fig2.TF, fig2.I, fig2.PB, fig2.PA)
+                b.launch(fig2.TG, fig2.I, fig2.PA, fig2.QB)
+        t0 = time.perf_counter()
+        prog, report = control_replicate(b.build(), num_shards=4)
+        elapsed = time.perf_counter() - t0
+        assert report.fragments[0].exchange_copies == 40
+        assert elapsed < 10.0
+
+    def test_recompile_is_idempotent_on_result(self, fig2):
+        """Compiling twice (fresh temps each time) yields equivalent
+        executions."""
+        import numpy as np
+        from repro.runtime import SPMDExecutor
+        prog1, _ = control_replicate(fig2.build(), num_shards=2)
+        prog2, _ = control_replicate(fig2.build(), num_shards=2)
+        ex1 = SPMDExecutor(num_shards=2, instances=fig2.fresh_instances())
+        ex1.run(prog1)
+        ex2 = SPMDExecutor(num_shards=2, instances=fig2.fresh_instances())
+        ex2.run(prog2)
+        assert np.array_equal(ex1.instances[fig2.A.uid].fields["v"],
+                              ex2.instances[fig2.A.uid].fields["v"])

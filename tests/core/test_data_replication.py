@@ -1,0 +1,186 @@
+"""Tests for CR phase 1: data replication (paper §3.1, §4.3)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    FinalCopy,
+    IndexLaunch,
+    InitCopy,
+    PairwiseCopy,
+    ProgramBuilder,
+    find_fragments,
+    walk,
+)
+from repro.core.data_replication import replicate_data
+from repro.core.ir import Block, FillReductionBuffer
+from repro.regions import (
+    ispace,
+    partition_block,
+    partition_by_image,
+    private_ghost_decomposition,
+    region,
+)
+from repro.tasks import R, RW, Reduce, task
+
+
+def frag_of(builder):
+    frags = find_fragments(builder.build())
+    assert len(frags) == 1
+    return frags[0]
+
+
+def stmts_of_type(stmts, ty):
+    return [s for top in stmts for s in walk(top) if isinstance(s, ty)]
+
+
+class TestFig4a:
+    """The exact copy structure of paper Fig. 4a."""
+
+    def test_copies_match_paper(self, fig2):
+        frag = frag_of_prog(fig2.build())
+        out = replicate_data(frag)
+        # Initialization: PB, PA, QB each initialized once.
+        assert {s.partition.name for s in out.init} == {"PA", "PB", "QB"}
+        # One exchange copy: PB -> QB after TF (PA provably disjoint).
+        copies = stmts_of_type(out.body, PairwiseCopy)
+        assert len(copies) == 1
+        assert copies[0].src.name == "PB" and copies[0].dst.name == "QB"
+        assert copies[0].fields == ("v",)
+        # Finalization: written partitions PA, PB copied back; QB not.
+        assert {s.partition.name for s in out.final} == {"PA", "PB"}
+
+    def test_copy_placed_after_writer(self, fig2):
+        frag = frag_of_prog(fig2.build())
+        out = replicate_data(frag)
+        loop = out.body[0]
+        kinds = [type(s).__name__ for s in loop.body.stmts]
+        assert kinds == ["IndexLaunch", "PairwiseCopy", "IndexLaunch"]
+
+    def test_counts(self, fig2):
+        out = replicate_data(frag_of_prog(fig2.build()))
+        assert out.num_exchange_copies == 1
+        assert out.num_reduction_copies == 0
+        assert out.reduction_temps == []
+
+
+def frag_of_prog(prog):
+    frags = find_fragments(prog)
+    assert len(frags) == 1
+    return frags[0]
+
+
+class TestHierarchical:
+    """§4.5: provably-private partitions receive no copies."""
+
+    def test_private_gets_no_exchange_copies(self):
+        Rg = region(ispace(size=40), {"v": np.float64}, name="N")
+        owned = partition_block(Rg, 4, name="own")
+        accessed = partition_by_image(Rg, owned,
+                                      func=lambda p: np.minimum(p + 2, 39),
+                                      name="acc")
+        pg = private_ghost_decomposition(Rg, owned, accessed)
+
+        @task(privileges=[RW("v"), RW("v")], name="upd")
+        def upd(P, S):
+            pass
+
+        @task(privileges=[R("v"), R("v"), R("v")], name="rdall")
+        def rdall(P, S, G):
+            pass
+
+        b = ProgramBuilder()
+        I = ispace(size=4)
+        with b.for_range("t", 0, 2):
+            b.launch(upd, I, pg.private_part, pg.shared_part)
+            b.launch(rdall, I, pg.private_part, pg.shared_part, pg.ghost_part)
+        out = replicate_data(frag_of_prog(b.build()))
+        copies = stmts_of_type(out.body, PairwiseCopy)
+        assert len(copies) == 1
+        assert copies[0].src.name == pg.shared_part.name
+        assert copies[0].dst.name == pg.ghost_part.name
+
+
+class TestReductions:
+    """§4.3: reduce-privilege launches get temps, fills, and apply copies."""
+
+    @pytest.fixture
+    def env(self):
+        Rg = region(ispace(size=16), {"v": np.float64, "w": np.float64}, name="R")
+        I = ispace(size=4, name="I")
+        P = partition_block(Rg, I, name="P")
+        Q = partition_by_image(Rg, P, func=lambda p: (p + 1) % 16, name="Q")
+        return Rg, I, P, Q
+
+    def test_reduce_launch_rewritten(self, env):
+        Rg, I, P, Q = env
+
+        @task(privileges=[Reduce("+", "v")], name="dep")
+        def dep(A):
+            pass
+
+        @task(privileges=[R("v")], name="use")
+        def use(A):
+            pass
+
+        b = ProgramBuilder()
+        with b.for_range("t", 0, 2):
+            b.launch(dep, I, Q)
+            b.launch(use, I, Q)
+        out = replicate_data(frag_of_prog(b.build()))
+        fills = stmts_of_type(out.body, FillReductionBuffer)
+        assert len(fills) == 1
+        temp = fills[0].partition
+        assert getattr(temp, "is_reduction_temp", False)
+        assert fills[0].redop == "+"
+        # The launch's region arg now targets the temp.
+        launches = stmts_of_type(out.body, IndexLaunch)
+        assert launches[0].region_args[0].proj.partition is temp
+        # Apply copies: temp -> Q (self) at least.
+        copies = stmts_of_type(out.body, PairwiseCopy)
+        assert all(c.redop == "+" for c in copies)
+        assert {c.dst.name for c in copies} == {"Q"}
+        assert all(c.src is temp for c in copies)
+
+    def test_reduce_and_write_dests(self, env):
+        Rg, I, P, Q = env
+
+        @task(privileges=[Reduce("+", "v")], name="dep2")
+        def dep2(A):
+            pass
+
+        @task(privileges=[RW("v")], name="wr2")
+        def wr2(A):
+            pass
+
+        b = ProgramBuilder()
+        with b.for_range("t", 0, 2):
+            b.launch(dep2, I, Q)
+            b.launch(wr2, I, P)
+        out = replicate_data(frag_of_prog(b.build()))
+        copies = stmts_of_type(out.body, PairwiseCopy)
+        red = [c for c in copies if c.redop]
+        exch = [c for c in copies if not c.redop]
+        # Reductions apply to Q itself and to interfering P.
+        assert {c.dst.name for c in red} == {"Q", "P"}
+        # P's write propagates to Q (aliased).
+        assert [(c.src.name, c.dst.name) for c in exch] == [("P", "Q")]
+
+    def test_field_precision(self, env):
+        Rg, I, P, Q = env
+
+        @task(privileges=[RW("v")], name="wv")
+        def wv(A):
+            pass
+
+        @task(privileges=[R("w")], name="rw_")
+        def rw_(A):
+            pass
+
+        b = ProgramBuilder()
+        with b.for_range("t", 0, 2):
+            b.launch(wv, I, P)
+            b.launch(rw_, I, Q)   # reads a *different* field
+        out = replicate_data(frag_of_prog(b.build()))
+        # No copy: Q never reads field v.
+        assert stmts_of_type(out.body, PairwiseCopy) == []

@@ -1,0 +1,213 @@
+"""Edge cases across the compiler and executors.
+
+These target boundary conditions rather than the happy path: empty
+subregions, shards that own nothing, zero-iteration loops, conditional
+copies, single-color partitions, fragments at program edges.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BinOp,
+    Const,
+    ProgramBuilder,
+    ScalarRef,
+    control_replicate,
+)
+from repro.regions import (
+    IntervalSet,
+    PhysicalInstance,
+    ispace,
+    partition_block,
+    partition_by_image,
+    partition_from_subsets,
+    region,
+)
+from repro.runtime import SequentialExecutor, SPMDExecutor
+from repro.tasks import R, RW, task
+
+
+@task(privileges=[RW("v")], name="bump")
+def bump(A):
+    A.write("v")[:] += 1.0
+
+
+@task(privileges=[RW("v"), R("v")], name="pull")
+def pull(W, Rv):
+    slots, ok = Rv.maybe_localize(np.minimum(W.points + 1, 15))
+    vals = np.zeros(W.n)
+    vals[ok] = Rv.read("v")[slots[ok]]
+    W.write("v")[:] = vals + 0.5
+
+
+def run_both(build, instances_fn, shards, seed=0):
+    seq = SequentialExecutor(instances=instances_fn())
+    seq_s = seq.run(build())
+    prog, _ = control_replicate(build(), num_shards=shards)
+    ex = SPMDExecutor(num_shards=shards, seed=seed, instances=instances_fn())
+    ex_s = ex.run(prog)
+    return seq, ex, seq_s, ex_s
+
+
+class TestEmptyAndSmall:
+    def test_partition_with_empty_colors(self):
+        Rg = region(ispace(size=16), {"v": np.float64}, name="E")
+        subs = [IntervalSet.from_range(0, 8), IntervalSet.empty(),
+                IntervalSet.from_range(8, 16), IntervalSet.empty()]
+        P = partition_from_subsets(Rg, subs, disjoint=True, name="EP")
+        I = ispace(size=4)
+
+        def build():
+            b = ProgramBuilder()
+            with b.for_range("t", 0, 2):
+                b.launch(bump, I, P)
+            return b.build()
+
+        def fresh():
+            return {Rg.uid: PhysicalInstance(Rg)}
+
+        seq, ex, _, _ = run_both(build, fresh, 4)
+        assert np.array_equal(ex.instances[Rg.uid].fields["v"],
+                              seq.instances[Rg.uid].fields["v"])
+        assert np.all(seq.instances[Rg.uid].fields["v"] == 2.0)
+
+    def test_single_color_partition(self):
+        Rg = region(ispace(size=8), {"v": np.float64})
+        P = partition_block(Rg, 1)
+        I = ispace(size=1)
+
+        def build():
+            b = ProgramBuilder()
+            with b.for_range("t", 0, 3):
+                b.launch(bump, I, P)
+            return b.build()
+
+        def fresh():
+            return {Rg.uid: PhysicalInstance(Rg)}
+
+        seq, ex, _, _ = run_both(build, fresh, 3)  # more shards than colors
+        assert np.all(ex.instances[Rg.uid].fields["v"] == 3.0)
+
+    def test_zero_iteration_loop(self):
+        Rg = region(ispace(size=8), {"v": np.float64})
+        P = partition_block(Rg, 2)
+        I = ispace(size=2)
+
+        def build():
+            b = ProgramBuilder()
+            b.let("T", 0)
+            with b.for_range("t", 0, "T"):
+                b.launch(bump, I, P)
+            return b.build()
+
+        def fresh():
+            return {Rg.uid: PhysicalInstance(Rg)}
+
+        seq, ex, _, _ = run_both(build, fresh, 2)
+        assert np.all(ex.instances[Rg.uid].fields["v"] == 0.0)
+
+    def test_conditional_launch_inside_fragment(self):
+        Rg = region(ispace(size=16), {"v": np.float64}, name="C")
+        P = partition_block(Rg, 4, name="CP")
+        Q = partition_by_image(Rg, P, func=lambda p: np.minimum(p + 1, 15),
+                               name="CQ")
+        Rg2 = region(ispace(size=16), {"v": np.float64}, name="C2")
+        P2 = partition_block(Rg2, 4, name="CP2")
+        I = ispace(size=4)
+
+        @task(privileges=[RW("v"), R("v")], name="cross")
+        def cross(W, Rv):
+            slots, ok = Rv.maybe_localize(np.minimum(W.points + 1, 15))
+            vals = np.where(ok, Rv.read("v")[slots], 0.0)
+            W.write("v")[:] = vals + 0.25
+
+        def build():
+            b = ProgramBuilder()
+            with b.for_range("t", 0, 4):
+                b.launch(bump, I, P)
+                with b.if_stmt(BinOp("==", BinOp("%", ScalarRef("t"), Const(2)),
+                                     Const(0))):
+                    b.launch(cross, I, P2, Q)
+            return b.build()
+
+        def fresh():
+            return {Rg.uid: PhysicalInstance(Rg), Rg2.uid: PhysicalInstance(Rg2)}
+
+        for seed in (0, 1, 5):
+            seq, ex, _, _ = run_both(build, fresh, 4, seed=seed)
+            for uid in (Rg.uid, Rg2.uid):
+                assert np.array_equal(ex.instances[uid].fields["v"],
+                                      seq.instances[uid].fields["v"])
+
+    def test_while_loop_fragment(self):
+        Rg = region(ispace(size=8), {"v": np.float64})
+        P = partition_block(Rg, 2)
+        I = ispace(size=2)
+
+        @task(privileges=[R("v")], name="peak")
+        def peak(A):
+            return float(A.read("v").max())
+
+        def build():
+            b = ProgramBuilder()
+            b.let("top", 0.0)
+            with b.while_loop(BinOp("<", ScalarRef("top"), Const(2.5))):
+                b.launch(bump, I, P)
+                b.launch(peak, I, P, reduce=("max", "top"))
+            return b.build()
+
+        def fresh():
+            return {Rg.uid: PhysicalInstance(Rg)}
+
+        seq, ex, seq_s, ex_s = run_both(build, fresh, 2)
+        assert seq_s["top"] == ex_s["top"] == 3.0
+        assert np.all(ex.instances[Rg.uid].fields["v"] == 3.0)
+
+
+class TestFragmentEdges:
+    def test_fragment_at_program_end_without_loop(self):
+        """A bare launch run (no enclosing loop) still gets transformed."""
+        Rg = region(ispace(size=8), {"v": np.float64})
+        P = partition_block(Rg, 2)
+        I = ispace(size=2)
+
+        def build():
+            b = ProgramBuilder()
+            b.launch(bump, I, P)
+            b.launch(bump, I, P)
+            return b.build()
+
+        def fresh():
+            return {Rg.uid: PhysicalInstance(Rg)}
+
+        prog, report = control_replicate(build(), num_shards=2)
+        assert report.num_fragments == 1
+        ex = SPMDExecutor(num_shards=2, instances=fresh())
+        ex.run(prog)
+        assert np.all(ex.instances[Rg.uid].fields["v"] == 2.0)
+
+    def test_back_to_back_fragments_share_root_state(self):
+        """Two fragments separated by a single call: the second must see
+        the first's finalized data through the root instance."""
+        Rg = region(ispace(size=8), {"v": np.float64})
+        P = partition_block(Rg, 2)
+        I = ispace(size=2)
+
+        @task(privileges=[R("v")], name="snap")
+        def snap(A):
+            return float(A.read("v").sum())
+
+        def build():
+            b = ProgramBuilder()
+            b.launch(bump, I, P)
+            b.call(snap, [Rg], result="mid")
+            b.launch(bump, I, P)
+            return b.build()
+
+        def fresh():
+            return {Rg.uid: PhysicalInstance(Rg)}
+
+        seq, ex, seq_s, ex_s = run_both(build, fresh, 2)
+        assert seq_s["mid"] == ex_s["mid"] == 8.0
+        assert np.all(ex.instances[Rg.uid].fields["v"] == 2.0)

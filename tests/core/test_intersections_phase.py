@@ -1,0 +1,87 @@
+"""Unit tests for CR phase 3: intersection optimization (paper §3.3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.intersections import optimize_intersections
+from repro.core.ir import (
+    Block,
+    ComputeIntersections,
+    Const,
+    ForRange,
+    PairwiseCopy,
+    walk,
+)
+from repro.regions import ispace, partition_block, partition_by_image, region
+
+
+@pytest.fixture
+def parts():
+    Rg = region(ispace(size=16), {"v": np.float64}, name="R")
+    P = partition_block(Rg, 4, name="P")
+    Q = partition_by_image(Rg, P, func=lambda p: (p + 1) % 16, name="Q")
+    Q2 = partition_by_image(Rg, P, func=lambda p: (p + 2) % 16, name="Q2")
+    return P, Q, Q2
+
+
+def copies_of(stmts):
+    return [s for top in stmts for s in walk(top) if isinstance(s, PairwiseCopy)]
+
+
+class TestNaming:
+    def test_each_pair_gets_one_set(self, parts):
+        P, Q, Q2 = parts
+        body = [ForRange("t", Const(0), Const(2), Block([
+            PairwiseCopy(P, Q, ("v",)),
+            PairwiseCopy(P, Q2, ("v",)),
+        ]))]
+        init, new_body, final, stats = optimize_intersections([], body, [])
+        cis = [s for s in init if isinstance(s, ComputeIntersections)]
+        assert len(cis) == 2 and stats.pair_sets == 2
+        names = {c.name for c in cis}
+        for c in copies_of(new_body):
+            assert c.pairs_name in names
+
+    def test_same_src_dst_shares_set(self, parts):
+        P, Q, _ = parts
+        body = [PairwiseCopy(P, Q, ("v",)), PairwiseCopy(P, Q, ("v",))]
+        init, new_body, final, stats = optimize_intersections([], body, [])
+        assert stats.pair_sets == 1
+        a, b = copies_of(new_body)
+        assert a.pairs_name == b.pairs_name
+
+    def test_reduction_copies_named_too(self, parts):
+        P, Q, _ = parts
+        body = [PairwiseCopy(P, Q, ("v",), redop="+")]
+        init, new_body, final, stats = optimize_intersections([], body, [])
+        (c,) = copies_of(new_body)
+        assert c.pairs_name is not None
+        assert c.redop == "+"
+
+    def test_final_section_rewritten(self, parts):
+        P, Q, _ = parts
+        final = [PairwiseCopy(P, Q, ("v",))]
+        init, new_body, new_final, stats = optimize_intersections([], [], final)
+        assert copies_of(new_final)[0].pairs_name is not None
+
+    def test_prenamed_copies_untouched(self, parts):
+        P, Q, _ = parts
+        pre = PairwiseCopy(P, Q, ("v",), pairs_name="existing")
+        init, new_body, final, stats = optimize_intersections([], [pre], [])
+        assert stats.copies_rewritten == 0
+        assert copies_of(new_body)[0].pairs_name == "existing"
+
+    def test_intersections_precede_other_init(self, parts):
+        P, Q, _ = parts
+        from repro.core.ir import InitCopy
+        prior_init = [InitCopy(P, ("v",))]
+        body = [PairwiseCopy(P, Q, ("v",))]
+        init, new_body, final, stats = optimize_intersections(prior_init, body, [])
+        assert isinstance(init[0], ComputeIntersections)
+        assert isinstance(init[-1], InitCopy)
+
+    def test_sync_mode_preserved(self, parts):
+        P, Q, _ = parts
+        body = [PairwiseCopy(P, Q, ("v",), sync_mode="barrier")]
+        init, new_body, final, stats = optimize_intersections([], body, [])
+        assert copies_of(new_body)[0].sync_mode == "barrier"

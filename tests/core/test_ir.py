@@ -1,0 +1,109 @@
+"""Tests for IR expressions, statements, and pretty printing."""
+
+import pytest
+
+from repro.core import (
+    BinOp,
+    Block,
+    Const,
+    ForRange,
+    IfStmt,
+    IndexLaunch,
+    Program,
+    PureCall,
+    ScalarAssign,
+    ScalarRef,
+    UnaryOp,
+    WhileLoop,
+    as_expr,
+    evaluate,
+    format_program,
+    walk,
+)
+
+
+class TestExpressions:
+    def test_const(self):
+        assert evaluate(Const(5), {}) == 5
+        assert Const(5).refs() == set()
+
+    def test_scalar_ref(self):
+        assert evaluate(ScalarRef("x"), {"x": 3}) == 3
+        assert ScalarRef("x").refs() == {"x"}
+        with pytest.raises(NameError):
+            evaluate(ScalarRef("nope"), {})
+
+    def test_binops(self):
+        env = {"a": 7, "b": 2}
+        cases = {"+": 9, "-": 5, "*": 14, "/": 3.5, "//": 3, "%": 1,
+                 "<": False, "<=": False, ">": True, ">=": True,
+                 "==": False, "!=": True, "min": 2, "max": 7}
+        for op, want in cases.items():
+            assert evaluate(BinOp(op, ScalarRef("a"), ScalarRef("b")), env) == want
+
+    def test_bool_ops(self):
+        assert evaluate(BinOp("and", Const(True), Const(False)), {}) is False
+        assert evaluate(BinOp("or", Const(False), Const(True)), {}) is True
+
+    def test_unknown_binop(self):
+        with pytest.raises(ValueError):
+            BinOp("**", Const(1), Const(2))
+
+    def test_unary(self):
+        assert evaluate(UnaryOp("-", Const(4)), {}) == -4
+        assert evaluate(UnaryOp("not", Const(0)), {}) is True
+
+    def test_pure_call(self):
+        e = PureCall(lambda a, b: a * 10 + b, (ScalarRef("x"), Const(3)))
+        assert evaluate(e, {"x": 2}) == 23
+        assert e.refs() == {"x"}
+
+    def test_refs_compose(self):
+        e = BinOp("+", ScalarRef("a"), BinOp("*", ScalarRef("b"), Const(2)))
+        assert e.refs() == {"a", "b"}
+
+    def test_as_expr(self):
+        assert isinstance(as_expr("x"), ScalarRef)
+        assert isinstance(as_expr(3), Const)
+        e = Const(1)
+        assert as_expr(e) is e
+
+
+class TestStatements:
+    def test_walk_covers_nested(self):
+        inner = ScalarAssign("x", Const(1))
+        loop = ForRange("t", Const(0), Const(3), Block([inner]))
+        cond = IfStmt(Const(True), Block([loop]), Block([ScalarAssign("y", Const(2))]))
+        kinds = [type(s).__name__ for s in walk(Block([cond]))]
+        assert kinds == ["Block", "IfStmt", "Block", "ForRange", "Block",
+                         "ScalarAssign", "Block", "ScalarAssign"]
+
+    def test_uids_unique(self):
+        a = ScalarAssign("x", Const(1))
+        b = ScalarAssign("x", Const(1))
+        assert a.uid != b.uid
+
+    def test_while_blocks(self):
+        w = WhileLoop(Const(False), Block([]))
+        assert len(w.blocks()) == 1
+
+
+class TestFormat:
+    def test_format_fig2(self, fig2):
+        text = format_program(fig2.build())
+        assert "for t = 0, T do" in text
+        assert "TF(PB[i], PA[i])" in text
+        assert "TG(PA[i], QB[i])" in text
+
+    def test_format_control_flow(self):
+        from repro.core import ProgramBuilder
+        b = ProgramBuilder("p")
+        b.let("x", 0)
+        with b.while_loop(BinOp("<", ScalarRef("x"), Const(3))):
+            b.assign("x", BinOp("+", ScalarRef("x"), Const(1)))
+        with b.if_stmt(BinOp(">", ScalarRef("x"), Const(10))):
+            b.assign("x", Const(0))
+        text = format_program(b.build())
+        assert "while (x < 3) do" in text
+        assert "if (x > 10) then" in text
+        assert "x = (x + 1)" in text

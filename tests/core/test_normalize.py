@@ -1,0 +1,95 @@
+"""Tests for projection normalization (paper §2.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    IndexLaunch,
+    ProgramBuilder,
+    normalize_projections,
+    walk,
+)
+from repro.regions import ispace, partition_block, region
+from repro.tasks import R, RW, task
+
+
+@task(privileges=[RW("v"), R("v")], name="two")
+def two(A, B):
+    pass
+
+
+@pytest.fixture
+def env():
+    Rg = region(ispace(size=16), {"v": np.float64}, name="R")
+    I = ispace(size=4, name="I")
+    P = partition_block(Rg, I, name="P")
+    return Rg, I, P
+
+
+def launches(prog):
+    return [s for s in walk(prog.body) if isinstance(s, IndexLaunch)]
+
+
+class TestNormalize:
+    def test_identity_untouched(self, env):
+        Rg, I, P = env
+        b = ProgramBuilder()
+        b.launch(two, I, P, P)
+        prog = b.build()
+        norm = normalize_projections(prog)
+        (l,) = launches(norm)
+        assert l.region_args[0].proj.partition is P
+
+    def test_shift_projection_materialized(self, env):
+        Rg, I, P = env
+        b = ProgramBuilder()
+        with b.for_range("t", 0, 2):
+            b.launch(two, I, P, (P, lambda i: (i + 1) % 4, "shift"))
+        norm = normalize_projections(b.build())
+        (l,) = launches(norm)
+        q = l.region_args[1].proj.partition
+        assert q is not P
+        assert l.region_args[1].proj.is_identity
+        assert not q.disjoint  # conservatively aliased
+        for i in range(4):
+            assert q.subset(i) == P.subset((i + 1) % 4)
+
+    def test_out_of_range_colors_become_empty(self, env):
+        Rg, I, P = env
+        b = ProgramBuilder()
+        b.launch(two, I, P, (P, lambda i: i + 1, "up"))  # i=3 -> color 4: empty
+        norm = normalize_projections(b.build())
+        (l,) = launches(norm)
+        q = l.region_args[1].proj.partition
+        assert q.subset(3).count == 0
+        assert q.subset(0) == P.subset(1)
+
+    def test_same_projection_shared(self, env):
+        Rg, I, P = env
+        fn = lambda i: (i + 1) % 4
+        b = ProgramBuilder()
+        b.launch(two, I, P, (P, fn, "s"))
+        b.launch(two, I, P, (P, fn, "s"))
+        norm = normalize_projections(b.build())
+        l1, l2 = launches(norm)
+        assert l1.region_args[1].proj.partition is l2.region_args[1].proj.partition
+
+    def test_scalars_preserved(self, env):
+        Rg, I, P = env
+        b = ProgramBuilder()
+        b.let("T", 7)
+        b.launch(two, I, P, (P, lambda i: i, "id2"))
+        norm = normalize_projections(b.build())
+        assert norm.scalars == {"T": 7}
+
+    def test_nested_control_flow_rewritten(self, env):
+        Rg, I, P = env
+        b = ProgramBuilder()
+        b.let("c", True)
+        with b.while_loop("c"):
+            with b.if_stmt("c"):
+                b.launch(two, I, P, (P, lambda i: i, "idf"))
+            b.assign("c", False)
+        norm = normalize_projections(b.build())
+        (l,) = launches(norm)
+        assert l.region_args[1].proj.is_identity

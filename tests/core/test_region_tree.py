@@ -1,0 +1,99 @@
+"""Tests for the symbolic region-tree analysis (paper §2.3, Figs. 3 & 5)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    SymbolicRegionTree,
+    partitions_may_interfere,
+    regions_may_alias_symbolic,
+)
+from repro.regions import (
+    ispace,
+    partition_block,
+    partition_by_image,
+    private_ghost_decomposition,
+    region,
+)
+
+
+@pytest.fixture
+def fig3(fig2):
+    """The region tree of paper Fig. 3 (from the Fig. 2 program)."""
+    return fig2
+
+
+class TestFig3:
+    def test_pa_vs_pb_different_trees(self, fig3):
+        assert not partitions_may_interfere(fig3.PA, fig3.PB)
+
+    def test_pb_vs_qb_same_tree_unprovable(self, fig3):
+        assert partitions_may_interfere(fig3.PB, fig3.QB)
+        assert partitions_may_interfere(fig3.QB, fig3.PB)
+
+    def test_self_disjoint(self, fig3):
+        assert not partitions_may_interfere(fig3.PB, fig3.PB)
+        assert partitions_may_interfere(fig3.QB, fig3.QB)  # aliased with itself
+
+    def test_symbolic_siblings(self, fig3):
+        # PB[i] vs PB[j]: same disjoint partition, indices unknown -> may
+        # alias unless known distinct.
+        assert regions_may_alias_symbolic(fig3.PB[0], fig3.PB[0])
+        assert not regions_may_alias_symbolic(fig3.PB[0], fig3.PB[1])
+        assert regions_may_alias_symbolic(fig3.PB[0], fig3.PB[0], same_index=True)
+        assert not regions_may_alias_symbolic(fig3.PB[0], fig3.PB[1],
+                                              same_index=False)
+
+    def test_containment_always_aliases(self, fig3):
+        assert regions_may_alias_symbolic(fig3.B, fig3.PB[0])
+        assert regions_may_alias_symbolic(fig3.QB[1], fig3.B)
+
+
+class TestFig5:
+    """The hierarchical tree of paper Fig. 5."""
+
+    @pytest.fixture
+    def pg(self):
+        R = region(ispace(size=40), {"v": np.float64}, name="B")
+        owned = partition_block(R, 4, name="PB")
+        accessed = partition_by_image(
+            R, owned, func=lambda p: np.minimum(p + 3, 39), name="QB")
+        return private_ghost_decomposition(R, owned, accessed, name="fig5")
+
+    def test_private_provably_clean(self, pg):
+        assert not partitions_may_interfere(pg.private_part, pg.ghost_part)
+        assert not partitions_may_interfere(pg.private_part, pg.shared_part)
+
+    def test_shared_vs_ghost_interfere(self, pg):
+        assert partitions_may_interfere(pg.shared_part, pg.ghost_part)
+
+    def test_format_tree(self, pg):
+        tree = SymbolicRegionTree([pg.private_part, pg.shared_part, pg.ghost_part])
+        text = tree.format()
+        assert "B" in text
+        assert "(disjoint)" in text
+        assert "(aliased)" in text
+        assert "fig5_private" in text
+
+    def test_format_symbolic_children(self, pg):
+        # Without instantiated subregions the tree prints symbolic leaves.
+        tree = SymbolicRegionTree([pg.private_part])
+        assert "[i]" in tree.format() or "fig5_private[" in tree.format()
+
+
+class TestEdgeCases:
+    def test_empty_partition_rejected(self):
+        R = region(ispace(size=4), {"v": np.float64})
+        from repro.regions import Partition
+        p = Partition(R, [], disjoint=True)
+        q = Partition(R, [], disjoint=True)
+        with pytest.raises(ValueError):
+            partitions_may_interfere(p, q)
+        # Self-comparison never needs a representative subregion.
+        assert not partitions_may_interfere(p, p)
+
+    def test_two_block_partitions_of_same_region_interfere(self):
+        R = region(ispace(size=16), {"v": np.float64})
+        p1 = partition_block(R, 2)
+        p2 = partition_block(R, 4)
+        assert partitions_may_interfere(p1, p2)

@@ -1,0 +1,257 @@
+"""Tests for fragment identification and launch legality (paper §2.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CRLegalityError,
+    ProgramBuilder,
+    check_launch_legality,
+    find_fragments,
+    fragment_usage,
+    normalize_projections,
+)
+from repro.regions import ispace, partition_block, partition_by_image, region
+from repro.tasks import R, RW, Reduce, task
+
+
+@task(privileges=[RW("v")], name="wr")
+def wr(A):
+    A.write("v")[:] = 1.0
+
+
+@task(privileges=[R("v")], name="rd")
+def rd(A):
+    A.read("v")
+
+
+@task(privileges=[Reduce("+", "v")], name="red")
+def red(A):
+    pass
+
+
+@pytest.fixture
+def env():
+    Rg = region(ispace(size=16), {"v": np.float64}, name="R")
+    I = ispace(size=4, name="I")
+    P = partition_block(Rg, I, name="P")
+    Q = partition_by_image(Rg, P, func=lambda p: (p + 1) % 16, name="Q")
+    return Rg, I, P, Q
+
+
+class TestLegality:
+    def test_write_through_disjoint_ok(self, env):
+        Rg, I, P, Q = env
+        b = ProgramBuilder()
+        b.launch(wr, I, P)
+        prog = b.build()
+        check_launch_legality(prog.body.stmts[0])
+
+    def test_write_through_aliased_rejected(self, env):
+        Rg, I, P, Q = env
+        b = ProgramBuilder()
+        b.launch(wr, I, Q)
+        with pytest.raises(CRLegalityError):
+            check_launch_legality(b.build().body.stmts[0])
+
+    def test_read_through_aliased_ok(self, env):
+        Rg, I, P, Q = env
+        b = ProgramBuilder()
+        b.launch(rd, I, Q)
+        check_launch_legality(b.build().body.stmts[0])
+
+    def test_reduce_through_aliased_ok(self, env):
+        Rg, I, P, Q = env
+        b = ProgramBuilder()
+        b.launch(red, I, Q)
+        check_launch_legality(b.build().body.stmts[0])
+
+    def test_unnormalized_projection_rejected(self, env):
+        Rg, I, P, Q = env
+        b = ProgramBuilder()
+        b.launch(rd, I, (P, lambda i: (i + 1) % 4, "shift"))
+        with pytest.raises(CRLegalityError):
+            check_launch_legality(b.build().body.stmts[0])
+
+
+class TestFragments:
+    def test_whole_loop_is_one_fragment(self, env):
+        Rg, I, P, Q = env
+        b = ProgramBuilder()
+        b.let("T", 2)
+        with b.for_range("t", 0, "T"):
+            b.launch(wr, I, P)
+            b.launch(rd, I, Q)
+        frags = find_fragments(b.build())
+        assert len(frags) == 1
+        assert (frags[0].start, frags[0].stop) == (0, 1)
+
+    def test_single_call_splits_fragments(self, env):
+        Rg, I, P, Q = env
+        b = ProgramBuilder()
+        b.launch(wr, I, P)
+        b.call(rd, [Rg])
+        b.launch(rd, I, P)
+        frags = find_fragments(b.build())
+        assert len(frags) == 2
+        assert frags[0].stop <= 1 and frags[1].start >= 2
+
+    def test_illegal_launch_splits(self, env):
+        Rg, I, P, Q = env
+        b = ProgramBuilder()
+        b.launch(wr, I, P)
+        b.launch(wr, I, Q)  # illegal: write through aliased
+        b.launch(rd, I, P)
+        frags = find_fragments(b.build())
+        assert len(frags) == 2
+
+    def test_scalar_only_run_not_a_fragment(self, env):
+        b = ProgramBuilder()
+        b.assign("x", 1)
+        b.assign("y", 2)
+        assert find_fragments(b.build()) == []
+
+    def test_loop_with_illegal_body_excluded(self, env):
+        Rg, I, P, Q = env
+        b = ProgramBuilder()
+        with b.for_range("t", 0, 2):
+            b.launch(wr, I, Q)
+        assert find_fragments(b.build()) == []
+
+    def test_if_inside_fragment(self, env):
+        Rg, I, P, Q = env
+        b = ProgramBuilder()
+        b.let("flag", True)
+        with b.for_range("t", 0, 2):
+            with b.if_stmt("flag"):
+                b.launch(wr, I, P)
+        frags = find_fragments(b.build())
+        assert len(frags) == 1
+
+
+class TestUsage:
+    def test_usage_summary(self, env):
+        Rg, I, P, Q = env
+        b = ProgramBuilder()
+        with b.for_range("t", 0, 2):
+            b.launch(wr, I, P)
+            b.launch(rd, I, Q)
+            b.launch(red, I, Q)
+        frag = find_fragments(b.build())[0]
+        usage = fragment_usage(frag)
+        assert usage.writes[P] == {"v"}
+        assert usage.reads[Q] == {"v"}
+        assert usage.reduces[Q]["+"] == {"v"}
+        assert usage.accessed_fields(Q) == {"v"}
+        assert usage.read_or_written_fields(P) == {"v"}
+        assert len(usage.partitions) == 2
+        assert [d.name for d in usage.launch_domains] == [I.name]
+        assert len(usage.launches) == 3
+
+
+class TestIntraLaunchInterference:
+    """The §2.2 rule my fuzzer exposed: writing one partition while
+    reading another *of the same tree* that may overlap it makes the
+    launch's iterations dependent."""
+
+    @pytest.fixture
+    def same_tree(self):
+        Rg = region(ispace(size=16), {"v": np.float64, "w": np.float64},
+                    name="S")
+        I = ispace(size=4, name="IS")
+        P = partition_block(Rg, I, name="SP")
+        Q = partition_by_image(Rg, P, func=lambda p: (p + 1) % 16, name="SQ")
+        return Rg, I, P, Q
+
+    def test_write_plus_aliased_read_same_tree_rejected(self, same_tree):
+        Rg, I, P, Q = same_tree
+
+        @task(privileges=[RW("v"), R("v")], name="wr_rd")
+        def wr_rd(W, Rv):
+            pass
+
+        b = ProgramBuilder()
+        b.launch(wr_rd, I, P, Q)
+        with pytest.raises(CRLegalityError, match="interfere"):
+            check_launch_legality(b.build().body.stmts[0])
+
+    def test_same_partition_twice_is_fine(self, same_tree):
+        Rg, I, P, Q = same_tree
+
+        @task(privileges=[RW("v"), R("v")], name="wr_self2")
+        def wr_self2(W, Rv):
+            pass
+
+        b = ProgramBuilder()
+        b.launch(wr_self2, I, P, P)
+        check_launch_legality(b.build().body.stmts[0])
+
+    def test_disjoint_fields_are_fine(self, same_tree):
+        """MiniAero's pattern: write `res` while reading `u` through an
+        overlapping partition of the same tree."""
+        Rg, I, P, Q = same_tree
+
+        @task(privileges=[RW("v"), R("w")], name="wr_other_field")
+        def wr_other_field(W, Rv):
+            pass
+
+        b = ProgramBuilder()
+        b.launch(wr_other_field, I, P, Q)
+        check_launch_legality(b.build().body.stmts[0])
+
+    def test_same_op_reductions_commute(self, same_tree):
+        Rg, I, P, Q = same_tree
+
+        @task(privileges=[Reduce("+", "v"), Reduce("+", "v")], name="rr")
+        def rr(A, B):
+            pass
+
+        b = ProgramBuilder()
+        b.launch(rr, I, Q, Q)
+        check_launch_legality(b.build().body.stmts[0])
+
+    def test_mixed_op_reductions_rejected(self, same_tree):
+        Rg, I, P, Q = same_tree
+        Q2 = partition_by_image(Rg, P, func=lambda p: (p + 2) % 16, name="SQ2")
+
+        @task(privileges=[Reduce("+", "v"), Reduce("min", "v")], name="rmix")
+        def rmix(A, B):
+            pass
+
+        b = ProgramBuilder()
+        b.launch(rmix, I, Q, Q2)
+        with pytest.raises(CRLegalityError, match="interfere"):
+            check_launch_legality(b.build().body.stmts[0])
+
+    def test_write_plus_reduce_same_tree_rejected(self, same_tree):
+        Rg, I, P, Q = same_tree
+
+        @task(privileges=[RW("v"), Reduce("+", "v")], name="wred")
+        def wred(W, A):
+            pass
+
+        b = ProgramBuilder()
+        b.launch(wred, I, P, Q)
+        with pytest.raises(CRLegalityError, match="interfere"):
+            check_launch_legality(b.build().body.stmts[0])
+
+    def test_hierarchical_tree_makes_it_legal(self):
+        """The §4.5 payoff: private/shared/ghost makes the PENNANT/circuit
+        write+reduce pattern statically legal."""
+        from repro.regions import private_ghost_decomposition
+        Rg = region(ispace(size=40), {"f": np.float64}, name="H")
+        owned = partition_block(Rg, 4, name="Ho")
+        acc = partition_by_image(Rg, owned,
+                                 func=lambda p: np.minimum(p + 2, 39),
+                                 name="Ha")
+        pg = private_ghost_decomposition(Rg, owned, acc)
+
+        @task(privileges=[RW("f"), Reduce("+", "f"), Reduce("+", "f")],
+              name="forces")
+        def forces(P, S, G):
+            pass
+
+        b = ProgramBuilder()
+        b.launch(forces, ispace(size=4), pg.private_part, pg.shared_part,
+                 pg.remote_ghost_part)
+        check_launch_legality(b.build().body.stmts[0])

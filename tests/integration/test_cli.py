@@ -1,0 +1,76 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import APP_FACTORIES, build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_verify_defaults(self):
+        args = build_parser().parse_args(["verify", "stencil"])
+        assert args.shards == 4 and args.mode == "stepped"
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["verify", "nbody"])
+
+
+class TestCommands:
+    @pytest.mark.parametrize("app", sorted(APP_FACTORIES))
+    def test_verify_each_app(self, app, capsys):
+        rc = main(["verify", app, "--tiles", "4", "--steps", "2",
+                   "--shards", "2"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "OK" in out and "MISMATCH" not in out
+
+    def test_verify_threaded_barrier(self, capsys):
+        rc = main(["verify", "circuit", "--steps", "2", "--mode", "threaded",
+                   "--sync", "barrier"])
+        assert rc == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_compile(self, capsys):
+        rc = main(["compile", "stencil", "--steps", "2"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "before control replication" in out
+        assert "must_epoch" in out
+
+    def test_figure_small(self, capsys):
+        rc = main(["figure", "9", "--max-nodes", "4"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "Figure 9" in out
+
+    def test_apps(self, capsys):
+        rc = main(["apps"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        for name in APP_FACTORIES:
+            assert name in out
+
+    def test_square_stencil_flag(self, capsys):
+        rc = main(["verify", "stencil", "--shape", "square", "--steps", "2",
+                   "--size", "16"])
+        assert rc == 0
+
+
+class TestExplainCommand:
+    def test_explain_shard(self, capsys):
+        rc = main(["explain", "circuit", "--steps", "2", "--shards", "2",
+                   "--shard", "1"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "shard 1 of 2" in out
+        assert "channels:" in out
+
+    def test_figure_csv(self, capsys):
+        rc = main(["figure", "9", "--max-nodes", "2", "--csv"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert out.startswith("figure,series,nodes")

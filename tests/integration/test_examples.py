@@ -1,0 +1,47 @@
+"""The example scripts are part of the product: they must run clean."""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name, capsys):
+    path = EXAMPLES / name
+    assert path.exists(), f"missing example {name}"
+    globs = runpy.run_path(str(path), run_name="not_main")
+    rc = globs["main"]()
+    assert rc == 0
+    return capsys.readouterr().out
+
+
+def test_quickstart(capsys):
+    out = run_example("quickstart.py", capsys)
+    assert "must_epoch" in out
+    assert "identical to sequential semantics: True" in out
+
+
+def test_heat_diffusion(capsys):
+    out = run_example("heat_diffusion.py", capsys)
+    assert "sequential == SPMD: True" in out
+
+
+def test_circuit_simulation(capsys):
+    out = run_example("circuit_simulation.py", capsys)
+    assert "match sequential semantics: True" in out
+    assert "region tree" in out
+
+
+def test_lagrangian_hydro(capsys):
+    out = run_example("lagrangian_hydro.py", capsys)
+    assert "adaptive dt" in out
+    assert "match sequential semantics: True" in out
+
+
+@pytest.mark.slow
+def test_weak_scaling_preview(capsys):
+    out = run_example("weak_scaling_preview.py", capsys)
+    assert "Figure 6" in out and "Figure 9" in out

@@ -1,0 +1,162 @@
+"""Tests for the execution models: the structural scaling phenomena."""
+
+import pytest
+
+from repro.machine import (
+    AppWorkload,
+    MachineModel,
+    PhaseSpec,
+    simulate_mpi,
+    simulate_regent_cr,
+    simulate_regent_noncr,
+)
+from repro.machine.execution_models import _noise
+from repro.machine.patterns import halo_edges_2d
+
+
+def toy_workload(tpn=4, step_seconds=0.1, collective=False, noise=0.0):
+    edges = lambda tiles: halo_edges_2d(tiles, 1000)
+    return AppWorkload(
+        name="toy", tiles_per_node=tpn,
+        phases=[PhaseSpec("a", 0.6 * step_seconds, edges),
+                PhaseSpec("b", 0.4 * step_seconds, None)],
+        points_per_node=1e6, collective=collective,
+        collective_consumer_phase=1,
+        noise_prob=noise, noise_delay=0.02)
+
+
+@pytest.fixture
+def machine():
+    return MachineModel(cores_per_node=4, dedicated_analysis_core=True)
+
+
+class TestControlThreadSaturation:
+    """The paper's core phenomenon: O(N) launches kill un-replicated runs."""
+
+    def test_cr_flat_noncr_collapses(self, machine):
+        w = toy_workload(tpn=3)
+        cr1 = simulate_regent_cr(w, machine, 1).seconds_per_step
+        cr64 = simulate_regent_cr(w, machine, 64).seconds_per_step
+        nc1 = simulate_regent_noncr(w, machine, 1).seconds_per_step
+        nc64 = simulate_regent_noncr(w, machine, 64).seconds_per_step
+        assert cr64 == pytest.approx(cr1, rel=0.05)       # CR weak-scales
+        assert nc64 > 2.0 * nc1                           # no-CR saturates
+        # At saturation the control thread is the whole step.
+        expect = 64 * 3 * 2 * machine.launch_overhead
+        assert nc64 == pytest.approx(expect, rel=0.2)
+
+    def test_noncr_matches_cr_at_small_scale(self, machine):
+        w = toy_workload(tpn=3)
+        cr = simulate_regent_cr(w, machine, 2).seconds_per_step
+        nc = simulate_regent_noncr(w, machine, 2).seconds_per_step
+        assert nc == pytest.approx(cr, rel=0.1)
+
+    def test_knee_scales_with_launch_overhead(self, machine):
+        w = toy_workload(tpn=3)
+        fast = machine.with_(launch_overhead=machine.launch_overhead / 4)
+        nc_slow = simulate_regent_noncr(w, machine, 64).seconds_per_step
+        nc_fast = simulate_regent_noncr(w, fast, 64).seconds_per_step
+        assert nc_fast < nc_slow
+
+
+class TestMPIModel:
+    def test_mpi_flat_without_collective(self, machine):
+        w = toy_workload(tpn=4)
+        t1 = simulate_mpi(w, machine, 1).seconds_per_step
+        t64 = simulate_mpi(w, machine, 64).seconds_per_step
+        assert t64 == pytest.approx(t1, rel=0.05)
+
+    def test_blocking_collective_amplifies_noise(self, machine):
+        wq = toy_workload(tpn=4, collective=True, noise=0.002)
+        t1 = simulate_mpi(wq, machine, 1).seconds_per_step
+        t64 = simulate_mpi(wq, machine, 64).seconds_per_step
+        assert t64 > t1 * 1.05  # noise + blocking allreduce costs efficiency
+
+    def test_cr_absorbs_noise_better_than_mpi(self, machine):
+        wq = toy_workload(tpn=3, collective=True, noise=0.002)
+        wm = toy_workload(tpn=4, collective=True, noise=0.002)
+        cr_eff = (simulate_regent_cr(wq, machine, 1).seconds_per_step
+                  / simulate_regent_cr(wq, machine, 64).seconds_per_step)
+        mpi_eff = (simulate_mpi(wm, machine, 1).seconds_per_step
+                   / simulate_mpi(wm, machine, 64).seconds_per_step)
+        assert cr_eff > mpi_eff
+
+    def test_dedicated_core_capacity(self, machine):
+        """Regent runs point tasks on cores_per_node - 1 workers: with one
+        tile per usable core both configurations finish a phase in one
+        wave, but Regent cannot fit a fourth concurrent tile."""
+        w4 = toy_workload(tpn=4)
+        cr = simulate_regent_cr(w4, machine, 1)     # 4 tiles on 3 cores
+        mpi = simulate_mpi(w4, machine, 1)          # 4 tiles on 4 cores
+        assert cr.seconds_per_step > 1.3 * mpi.seconds_per_step
+
+
+class TestNoise:
+    def test_deterministic(self):
+        w = toy_workload(noise=0.5)
+        a = _noise(w, 3, 1, 0)
+        b = _noise(w, 3, 1, 0)
+        assert a == b
+
+    def test_probability_zero_means_silent(self):
+        w = toy_workload(noise=0.0)
+        assert all(_noise(w, t, s, p) == 0.0
+                   for t in range(10) for s in range(3) for p in range(2))
+
+    def test_scales(self):
+        w = toy_workload(noise=0.1)
+        hits = sum(_noise(w, t, 0, 0) > 0 for t in range(2000))
+        assert 100 < hits < 320  # ~10% of 2000
+        hits_scaled = sum(_noise(w, t, 0, 0, prob_scale=4.0) > 0
+                          for t in range(2000))
+        assert hits_scaled > 2.5 * hits
+
+    def test_delay_scale(self):
+        w = toy_workload(noise=1.0)
+        assert _noise(w, 0, 0, 0, delay_scale=2.0) == pytest.approx(0.04)
+
+
+class TestFromGraphIntegration:
+    def test_stencil_dependence_graph_vs_analytic(self, machine):
+        """The dependence-graph-derived no-CR simulation and the analytic
+        model agree on step cost in the saturated regime."""
+        from repro.apps.stencil import StencilProblem
+        from repro.machine.from_graph import simulate_dependence_graph
+        from repro.runtime.dependence import DependenceAnalyzer
+
+        p = StencilProblem(n=24, radius=2, tiles=8, steps=3)
+        an = DependenceAnalyzer(instances=p.fresh_instances())
+        an.run(p.build_program())
+        # Saturated regime: launches dominate task time.
+        m = machine.with_(launch_overhead=2e-3)
+        makespan = simulate_dependence_graph(
+            an.graph, m, nodes=2, num_tiles=8, task_seconds=1e-4,
+            comm_bytes=4096)
+        n_ops = len(an.graph)
+        assert n_ops == 8 * 2 * 3
+        assert makespan == pytest.approx(n_ops * 2e-3, rel=0.15)
+
+
+class TestMappingKnob:
+    def test_more_nodes_per_shard_is_never_faster(self, machine):
+        from repro.machine.execution_models import simulate_regent_cr
+        w = toy_workload(tpn=3, step_seconds=0.002)
+        times = [simulate_regent_cr(w, machine, 16,
+                                    nodes_per_shard=k).seconds_per_step
+                 for k in (1, 4, 16)]
+        # Monotone up to scheduler noise; saturated at the far end.
+        assert times[0] <= times[1] * 1.01 <= times[2] * 1.01
+        assert times[2] > 1.5 * times[0]
+
+    def test_all_nodes_one_shard_approaches_launch_bound(self, machine):
+        from repro.machine.execution_models import simulate_regent_cr
+        w = toy_workload(tpn=3, step_seconds=0.002)
+        res = simulate_regent_cr(w, machine, 32, nodes_per_shard=32)
+        floor = 32 * 3 * 2 * machine.shard_launch_overhead
+        assert res.seconds_per_step >= 0.9 * floor
+
+    def test_invalid_knob(self, machine):
+        from repro.machine.execution_models import simulate_regent_cr
+        w = toy_workload()
+        with pytest.raises(ValueError):
+            simulate_regent_cr(w, machine, 4, nodes_per_shard=0)

@@ -1,0 +1,85 @@
+"""Tests for the BVH and structured shallow intersections."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.regions import (
+    BVH,
+    IntervalSet,
+    Rect,
+    ispace,
+    partition_blocks_nd,
+    region,
+    structured_intersection_pairs,
+)
+
+
+class TestBVH:
+    def test_empty(self):
+        assert BVH([]).query(Rect((0,), (10,))) == []
+
+    def test_single(self):
+        t = BVH([Rect((0, 0), (2, 2))])
+        assert t.query(Rect((1, 1), (3, 3))) == [0]
+        assert t.query(Rect((2, 2), (3, 3))) == []
+
+    def test_empty_rects_skipped(self):
+        t = BVH([Rect((0, 0), (0, 0)), Rect((1, 1), (2, 2))])
+        assert t.query(Rect((0, 0), (5, 5))) == [1]
+
+    def test_custom_labels(self):
+        t = BVH([Rect((0,), (1,)), Rect((5,), (6,))], labels=[10, 20])
+        assert sorted(t.query(Rect((0,), (10,)))) == [10, 20]
+
+    @given(st.lists(st.tuples(st.integers(0, 20), st.integers(0, 20),
+                              st.integers(1, 5), st.integers(1, 5)),
+                    min_size=1, max_size=25),
+           st.tuples(st.integers(0, 20), st.integers(0, 20),
+                     st.integers(1, 6), st.integers(1, 6)))
+    @settings(max_examples=60)
+    def test_query_matches_bruteforce(self, boxes, q):
+        rects = [Rect((x, y), (x + w, y + h)) for x, y, w, h in boxes]
+        qr = Rect((q[0], q[1]), (q[0] + q[2], q[1] + q[3]))
+        t = BVH(rects)
+        got = sorted(t.query(qr))
+        want = sorted(i for i, r in enumerate(rects) if r.overlaps(qr))
+        assert got == want
+
+
+class TestStructuredPairs:
+    def test_blocks_vs_inflated_blocks(self):
+        A = region(ispace(shape=(12, 12)), {"v": np.float64})
+        p = partition_blocks_nd(A, (3, 3))
+        # Ghost = block bounding box inflated by 1 (clipped), as subsets.
+        ghosts = []
+        for c in p.colors:
+            from repro.regions import bounding_rect_of_intervals
+            r = bounding_rect_of_intervals(p.subset(c), (12, 12))
+            g = Rect(tuple(max(0, l - 1) for l in r.lo),
+                     tuple(min(12, h + 1) for h in r.hi))
+            ghosts.append(A.ispace.rect_subset(g))
+        pairs = structured_intersection_pairs(
+            [p.subset(c) for c in p.colors], ghosts, (12, 12))
+        brute = sorted((i, j) for i in range(9) for j in range(9)
+                       if p.subset(i).intersects(ghosts[j]))
+        # BVH gives candidates: a superset of the true pairs.
+        assert set(brute) <= set(pairs)
+        # And for rectangular subsets the bounding box is exact.
+        assert set(brute) == set(pairs)
+
+    def test_empty_inputs(self):
+        assert structured_intersection_pairs([IntervalSet.empty()],
+                                             [IntervalSet.empty()], (4, 4)) == []
+
+    def test_asymmetric_sides(self):
+        A = region(ispace(shape=(8, 8)), {"v": np.float64})
+        p = partition_blocks_nd(A, (2, 2))
+        whole = [A.index_set]
+        pairs = structured_intersection_pairs([p.subset(c) for c in p.colors],
+                                              whole, (8, 8))
+        assert pairs == [(0, 0), (1, 0), (2, 0), (3, 0)]
+        pairs2 = structured_intersection_pairs(whole,
+                                               [p.subset(c) for c in p.colors],
+                                               (8, 8))
+        assert pairs2 == [(0, 0), (0, 1), (0, 2), (0, 3)]

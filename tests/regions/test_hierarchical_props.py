@@ -1,0 +1,80 @@
+"""Property-based tests of the private/ghost decomposition (paper §4.5)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import partitions_may_interfere
+from repro.regions import (
+    IntervalSet,
+    ispace,
+    partition_block,
+    partition_by_image,
+    private_ghost_decomposition,
+    region,
+)
+
+
+@st.composite
+def decomposition(draw):
+    n = draw(st.integers(min_value=8, max_value=64))
+    colors = draw(st.integers(min_value=1, max_value=6))
+    table = np.array(draw(st.lists(st.integers(0, n - 1), min_size=n,
+                                   max_size=n)), dtype=np.int64)
+    R = region(ispace(size=n), {"v": np.float64})
+    owned = partition_block(R, colors)
+    accessed = partition_by_image(R, owned, func=lambda p: table[p])
+    return R, owned, accessed, private_ghost_decomposition(R, owned, accessed)
+
+
+class TestInvariants:
+    @given(decomposition())
+    @settings(max_examples=40, deadline=None)
+    def test_top_partitions_the_region(self, d):
+        R, owned, accessed, pg = d
+        assert pg.top.compute_disjoint()
+        assert pg.top.compute_complete()
+
+    @given(decomposition())
+    @settings(max_examples=40, deadline=None)
+    def test_private_plus_shared_is_owned(self, d):
+        R, owned, accessed, pg = d
+        for c in owned.colors:
+            assert (pg.private_part.subset(c) | pg.shared_part.subset(c)) \
+                == owned.subset(c)
+
+    @given(decomposition())
+    @settings(max_examples=40, deadline=None)
+    def test_ghost_definition(self, d):
+        """Element is ghost iff some color accesses it without owning it."""
+        R, owned, accessed, pg = d
+        for e in range(R.volume):
+            is_ghost = any(e in accessed.subset(c) and e not in owned.subset(c)
+                           for c in owned.colors)
+            assert (e in pg.all_ghost.index_set) == is_ghost
+
+    @given(decomposition())
+    @settings(max_examples=40, deadline=None)
+    def test_remote_ghost_disjoint_from_owned_per_color(self, d):
+        R, owned, accessed, pg = d
+        for c in owned.colors:
+            assert pg.remote_ghost_part.subset(c).isdisjoint(owned.subset(c))
+
+    @given(decomposition())
+    @settings(max_examples=40, deadline=None)
+    def test_private_never_interferes(self, d):
+        R, owned, accessed, pg = d
+        for other in (pg.shared_part, pg.ghost_part, pg.remote_ghost_part):
+            if other.num_colors:
+                assert not partitions_may_interfere(pg.private_part, other)
+
+    @given(decomposition())
+    @settings(max_examples=40, deadline=None)
+    def test_coverage_of_accesses(self, d):
+        """Everything a color accesses is reachable through its private,
+        shared, or remote-ghost window — the three task arguments."""
+        R, owned, accessed, pg = d
+        for c in owned.colors:
+            window = (pg.private_part.subset(c) | pg.shared_part.subset(c)
+                      | pg.remote_ghost_part.subset(c))
+            assert accessed.subset(c).issubset(window)

@@ -1,0 +1,77 @@
+"""Tests for structured and unstructured index spaces."""
+
+import numpy as np
+import pytest
+
+from repro.regions import IntervalSet, Rect, ispace
+
+
+class TestUnstructured:
+    def test_basic(self):
+        s = ispace(size=10, name="s")
+        assert s.size == 10 and not s.structured and s.dim == 1
+        assert s.points == IntervalSet.from_range(0, 10)
+        assert list(s) == list(range(10))
+        assert len(s) == 10
+
+    def test_zero_size(self):
+        assert ispace(size=0).points.count == 0
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            ispace(size=-1)
+
+    def test_structured_ops_rejected(self):
+        s = ispace(size=4)
+        with pytest.raises(TypeError):
+            s.linearize((0, 0))
+        with pytest.raises(TypeError):
+            s.rect_subset(Rect((0,), (1,)))
+        with pytest.raises(TypeError):
+            s.full_rect()
+
+    def test_subset_from_indices_bounds(self):
+        s = ispace(size=5)
+        assert s.subset_from_indices([0, 4]).count == 2
+        with pytest.raises(IndexError):
+            s.subset_from_indices([5])
+
+
+class TestStructured:
+    def test_basic(self):
+        g = ispace(shape=(3, 4))
+        assert g.size == 12 and g.structured and g.dim == 2
+        assert g.volume == 12
+
+    def test_linearize_delinearize(self):
+        g = ispace(shape=(3, 4))
+        assert g.linearize((1, 2)) == 6
+        x, y = g.delinearize(6)
+        assert (x, y) == (1, 2)
+
+    def test_linearize_batch(self):
+        g = ispace(shape=(3, 4))
+        coords = np.array([[0, 0], [2, 3]])
+        assert g.linearize(coords).tolist() == [0, 11]
+
+    def test_rect_subset(self):
+        g = ispace(shape=(4, 4))
+        sub = g.rect_subset(Rect((0, 0), (2, 2)))
+        assert sub.to_indices().tolist() == [0, 1, 4, 5]
+
+    def test_full_rect(self):
+        g = ispace(shape=(2, 5))
+        assert g.rect_subset(g.full_rect()) == g.points
+
+    def test_bad_shape(self):
+        with pytest.raises(ValueError):
+            ispace(shape=(0, 3))
+
+    def test_exactly_one_of_size_shape(self):
+        with pytest.raises(ValueError):
+            ispace()
+        with pytest.raises(ValueError):
+            ispace(size=3, shape=(3,))
+
+    def test_names_unique_by_default(self):
+        assert ispace(size=1).name != ispace(size=1).name

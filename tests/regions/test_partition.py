@@ -1,0 +1,281 @@
+"""Tests for partitions and the dependent-partitioning operators."""
+
+import numpy as np
+import pytest
+
+from repro.regions import (
+    IntervalSet,
+    PhysicalInstance,
+    ispace,
+    partition_block,
+    partition_blocks_nd,
+    partition_by_field,
+    partition_by_image,
+    partition_by_preimage,
+    partition_difference,
+    partition_equal,
+    partition_from_subsets,
+    partition_intersection,
+    partition_restrict,
+    partition_union,
+    region,
+)
+
+
+@pytest.fixture
+def R():
+    return region(ispace(size=20, name="u"), {"v": np.float64}, name="R")
+
+
+class TestPartitionBasics:
+    def test_subregions_cached(self, R):
+        p = partition_block(R, 4)
+        assert p[2] is p[2]
+        assert p[2].index_set == p.subset(2)
+
+    def test_colors(self, R):
+        p = partition_block(R, 4)
+        assert p.num_colors == 4 and len(p) == 4
+        assert [r.color for r in p] == [0, 1, 2, 3]
+
+    def test_out_of_range_color(self, R):
+        p = partition_block(R, 4)
+        with pytest.raises(IndexError):
+            p[4]
+
+    def test_subset_containment_enforced(self, R):
+        with pytest.raises(ValueError):
+            partition_from_subsets(R, [IntervalSet.from_range(0, 100)])
+
+    def test_compute_disjoint_complete(self, R):
+        p = partition_block(R, 4)
+        assert p.compute_disjoint() and p.compute_complete()
+        q = partition_from_subsets(
+            R, [IntervalSet.from_range(0, 12), IntervalSet.from_range(8, 20)])
+        assert not q.compute_disjoint()
+        assert q.compute_complete()
+
+    def test_repr(self, R):
+        assert "disjoint" in repr(partition_block(R, 2))
+
+
+class TestBlockEqual:
+    def test_block_even(self, R):
+        p = partition_block(R, 4)
+        assert [p.subset(c).count for c in p.colors] == [5, 5, 5, 5]
+        assert p.disjoint
+
+    def test_block_uneven(self, R):
+        p = partition_block(R, 3)
+        assert sum(p.subset(c).count for c in p.colors) == 20
+        assert max(p.subset(c).count for c in p.colors) - \
+               min(p.subset(c).count for c in p.colors) <= 1
+
+    def test_equal_on_sparse_region(self, R):
+        top = partition_from_subsets(
+            R, [IntervalSet.from_indices([0, 3, 5, 7, 11, 13, 17, 19])],
+            disjoint=True)
+        p = partition_equal(top[0], 3)
+        assert p.compute_disjoint()
+        assert p.union_of_subsets() == top[0].index_set
+
+    def test_equal_zero_colors(self, R):
+        with pytest.raises(ValueError):
+            partition_equal(R, 0)
+
+    def test_blocks_nd(self):
+        A = region(ispace(shape=(4, 6)), {"v": np.float64})
+        p = partition_blocks_nd(A, (2, 3))
+        assert p.num_colors == 6
+        assert p.compute_disjoint() and p.compute_complete()
+        assert p.subset(0).count == 4
+
+    def test_blocks_nd_requires_structured(self, R):
+        with pytest.raises(TypeError):
+            partition_blocks_nd(R, (2,))
+
+    def test_blocks_nd_rank_check(self):
+        A = region(ispace(shape=(4, 4)), {"v": np.float64})
+        with pytest.raises(ValueError):
+            partition_blocks_nd(A, (2,))
+
+
+class TestFieldImagePreimage:
+    def test_by_field(self, R):
+        inst = PhysicalInstance(R)
+        colors = np.arange(20) % 3
+        R2 = region(ispace(size=20), {"c": np.int64})
+        inst2 = PhysicalInstance(R2)
+        inst2.fields["c"][:] = colors
+        p = partition_by_field(R2, 3, inst2, "c")
+        assert p.disjoint and p.compute_disjoint()
+        assert p.subset(0).to_indices().tolist() == list(range(0, 20, 3))
+
+    def test_by_field_out_of_range_colors_dropped(self):
+        R2 = region(ispace(size=4), {"c": np.int64})
+        inst = PhysicalInstance(R2)
+        inst.fields["c"][:] = [0, 1, 7, -2]
+        p = partition_by_field(R2, 2, inst, "c")
+        assert p.union_of_subsets().count == 2
+
+    def test_image_function(self, R):
+        src = partition_block(R, 4)
+        q = partition_by_image(R, src, func=lambda pts: np.minimum(pts + 1, 19))
+        assert not q.disjoint
+        assert q.subset(0).to_indices().tolist() == [1, 2, 3, 4, 5]
+
+    def test_image_subset_of_target(self, R):
+        src = partition_block(R, 4)
+        q = partition_by_image(R, src, func=lambda pts: pts * 3)
+        for c in q.colors:
+            assert q.subset(c).issubset(R.index_set)
+
+    def test_image_via_field(self):
+        W = region(ispace(size=6), {"ptr": np.int64})
+        N = region(ispace(size=10), {"v": np.float64})
+        wi = PhysicalInstance(W)
+        wi.fields["ptr"][:] = [0, 1, 2, 5, 5, 9]
+        pw = partition_block(W, 2)
+        q = partition_by_image(N, pw, instance=wi, field="ptr")
+        assert q.subset(0).to_indices().tolist() == [0, 1, 2]
+        assert q.subset(1).to_indices().tolist() == [5, 9]
+
+    def test_image_arg_validation(self, R):
+        src = partition_block(R, 2)
+        with pytest.raises(ValueError):
+            partition_by_image(R, src)  # neither func nor field
+
+    def test_preimage_disjoint_when_single_valued(self, R):
+        tgt = partition_block(R, 4)
+        p = partition_by_preimage(R, tgt, func=lambda pts: (pts * 7) % 20)
+        assert p.disjoint
+        # Every point lands in the color owning f(p).
+        for c in p.colors:
+            pts = p.subset(c).to_indices()
+            assert tgt.subset(c).contains_points((pts * 7) % 20).all()
+
+    def test_preimage_multi_valued_aliased(self):
+        W = region(ispace(size=6), {"ptr": (np.int64, (2,))})
+        N = region(ispace(size=10), {"v": np.float64})
+        wi = PhysicalInstance(W)
+        wi.fields["ptr"][:] = [[0, 5], [1, 5], [2, 6], [3, 6], [4, 7], [0, 9]]
+        tgt = partition_block(N, 2)
+        p = partition_by_preimage(W, tgt, instance=wi, field="ptr")
+        assert not p.disjoint
+        # wire 0 points at nodes {0, 5}: both colors contain it.
+        assert 0 in p.subset(0) and 0 in p.subset(1)
+
+
+class TestSetOps:
+    def test_intersection(self, R):
+        a = partition_block(R, 2)
+        b = partition_from_subsets(
+            R, [IntervalSet.from_range(5, 15), IntervalSet.from_range(5, 15)])
+        c = partition_intersection(a, b)
+        assert c.subset(0) == IntervalSet.from_range(5, 10)
+        assert c.subset(1) == IntervalSet.from_range(10, 15)
+
+    def test_difference(self, R):
+        a = partition_block(R, 2)
+        b = partition_from_subsets(R, [IntervalSet.from_range(0, 3),
+                                       IntervalSet.from_range(0, 3)])
+        c = partition_difference(a, b)
+        assert c.subset(0) == IntervalSet.from_range(3, 10)
+        assert c.subset(1) == IntervalSet.from_range(10, 20)
+
+    def test_union(self, R):
+        a = partition_block(R, 2)
+        b = partition_block(R, 2)
+        c = partition_union(a, b)
+        assert not c.disjoint
+        assert c.subset(0) == a.subset(0)
+
+    def test_restrict(self, R):
+        top = partition_from_subsets(
+            R, [IntervalSet.from_range(0, 10), IntervalSet.from_range(10, 20)],
+            disjoint=True)
+        a = partition_block(R, 4)
+        rp = partition_restrict(a, top[0])
+        assert rp.parent is top[0]
+        assert rp.disjoint
+        assert rp.subset(2) == IntervalSet.empty() | (a.subset(2) & top[0].index_set)
+
+    def test_cross_tree_rejected(self, R):
+        other = region(ispace(size=20), {"v": np.float64})
+        a = partition_block(R, 2)
+        b = partition_block(other, 2)
+        with pytest.raises(ValueError):
+            partition_intersection(a, b)
+        with pytest.raises(ValueError):
+            partition_union(a, b)
+        with pytest.raises(ValueError):
+            partition_difference(a, b)
+        with pytest.raises(ValueError):
+            partition_restrict(a, other)
+
+    def test_from_subsets_computes_disjointness(self, R):
+        p = partition_from_subsets(R, [IntervalSet.from_range(0, 10),
+                                       IntervalSet.from_range(10, 20)])
+        assert p.disjoint
+        q = partition_from_subsets(R, [IntervalSet.from_range(0, 12),
+                                       IntervalSet.from_range(10, 20)])
+        assert not q.disjoint
+
+
+class TestHaloBlocks:
+    def test_halo_covers_square_neighbors(self):
+        from repro.regions import partition_blocks_nd, partition_halo_blocks_nd
+        A = region(ispace(shape=(12, 12)), {"v": np.float64})
+        blocks = partition_blocks_nd(A, (3, 3))
+        halo = partition_halo_blocks_nd(blocks, radius=1)
+        assert not halo.disjoint
+        # Interior block (1,1) = color 4: halo is its 4x4 box grown to 6x6.
+        assert halo.subset(4).count == 36
+        # Corner block: clipped at the boundary.
+        assert halo.subset(0).count == 25
+
+    def test_exclude_self(self):
+        from repro.regions import partition_blocks_nd, partition_halo_blocks_nd
+        A = region(ispace(shape=(12, 12)), {"v": np.float64})
+        blocks = partition_blocks_nd(A, (3, 3))
+        halo = partition_halo_blocks_nd(blocks, radius=1, include_self=False)
+        for c in blocks.colors:
+            assert halo.subset(c).isdisjoint(blocks.subset(c))
+        assert halo.subset(4).count == 36 - 16
+
+    def test_matches_square_image(self):
+        """Rect arithmetic agrees with the dense-neighbor image."""
+        from repro.regions import (partition_blocks_nd,
+                                   partition_halo_blocks_nd)
+        n, r = 12, 2
+        A = region(ispace(shape=(n, n)), {"v": np.float64})
+        blocks = partition_blocks_nd(A, (3, 3))
+
+        def dense(pts):
+            x, y = np.unravel_index(pts, (n, n))
+            out = [pts]
+            for dx in range(-r, r + 1):
+                for dy in range(-r, r + 1):
+                    xx, yy = x + dx, y + dy
+                    m = (xx >= 0) & (xx < n) & (yy >= 0) & (yy < n)
+                    out.append(np.ravel_multi_index((xx[m], yy[m]), (n, n)))
+            return np.concatenate(out)
+
+        img = partition_by_image(A, blocks, func=dense)
+        halo = partition_halo_blocks_nd(blocks, radius=r)
+        for c in blocks.colors:
+            assert halo.subset(c) == img.subset(c)
+
+    def test_requires_structured(self):
+        from repro.regions import partition_halo_blocks_nd
+        R2 = region(ispace(size=10), {"v": np.float64})
+        p = partition_block(R2, 2)
+        with pytest.raises(TypeError):
+            partition_halo_blocks_nd(p, radius=1)
+
+    def test_3d(self):
+        from repro.regions import partition_blocks_nd, partition_halo_blocks_nd
+        A = region(ispace(shape=(6, 6, 6)), {"v": np.float64})
+        blocks = partition_blocks_nd(A, (2, 2, 2))
+        halo = partition_halo_blocks_nd(blocks, radius=1)
+        assert halo.subset(0).count == 4 ** 3

@@ -1,0 +1,99 @@
+"""Property-based tests of the dependent-partitioning operators."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.regions import (
+    IntervalSet,
+    ispace,
+    partition_block,
+    partition_by_image,
+    partition_by_preimage,
+    partition_equal,
+    region,
+)
+
+
+@st.composite
+def sized_region(draw):
+    n = draw(st.integers(min_value=1, max_value=64))
+    return region(ispace(size=n), {"v": np.float64}), n
+
+
+@st.composite
+def region_and_colors(draw):
+    r, n = draw(sized_region())
+    colors = draw(st.integers(min_value=1, max_value=min(8, n)))
+    return r, n, colors
+
+
+class TestBlockEqualProperties:
+    @given(region_and_colors())
+    @settings(max_examples=50)
+    def test_block_is_disjoint_complete(self, rc):
+        r, n, colors = rc
+        p = partition_block(r, colors)
+        assert p.compute_disjoint()
+        assert p.compute_complete()
+
+    @given(region_and_colors())
+    @settings(max_examples=50)
+    def test_equal_is_balanced(self, rc):
+        r, n, colors = rc
+        p = partition_equal(r, colors)
+        sizes = [p.subset(c).count for c in p.colors]
+        assert max(sizes) - min(sizes) <= 1
+        assert sum(sizes) == n
+
+    @given(region_and_colors())
+    @settings(max_examples=50)
+    def test_block_subsets_ordered(self, rc):
+        r, n, colors = rc
+        p = partition_block(r, colors)
+        prev_hi = 0
+        for c in p.colors:
+            s = p.subset(c)
+            if s:
+                assert s.bounds[0] >= prev_hi
+                prev_hi = s.bounds[1]
+
+
+class TestImageProperties:
+    @given(region_and_colors(), st.data())
+    @settings(max_examples=50)
+    def test_image_contains_exactly_function_values(self, rc, data):
+        r, n, colors = rc
+        table = np.array(data.draw(st.lists(
+            st.integers(0, n - 1), min_size=n, max_size=n)), dtype=np.int64)
+        src = partition_block(r, colors)
+        q = partition_by_image(r, src, func=lambda pts: table[pts])
+        for c in src.colors:
+            expect = sorted({int(table[p]) for p in src.subset(c)})
+            assert q.subset(c).to_indices().tolist() == expect
+
+    @given(region_and_colors(), st.data())
+    @settings(max_examples=50)
+    def test_preimage_of_disjoint_is_disjoint_partition(self, rc, data):
+        r, n, colors = rc
+        table = np.array(data.draw(st.lists(
+            st.integers(0, n - 1), min_size=n, max_size=n)), dtype=np.int64)
+        tgt = partition_block(r, colors)
+        p = partition_by_preimage(r, tgt, func=lambda pts: table[pts])
+        assert p.disjoint
+        assert p.compute_disjoint()
+        # Preimage of a complete partition under a total function is complete.
+        assert p.compute_complete()
+
+    @given(region_and_colors(), st.data())
+    @settings(max_examples=50)
+    def test_image_preimage_galois(self, rc, data):
+        """p in preimage[c]  <=>  f(p) in target[c] — spot-check the law."""
+        r, n, colors = rc
+        table = np.array(data.draw(st.lists(
+            st.integers(0, n - 1), min_size=n, max_size=n)), dtype=np.int64)
+        tgt = partition_block(r, colors)
+        pre = partition_by_preimage(r, tgt, func=lambda pts: table[pts])
+        for c in range(colors):
+            for p in range(n):
+                assert (p in pre.subset(c)) == (int(table[p]) in tgt.subset(c))

@@ -1,0 +1,70 @@
+"""Tests for dynamic collectives (paper §4.4)."""
+
+import threading
+
+import pytest
+
+from repro.runtime import DynamicCollective
+
+
+class TestDynamicCollective:
+    def test_min_reduce(self):
+        c = DynamicCollective(3, "min")
+        c.contribute(1, 5.0)
+        c.contribute(1, 2.0)
+        ev = c.contribute(1, 9.0)
+        assert ev.is_set()
+        assert c.result(1) == 2.0
+
+    def test_sum_reduce(self):
+        c = DynamicCollective(2, "+")
+        c.contribute(1, 1.5)
+        c.contribute(1, 2.5)
+        assert c.result(1) == 4.0
+
+    def test_none_contributions_skipped(self):
+        c = DynamicCollective(3, "max")
+        c.contribute(1, None)
+        c.contribute(1, 7.0)
+        c.contribute(1, None)
+        assert c.result(1) == 7.0
+
+    def test_all_none_rejected(self):
+        c = DynamicCollective(2, "+")
+        c.contribute(1, None)
+        with pytest.raises(RuntimeError):
+            c.contribute(1, None)
+
+    def test_generations_independent(self):
+        c = DynamicCollective(2, "min")
+        c.contribute(1, 3.0)
+        c.contribute(2, 10.0)
+        c.contribute(2, 20.0)
+        assert c.result(2) == 10.0
+        assert not c.contribute(1, 4.0).is_set() or c.result(1) == 3.0
+
+    def test_over_arrival_rejected(self):
+        c = DynamicCollective(1, "+")
+        c.contribute(1, 1.0)
+        with pytest.raises(RuntimeError):
+            c.contribute(1, 1.0)
+
+    def test_unknown_op(self):
+        with pytest.raises(ValueError):
+            DynamicCollective(2, "median")
+
+    def test_threaded_allreduce(self):
+        c = DynamicCollective(8, "+")
+        results = [None] * 8
+
+        def worker(i):
+            ev = c.contribute(1, i)
+            ev.wait_blocking(1.0)
+            results[i] = c.result(1)
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert results == [28] * 8

@@ -1,0 +1,104 @@
+"""Tests for events, sequences, phase barriers."""
+
+import threading
+
+import pytest
+
+from repro.runtime import Event, GlobalBarrier, PhaseBarrier, Sequence
+
+
+class TestEvent:
+    def test_trigger(self):
+        e = Event()
+        assert not e.is_set()
+        e.trigger()
+        assert e.is_set()
+        assert e.wait_blocking(0.01)
+
+    def test_pre_triggered(self):
+        assert Event(triggered=True).is_set()
+
+    def test_repr(self):
+        assert "unset" in repr(Event())
+
+
+class TestSequence:
+    def test_monotone(self):
+        s = Sequence()
+        assert s.value == 0
+        s.advance_to(3)
+        s.advance_to(1)  # no going back
+        assert s.value == 3
+
+    def test_event_for_past_threshold(self):
+        s = Sequence()
+        s.advance_to(2)
+        assert s.event_for(2).is_set()
+        assert s.event_for(1).is_set()
+
+    def test_event_for_future_threshold(self):
+        s = Sequence()
+        ev = s.event_for(5)
+        assert not ev.is_set()
+        s.advance_to(4)
+        assert not ev.is_set()
+        s.advance_to(5)
+        assert ev.is_set()
+
+    def test_skipping_triggers_intermediate(self):
+        s = Sequence()
+        e3, e7 = s.event_for(3), s.event_for(7)
+        s.advance_to(10)
+        assert e3.is_set() and e7.is_set()
+
+
+class TestPhaseBarrier:
+    def test_generation_completion(self):
+        pb = PhaseBarrier(3)
+        ev = pb.wait_event(1)
+        pb.arrive(1)
+        pb.arrive(1)
+        assert not ev.is_set()
+        pb.arrive(1)
+        assert ev.is_set()
+
+    def test_generations_independent(self):
+        pb = PhaseBarrier(2)
+        pb.arrive(2, count=2)
+        assert pb.wait_event(2).is_set()
+        assert not pb.wait_event(1).is_set()
+
+    def test_over_arrival_rejected(self):
+        pb = PhaseBarrier(1)
+        pb.arrive(0)
+        with pytest.raises(RuntimeError):
+            pb.arrive(0)
+
+    def test_positive_arrivals_required(self):
+        with pytest.raises(ValueError):
+            PhaseBarrier(0)
+
+
+class TestGlobalBarrier:
+    def test_all_must_arrive(self):
+        gb = GlobalBarrier(2)
+        e1 = gb.arrive_and_wait_event(1)
+        assert not e1.is_set()
+        e2 = gb.arrive_and_wait_event(1)
+        assert e1.is_set() and e2.is_set()
+
+    def test_threaded_rendezvous(self):
+        gb = GlobalBarrier(4)
+        hits = []
+
+        def worker(i):
+            ev = gb.arrive_and_wait_event(1)
+            ev.wait_blocking(1.0)
+            hits.append(i)
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert sorted(hits) == [0, 1, 2, 3]

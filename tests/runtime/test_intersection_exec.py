@@ -1,0 +1,101 @@
+"""Tests for runtime intersection evaluation (paper §3.3)."""
+
+import numpy as np
+
+from repro.regions import (
+    ispace,
+    partition_block,
+    partition_blocks_nd,
+    partition_by_image,
+    region,
+)
+from repro.runtime import compute_intersections
+
+
+def brute(src, dst):
+    out = {}
+    for i in src.colors:
+        for j in dst.colors:
+            inter = src.subset(i) & dst.subset(j)
+            if inter:
+                out[(i, j)] = inter
+    return out
+
+
+class TestUnstructured:
+    def test_matches_bruteforce(self):
+        R = region(ispace(size=60), {"v": np.float64})
+        p = partition_block(R, 6)
+        rng = np.random.default_rng(3)
+        table = rng.integers(0, 60, 60)
+        q = partition_by_image(R, p, func=lambda pts: table[pts])
+        res = compute_intersections(p, q)
+        assert res.pairs == brute(p, q)
+        assert res.shallow_seconds >= 0 and res.complete_seconds >= 0
+        assert res.candidate_pairs >= len(res.pairs)
+
+    def test_src_pairs_filter(self):
+        R = region(ispace(size=20), {"v": np.float64})
+        p = partition_block(R, 4)
+        q = partition_by_image(R, p, func=lambda pts: np.minimum(pts + 1, 19))
+        res = compute_intersections(p, q)
+        owned = res.src_pairs([0, 1])
+        assert owned and all(i in (0, 1) for i, _ in owned)
+        assert set(owned) <= set(res.nonempty_pairs())
+
+    def test_disjoint_partitions_only_diagonal(self):
+        R = region(ispace(size=24), {"v": np.float64})
+        p = partition_block(R, 4)
+        res = compute_intersections(p, p)
+        assert set(res.pairs) == {(i, i) for i in range(4)}
+        for i in range(4):
+            assert res.pairs[(i, i)] == p.subset(i)
+
+
+class TestStructured:
+    def test_uses_bvh_and_matches(self):
+        A = region(ispace(shape=(16, 16)), {"v": np.float64})
+        p = partition_blocks_nd(A, (4, 4))
+
+        def nbrs(pts):
+            x, y = np.unravel_index(pts, (16, 16))
+            out = [pts]
+            for dx, dy in ((1, 0), (-1, 0), (0, 1), (0, -1)):
+                xx, yy = x + dx, y + dy
+                m = (xx >= 0) & (xx < 16) & (yy >= 0) & (yy < 16)
+                out.append(np.ravel_multi_index((xx[m], yy[m]), (16, 16)))
+            return np.concatenate(out)
+
+        q = partition_by_image(A, p, func=nbrs)
+        res = compute_intersections(p, q)
+        assert res.pairs == brute(p, q)
+        # Star halos: interior tiles intersect 5 sources (self + 4 sides).
+        j_center = 5  # tile (1,1)
+        srcs = [i for (i, j) in res.pairs if j == j_center]
+        assert len(srcs) == 5
+
+
+class TestShardedComplete:
+    def test_matches_central_computation(self):
+        from repro.runtime import compute_intersections_sharded
+        R = region(ispace(size=60), {"v": np.float64})
+        p = partition_block(R, 6)
+        rng = np.random.default_rng(5)
+        table = rng.integers(0, 60, 60)
+        q = partition_by_image(R, p, func=lambda pts: table[pts])
+        central = compute_intersections(p, q)
+        sharded, per_shard = compute_intersections_sharded(p, q, 3)
+        assert sharded.pairs == central.pairs
+        assert len(per_shard) == 3
+        assert all(t >= 0 for t in per_shard)
+        # Reported complete time is the slowest shard, not the sum.
+        assert sharded.complete_seconds == max(per_shard)
+
+    def test_single_shard_degenerates(self):
+        from repro.runtime import compute_intersections_sharded
+        R = region(ispace(size=20), {"v": np.float64})
+        p = partition_block(R, 4)
+        q = partition_by_image(R, p, func=lambda pts: np.minimum(pts + 1, 19))
+        sharded, per_shard = compute_intersections_sharded(p, q, 1)
+        assert len(per_shard) == 1
+        assert sharded.pairs == compute_intersections(p, q).pairs

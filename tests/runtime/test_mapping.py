@@ -1,0 +1,29 @@
+"""Tests for the mapping interface (paper §4.2)."""
+
+from repro.runtime.mapping import BlockMapper
+
+
+class TestBlockMapper:
+    def test_one_shard_per_node(self):
+        m = BlockMapper()
+        assert [m.shard_to_node(s, 4, 4) for s in range(4)] == [0, 1, 2, 3]
+
+    def test_more_shards_than_nodes(self):
+        m = BlockMapper()
+        nodes = [m.shard_to_node(s, 8, 4) for s in range(8)]
+        assert nodes == [0, 0, 1, 1, 2, 2, 3, 3]
+
+    def test_fewer_shards_than_nodes(self):
+        m = BlockMapper()
+        nodes = [m.shard_to_node(s, 2, 4) for s in range(2)]
+        assert all(0 <= n < 4 for n in nodes)
+
+    def test_tile_to_shard_blocks(self):
+        m = BlockMapper()
+        shards = [m.tile_to_shard(t, 8, 2) for t in range(8)]
+        assert shards == [0, 0, 0, 0, 1, 1, 1, 1]
+
+    def test_tile_to_node_composes(self):
+        m = BlockMapper()
+        nodes = [m.tile_to_node(t, 8, 4, 4) for t in range(8)]
+        assert nodes == [0, 0, 1, 1, 2, 2, 3, 3]

@@ -1,0 +1,143 @@
+"""Tests for the sequential reference executor."""
+
+import numpy as np
+import pytest
+
+from repro.core import InitCopy, ProgramBuilder
+from repro.regions import PhysicalInstance, ispace, partition_block, region
+from repro.runtime import SequentialExecutor
+from repro.tasks import PrivilegeError, R, RW, task
+
+
+@pytest.fixture
+def env():
+    Rg = region(ispace(size=12), {"v": np.float64}, name="R")
+    I = ispace(size=3, name="I")
+    P = partition_block(Rg, I, name="P")
+    return Rg, I, P
+
+
+class TestBasics:
+    def test_scalar_program(self):
+        b = ProgramBuilder()
+        b.let("x", 2)
+        b.assign("y", "x")
+        with b.for_range("t", 0, 3):
+            b.assign("y", "t")
+        scalars = SequentialExecutor().run(b.build())
+        assert scalars["y"] == 2  # last loop iteration wrote t=2
+
+    def test_while_and_if(self):
+        from repro.core import BinOp, ScalarRef, Const
+        b = ProgramBuilder()
+        b.let("x", 0)
+        b.let("hits", 0)
+        with b.while_loop(BinOp("<", ScalarRef("x"), Const(4))):
+            b.assign("x", BinOp("+", ScalarRef("x"), Const(1)))
+            with b.if_stmt(BinOp("==", ScalarRef("x"), Const(2))):
+                b.assign("hits", BinOp("+", ScalarRef("hits"), Const(1)))
+        scalars = SequentialExecutor().run(b.build())
+        assert scalars == {"x": 4, "hits": 1}
+
+    def test_launch_executes_all_points(self, env):
+        Rg, I, P = env
+
+        @task(privileges=[RW("v")], name="setv")
+        def setv(A, value):
+            A.write("v")[:] = value
+
+        b = ProgramBuilder()
+        b.launch(setv, I, P, 7.0)
+        ex = SequentialExecutor()
+        ex.run(b.build())
+        assert np.all(ex.instances[Rg.uid].fields["v"] == 7.0)
+        assert ex.tasks_executed == 3
+
+    def test_launch_index_available_as_scalar(self, env):
+        Rg, I, P = env
+
+        @task(privileges=[RW("v")], name="seti")
+        def seti(A, i):
+            A.write("v")[:] = float(i)
+
+        b = ProgramBuilder()
+        b.launch(seti, I, P, "i")
+        ex = SequentialExecutor()
+        ex.run(b.build())
+        assert ex.instances[Rg.uid].fields["v"].tolist() == [0.0] * 4 + [1.0] * 4 + [2.0] * 4
+
+    def test_scalar_reduction(self, env):
+        Rg, I, P = env
+
+        @task(privileges=[R("v")], name="measure")
+        def measure(A):
+            return float(A.points.min())
+
+        b = ProgramBuilder()
+        b.launch(measure, I, P, reduce=("min", "lo"))
+        b2 = ProgramBuilder()
+        scalars = SequentialExecutor().run(b.build())
+        assert scalars["lo"] == 0.0
+
+    def test_single_call_result(self, env):
+        Rg, I, P = env
+
+        @task(privileges=[R("v")], name="total")
+        def total(A):
+            return float(np.sum(A.read("v")))
+
+        b = ProgramBuilder()
+        b.call(total, [Rg], result="sum")
+        scalars = SequentialExecutor().run(b.build())
+        assert scalars["sum"] == 0.0
+
+    def test_bind_and_prebound_instances(self, env):
+        Rg, I, P = env
+        inst = PhysicalInstance(Rg)
+        inst.fields["v"][:] = 5.0
+        ex = SequentialExecutor()
+        ex.bind(Rg, inst)
+        assert ex.root_instance(P[0]) is inst
+
+    def test_bind_rejects_subregions(self, env):
+        Rg, I, P = env
+        with pytest.raises(ValueError):
+            SequentialExecutor().bind(P[0], PhysicalInstance(P[0]))
+
+
+class TestErrors:
+    def test_privilege_violation_surfaces(self, env):
+        Rg, I, P = env
+
+        @task(privileges=[R("v")], name="cheater")
+        def cheater(A):
+            A.write("v")[:] = 0.0
+
+        b = ProgramBuilder()
+        b.launch(cheater, I, P)
+        with pytest.raises(PrivilegeError):
+            SequentialExecutor().run(b.build())
+
+    def test_transformed_statements_rejected(self, env):
+        Rg, I, P = env
+        from repro.core.ir import Block, Program
+        prog = Program(body=Block([InitCopy(P, ("v",))]))
+        with pytest.raises(TypeError):
+            SequentialExecutor().run(prog)
+
+    def test_empty_scalar_reduction_rejected(self, env):
+        Rg, I, P = env
+
+        @task(privileges=[R("v")], name="none_ret")
+        def none_ret(A):
+            return None
+
+        b = ProgramBuilder()
+        b.launch(none_ret, I, P, reduce=("min", "x"))
+        with pytest.raises(RuntimeError):
+            SequentialExecutor().run(b.build())
+
+    def test_legality_check_flag(self, fig2):
+        ex = SequentialExecutor(check_legality=True,
+                                instances=fig2.fresh_instances())
+        ex.run(fig2.build())  # legal program runs fine

@@ -1,0 +1,112 @@
+"""Tests for strict subtask privilege checking (paper §2.1)."""
+
+import numpy as np
+import pytest
+
+from repro.regions import ispace, partition_block, region
+from repro.tasks import (
+    PrivilegeError,
+    R,
+    RW,
+    Reduce,
+    check_subtask_call,
+    current_context,
+    task,
+    task_context,
+)
+
+
+@task(privileges=[RW()], name="writer")
+def writer(A):
+    pass
+
+
+@task(privileges=[R()], name="reader")
+def reader(A):
+    pass
+
+
+@task(privileges=[Reduce("+", "v")], name="reducer")
+def reducer(A):
+    pass
+
+
+@pytest.fixture
+def tree():
+    reg = region(ispace(size=16), {"v": np.float64}, name="root")
+    p = partition_block(reg, 4)
+    return reg, p
+
+
+class TestContext:
+    def test_no_context_allows_all(self, tree):
+        reg, p = tree
+        assert current_context() is None
+        check_subtask_call(writer, [reg])  # no raise
+
+    def test_context_restored(self, tree):
+        reg, p = tree
+        with task_context(reader, [reg]):
+            assert current_context().task is reader
+            with task_context(writer, [p[0]]):
+                assert current_context().task is writer
+            assert current_context().task is reader
+        assert current_context() is None
+
+    def test_arity_check(self, tree):
+        reg, _ = tree
+        with pytest.raises(TypeError):
+            check_subtask_call(writer, [reg, reg])
+
+
+class TestContainment:
+    def test_rw_grants_read_on_subregion(self, tree):
+        reg, p = tree
+        with task_context(writer, [reg]):
+            check_subtask_call(reader, [p[2]])
+
+    def test_read_does_not_grant_write(self, tree):
+        reg, p = tree
+        with task_context(reader, [reg]):
+            with pytest.raises(PrivilegeError):
+                check_subtask_call(writer, [p[0]])
+
+    def test_sibling_region_not_granted(self, tree):
+        reg, p = tree
+        with task_context(writer, [p[0]]):
+            with pytest.raises(PrivilegeError):
+                check_subtask_call(reader, [p[1]])
+
+    def test_same_region_ok(self, tree):
+        reg, p = tree
+        with task_context(writer, [p[1]]):
+            check_subtask_call(reader, [p[1]])
+
+    def test_reduce_covered_by_rw_not_r(self, tree):
+        reg, p = tree
+        with task_context(writer, [reg]):
+            check_subtask_call(reducer, [p[0]])
+        with task_context(reader, [reg]):
+            with pytest.raises(PrivilegeError):
+                check_subtask_call(reducer, [p[0]])
+
+    def test_other_tree_not_granted(self, tree):
+        reg, p = tree
+        other = region(ispace(size=4), {"v": np.float64})
+        with task_context(writer, [reg]):
+            with pytest.raises(PrivilegeError):
+                check_subtask_call(reader, [other])
+
+
+class TestTaskDecl:
+    def test_metadata(self):
+        assert writer.name == "writer"
+        assert writer.num_region_args == 1
+        assert writer is writer and writer != reader
+        assert "writer" in repr(writer)
+
+    def test_launch_arity_enforced_at_ir_level(self, tree):
+        from repro.core import IndexLaunch, Proj, RegionArg
+        reg, p = tree
+        with pytest.raises(TypeError):
+            IndexLaunch(writer, ispace(size=4), [])  # missing region arg

@@ -1,0 +1,84 @@
+"""Tests for the privilege lattice."""
+
+import pytest
+
+from repro.tasks import NO_ACCESS, Privilege, R, Reduce, RW
+
+
+class TestConstruction:
+    def test_factories(self):
+        assert R().read and not R().write
+        assert RW().read and RW().write
+        assert Reduce("+").redop == "+"
+        assert not NO_ACCESS.read and not NO_ACCESS.write
+
+    def test_field_restriction(self):
+        p = R("a", "b")
+        assert p.fields == frozenset({"a", "b"})
+        assert R().fields is None
+
+    def test_reduce_excludes_rw(self):
+        with pytest.raises(ValueError):
+            Privilege(read=True, redop="+")
+
+
+class TestAccessChecks:
+    def test_read(self):
+        assert R().allows_read("x")
+        assert R("a").allows_read("a") and not R("a").allows_read("b")
+        assert not Reduce("+").allows_read("x")
+
+    def test_write(self):
+        assert RW().allows_write("x")
+        assert not R().allows_write("x")
+        assert not Reduce("+").allows_write("x")
+
+    def test_reduce(self):
+        assert Reduce("+").allows_reduce("x", "+")
+        assert not Reduce("+").allows_reduce("x", "min")
+        assert RW().allows_reduce("x", "+")  # read-write subsumes reductions
+        assert not Reduce("+", "a").allows_reduce("b", "+")
+
+    def test_field_names(self):
+        assert R().field_names(["a", "b"]) == ("a", "b")
+        assert R("b").field_names(["a", "b"]) == ("b",)
+        assert R("z").field_names(["a", "b"]) == ()
+
+    def test_writes_or_reduces(self):
+        assert RW().writes_or_reduces
+        assert Reduce("+").writes_or_reduces
+        assert not R().writes_or_reduces
+
+
+class TestCovers:
+    def test_rw_covers_everything_samefields(self):
+        for needed in (R(), RW(), Reduce("+"), Reduce("min")):
+            assert RW().covers(needed)
+
+    def test_r_covers_only_r(self):
+        assert R().covers(R())
+        assert not R().covers(RW())
+        assert not R().covers(Reduce("+"))
+
+    def test_reduce_covers_same_op(self):
+        assert Reduce("+").covers(Reduce("+"))
+        assert not Reduce("+").covers(Reduce("min"))
+        assert not Reduce("+").covers(R())
+
+    def test_field_containment(self):
+        assert RW("a", "b").covers(R("a"))
+        assert not RW("a").covers(R("a", "b"))
+        assert not RW("a").covers(R())  # all-fields needs all-fields holder
+        assert RW().covers(R("a"))
+
+    def test_restricted(self):
+        p = RW().restricted(["a"])
+        assert p.fields == frozenset({"a"})
+        assert p.read and p.write
+
+    def test_repr(self):
+        assert repr(RW()) == "reads writes"
+        assert repr(R("a")) == "reads[a]"
+        assert "reduces(+)" in repr(Reduce("+"))
+        assert repr(NO_ACCESS) == "no_access"
+        assert repr(Privilege(write=True)) == "writes"
