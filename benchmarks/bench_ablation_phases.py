@@ -16,17 +16,30 @@ import pytest
 
 from repro.apps.circuit import CircuitProblem
 from repro.apps.stencil import StencilProblem
-from repro.core import control_replicate
+from repro.core import PairwiseCopy, control_replicate, walk
 from repro.runtime import SPMDExecutor, compute_intersections
 
 
 def run_spmd(problem, **compile_kw):
-    prog, _ = control_replicate(problem.build_program(), num_shards=4,
-                                **compile_kw)
+    prog, report = control_replicate(problem.build_program(), num_shards=4,
+                                     **compile_kw)
     ex = SPMDExecutor(num_shards=4, mode="stepped",
                       instances=problem.fresh_instances())
     ex.run(prog)
-    return ex
+    return prog, ex, report
+
+
+def static_pairs_per_epoch(prog) -> int:
+    """Pairs one execution of each copy statement visits: the named pair
+    set's non-empty pairs with the §3.3 optimization, all-pairs without."""
+    total = 0
+    for s in walk(prog.body):
+        if isinstance(s, PairwiseCopy):
+            if s.pairs_name is not None:
+                total += len(compute_intersections(s.src, s.dst).nonempty_pairs())
+            else:
+                total += s.src.num_colors * s.dst.num_colors
+    return total
 
 
 class TestIntersectionAblation:
@@ -38,16 +51,24 @@ class TestIntersectionAblation:
             without = run_spmd(problem, optimize_intersection=False)
             return with_opt, without
 
-        with_opt, without = benchmark.pedantic(run, rounds=1, iterations=1)
-        print(f"\n[ablation §3.3] pair visits with intersection opt: "
-              f"{with_opt.pair_visits}, without: {without.pair_visits} "
-              f"(identical {with_opt.elements_copied} elements moved in "
-              f"{with_opt.copies_performed} non-empty copies)")
-        assert with_opt.elements_copied == without.elements_copied
-        assert with_opt.copies_performed == without.copies_performed
+        (prog_opt, ex_opt, rep_opt), (prog_no, ex_no, rep_no) = \
+            benchmark.pedantic(run, rounds=1, iterations=1)
+        # The pass pipeline records what the optimization did — the ablated
+        # pipeline simply never ran the pass.
+        assert rep_opt.pass_stats("intersections")["pair_sets"] >= 1
+        assert rep_no.pass_stats("intersections") == {}
+        pairs_opt = static_pairs_per_epoch(prog_opt)
+        pairs_no = static_pairs_per_epoch(prog_no)
+        print(f"\n[ablation §3.3] pairs visited per epoch with intersection "
+              f"opt: {pairs_opt}, without: {pairs_no} (identical "
+              f"{ex_opt.elements_copied} elements moved in "
+              f"{ex_opt.copies_performed} non-empty copies)")
+        assert ex_opt.elements_copied == ex_no.elements_copied
+        assert ex_opt.copies_performed == ex_no.copies_performed
         # 16 tiles: all-pairs visits 256 pairs per exchange epoch; only the
         # 4-neighborhoods (~48) are non-empty.  O(N^2) vs O(N).
-        assert without.pair_visits >= 4 * with_opt.pair_visits
+        assert pairs_no >= 4 * pairs_opt
+        assert ex_no.pair_visits >= 4 * ex_opt.pair_visits  # measured too
 
 
 class TestSyncAblation:
@@ -55,11 +76,17 @@ class TestSyncAblation:
     def test_sync_modes_cost(self, benchmark, sync):
         problem = CircuitProblem(pieces=8, nodes_per_piece=40,
                                  wires_per_piece=60, steps=3)
-        ex = benchmark.pedantic(lambda: run_spmd(problem, sync=sync),
-                                rounds=1, iterations=1)
-        print(f"\n[ablation §3.4] sync={sync}: {ex.copies_performed} copies, "
-              f"{ex.tasks_executed} tasks")
+        _, ex, report = benchmark.pedantic(
+            lambda: run_spmd(problem, sync=sync), rounds=1, iterations=1)
+        sstats = report.pass_stats("synchronization")
+        print(f"\n[ablation §3.4] sync={sync}: {sstats.get('p2p_copies', 0):g} "
+              f"p2p copies, {sstats.get('barriers', 0):g} barriers inserted; "
+              f"{ex.copies_performed} copies, {ex.tasks_executed} tasks")
         assert ex.tasks_executed > 0
+        if sync == "barrier":
+            assert sstats["barriers"] > 0
+        else:
+            assert sstats["p2p_copies"] > 0
 
 
 class TestHierarchicalAblation:

@@ -68,3 +68,19 @@ def test_stepped_vs_threaded_overhead(benchmark, compiled):
 
     ex = benchmark.pedantic(run, rounds=3, iterations=1)
     assert ex.tasks_executed == 48
+
+
+def test_copy_counters_match_across_drivers(compiled):
+    """Per-shard counter accumulation (no lock on the copy hot path) must
+    merge to the same totals whether shards run interleaved or threaded."""
+    p, _ = compiled
+    prog, _ = control_replicate(p.build_program(), num_shards=4)
+    totals = {}
+    for mode in ("stepped", "threaded"):
+        ex = SPMDExecutor(num_shards=4, mode=mode,
+                          instances=p.fresh_instances())
+        ex.run(prog)
+        totals[mode] = (ex.pair_visits, ex.copies_performed,
+                        ex.elements_copied, ex.bytes_copied)
+    assert totals["stepped"] == totals["threaded"]
+    assert totals["stepped"][2] > 0

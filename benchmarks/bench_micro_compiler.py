@@ -9,7 +9,7 @@ count and record the wall time of the full five-phase pipeline.
 import numpy as np
 import pytest
 
-from repro.core import ProgramBuilder, control_replicate
+from repro.core import PASS_NAMES, ProgramBuilder, control_replicate
 from repro.regions import ispace, partition_block, partition_by_image, region
 from repro.tasks import R, RW, task
 
@@ -39,6 +39,9 @@ def test_compile_time_vs_fragment_size(benchmark, launches):
     program = make_program(launches, num_partitions=4)
     prog, report = benchmark(lambda: control_replicate(program, num_shards=16))
     assert report.num_fragments == 1
+    # The pass pipeline itself attributes where compile time goes.
+    assert [t.name for t in report.passes] == list(PASS_NAMES)
+    print("\n" + report.pass_table())
 
 
 @pytest.mark.parametrize("partitions", [2, 8])
@@ -46,3 +49,4 @@ def test_compile_time_vs_partition_count(benchmark, partitions):
     program = make_program(16, num_partitions=partitions)
     prog, report = benchmark(lambda: control_replicate(program, num_shards=16))
     assert report.num_fragments == 1
+    print("\n" + report.pass_table())

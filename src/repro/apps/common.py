@@ -49,14 +49,17 @@ class AppProblem:
         return self.extract_state(ex.instances), scalars, ex
 
     def run_control_replicated(self, num_shards: int, mode: str = "stepped",
-                               seed: int = 0, sync: str = "p2p", **compile_kw):
+                               seed: int = 0, sync: str = "p2p",
+                               tracer=None, **compile_kw):
         from ..core.compiler import control_replicate
+        from ..obs import NULL_TRACER
         from ..runtime.spmd import SPMDExecutor
+        tracer = tracer if tracer is not None else NULL_TRACER
         prog, report = control_replicate(self.build_program(),
                                          num_shards=num_shards, sync=sync,
-                                         **compile_kw)
+                                         tracer=tracer, **compile_kw)
         ex = SPMDExecutor(num_shards=num_shards, mode=mode, seed=seed,
-                          instances=self.fresh_instances())
+                          instances=self.fresh_instances(), tracer=tracer)
         scalars = ex.run(prog)
         return self.extract_state(ex.instances), scalars, ex, report
 

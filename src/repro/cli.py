@@ -8,13 +8,23 @@ Commands:
   control replication, plus the compilation report;
 * ``figure``  — run one of the paper's weak-scaling figures on the machine
   simulator and print its table;
+* ``simulate`` — run one execution model of one app on the machine
+  simulator and print timing/utilization;
 * ``apps``    — list the available applications.
+
+Observability (the shared ``repro.obs`` timeline): ``--trace out.json``
+writes a Chrome-trace file (``chrome://tracing`` / Perfetto) from
+``verify`` (compiler passes + per-shard execution) and ``simulate``
+(virtual-time schedules); ``compile --explain-passes`` prints per-pass
+wall time and stats; ``compile --dump-after <pass>`` prints the IR as it
+leaves a pass.
 
 Examples::
 
-    python -m repro verify circuit --shards 4 --mode threaded
-    python -m repro compile stencil
+    python -m repro verify circuit --shards 4 --mode threaded --trace t.json
+    python -m repro compile stencil --explain-passes --dump-after replicate
     python -m repro figure 8 --max-nodes 64
+    python -m repro simulate pennant --nodes 16 --model cr --trace sim.json
 """
 
 from __future__ import annotations
@@ -94,16 +104,33 @@ def build_parser() -> argparse.ArgumentParser:
     v.add_argument("--mode", choices=["stepped", "threaded"], default="stepped")
     v.add_argument("--seed", type=int, default=0)
     v.add_argument("--sync", choices=["p2p", "barrier"], default="p2p")
+    v.add_argument("--trace", metavar="OUT.json", default=None,
+                   help="write a Chrome-trace timeline of the compile + run")
 
     c = sub.add_parser("compile", help="show the program before/after CR")
     add_app_args(c)
     c.add_argument("--shards", type=int, default=4)
+    c.add_argument("--explain-passes", action="store_true",
+                   help="print per-pass wall time and stats")
+    c.add_argument("--dump-after", action="append", default=[],
+                   metavar="PASS",
+                   help="print the IR after the named pass (repeatable)")
+    c.add_argument("--trace", metavar="OUT.json", default=None,
+                   help="write a Chrome-trace timeline of the compile")
 
     f = sub.add_parser("figure", help="run one of the paper's figures")
     f.add_argument("number", choices=sorted(FIGURES))
     f.add_argument("--max-nodes", type=int, default=64)
     f.add_argument("--csv", action="store_true",
                    help="emit machine-readable CSV instead of the table")
+
+    s = sub.add_parser("simulate",
+                       help="simulate one execution model of one app")
+    s.add_argument("app", choices=sorted(APP_FACTORIES))
+    s.add_argument("--nodes", type=int, default=4)
+    s.add_argument("--model", choices=["cr", "noncr", "mpi"], default="cr")
+    s.add_argument("--trace", metavar="OUT.json", default=None,
+                   help="write the virtual-time schedule as a Chrome trace")
 
     e = sub.add_parser("explain", help="show what one shard will do")
     add_app_args(e)
@@ -115,12 +142,15 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def cmd_verify(args) -> int:
+    from .obs import NULL_TRACER, Tracer
     problem = APP_FACTORIES[args.app](args)
+    tracer = Tracer() if args.trace else NULL_TRACER
     t0 = time.perf_counter()
     ref = problem.reference_state()
     seq, seq_scalars, _ = problem.run_sequential()
     cr, cr_scalars, ex, report = problem.run_control_replicated(
-        args.shards, mode=args.mode, seed=args.seed, sync=args.sync)
+        args.shards, mode=args.mode, seed=args.seed, sync=args.sync,
+        tracer=tracer)
     elapsed = time.perf_counter() - t0
 
     ok = True
@@ -137,19 +167,36 @@ def cmd_verify(args) -> int:
     print(f"{args.app}: reference == sequential == CR({args.shards} shards, "
           f"{args.mode}, {args.sync}): {'OK' if ok else 'MISMATCH'} "
           f"[{ex.elements_copied} elements exchanged, {elapsed:.2f}s]")
+    if args.trace:
+        tracer.write(args.trace)
+        print(f"-- trace: {len(tracer.events())} events -> {args.trace}")
     return 0 if ok else 1
 
 
 def cmd_compile(args) -> int:
-    from .core import control_replicate, format_program
+    from .core import PASS_NAMES, control_replicate, format_program
+    from .obs import NULL_TRACER, PID_COMPILER, Tracer
     problem = APP_FACTORIES[args.app](args)
+    unknown = sorted(set(args.dump_after) - set(PASS_NAMES))
+    if unknown:
+        print(f"unknown pass(es) {unknown}; choose from {list(PASS_NAMES)}")
+        return 2
+    tracer = Tracer() if args.trace else NULL_TRACER
     program = problem.build_program()
     print("== before control replication ==")
     print(format_program(program))
-    transformed, report = control_replicate(program, num_shards=args.shards)
+    transformed, report = control_replicate(program, num_shards=args.shards,
+                                            tracer=tracer,
+                                            dump_after=args.dump_after)
     print("\n== after control replication ==")
     print(format_program(transformed))
     print("\n" + report.summary())
+    if args.explain_passes:
+        print("\n" + report.pass_table())
+    if args.trace:
+        tracer.name_process(PID_COMPILER, "compiler")
+        tracer.write(args.trace)
+        print(f"-- trace: {len(tracer.events())} events -> {args.trace}")
     return 0
 
 
@@ -163,6 +210,57 @@ def cmd_figure(args) -> int:
     spec = spec_fn(PIZ_DAINT, max_nodes=args.max_nodes)
     data = run_figure(spec)
     print(to_csv(data) if args.csv else data.format_table())
+    return 0
+
+
+SIM_WORKLOADS = {
+    "stencil": ("repro.apps.stencil.perf", "stencil_workload"),
+    "circuit": ("repro.apps.circuit.perf", "circuit_workload"),
+    "pennant": ("repro.apps.pennant.perf", "pennant_workload"),
+    "miniaero": ("repro.apps.miniaero.perf", "miniaero_workload"),
+}
+
+
+def cmd_simulate(args) -> int:
+    import importlib
+
+    from .machine import (
+        PIZ_DAINT,
+        analyze_simulation,
+        simulate_mpi,
+        simulate_regent_cr,
+        simulate_regent_noncr,
+        simulation_trace_events,
+    )
+    from .obs import Tracer
+    machine = PIZ_DAINT
+    mod_name, fn_name = SIM_WORKLOADS[args.app]
+    mod = importlib.import_module(mod_name)
+    workload_fn = getattr(mod, fn_name)
+    rate = mod.RATE_REGENT_1NODE
+    if args.model == "mpi":
+        tiles_per_node = machine.cores_per_node
+    else:
+        tiles_per_node = machine.cores_per_node - (
+            1 if machine.dedicated_analysis_core else 0)
+    workload = workload_fn(tiles_per_node, rate)
+    tracer = Tracer() if args.trace else None
+    sims = []
+    model_fn = {"cr": simulate_regent_cr, "noncr": simulate_regent_noncr,
+                "mpi": simulate_mpi}[args.model]
+    result = model_fn(workload, machine, args.nodes,
+                      on_complete=sims.append)
+    print(f"{args.app} / {args.model} on {args.nodes} node(s): "
+          f"{result.seconds_per_step * 1e3:.3f} ms/step, "
+          f"{result.num_sim_tasks} sim tasks, "
+          f"{result.throughput_per_node(workload.points_per_node):.3e} "
+          f"points/s/node")
+    print(analyze_simulation(sims[0]).format())
+    if tracer is not None:
+        n = simulation_trace_events(sims[0], tracer,
+                                    name_prefix=f"{args.app}-{args.model}")
+        tracer.write(args.trace)
+        print(f"-- trace: {n} events -> {args.trace}")
     return 0
 
 
@@ -200,6 +298,7 @@ def main(argv: list[str] | None = None) -> int:
         "verify": cmd_verify,
         "compile": cmd_compile,
         "figure": cmd_figure,
+        "simulate": cmd_simulate,
         "explain": cmd_explain,
         "apps": cmd_apps,
     }[args.command]

@@ -2,7 +2,7 @@
 
 from .builder import ProgramBuilder
 from .compiler import CompilationReport, FragmentReport, control_replicate
-from .explain import explain_shard, shard_communication_summary
+from .explain import explain_shard, format_pipeline_ir, shard_communication_summary
 from .ir import (
     BarrierStmt,
     BinOp,
@@ -36,6 +36,15 @@ from .ir import (
     walk,
 )
 from .normalize import normalize_projections
+from .passes import (
+    PASS_NAMES,
+    Pass,
+    PassContext,
+    PassManager,
+    PassTiming,
+    PipelineIR,
+    default_passes,
+)
 from .region_tree import (
     SymbolicRegionTree,
     partitions_may_interfere,
@@ -50,18 +59,23 @@ from .target import (
     find_fragments,
     fragment_usage,
 )
+from .verify import IRVerificationError, verify_ir
 
 __all__ = [
     "BarrierStmt", "BinOp", "Block", "CompilationReport", "ComputeIntersections",
     "Const", "CRLegalityError", "Expr", "FillReductionBuffer", "FinalCopy",
     "ForRange", "Fragment", "FragmentReport", "FragmentUsage", "IfStmt",
-    "IndexLaunch", "InitCopy", "PairwiseCopy", "Program", "ProgramBuilder",
+    "IndexLaunch", "InitCopy", "IRVerificationError", "PairwiseCopy",
+    "Pass", "PassContext", "PassManager", "PassTiming", "PASS_NAMES",
+    "PipelineIR", "Program", "ProgramBuilder",
     "Proj", "PureCall", "RegionArg", "ScalarArg", "ScalarAssign",
     "ScalarCollective", "ScalarRef", "ShardLaunch", "SingleCall", "Stmt",
     "SymbolicRegionTree", "UnaryOp", "WhileLoop", "as_expr",
-    "check_launch_legality", "control_replicate", "evaluate", "explain_shard", "find_fragments",
-    "format_program", "fragment_usage", "normalize_projections",
+    "check_launch_legality", "control_replicate", "default_passes",
+    "evaluate", "explain_shard", "find_fragments",
+    "format_pipeline_ir", "format_program", "fragment_usage",
+    "normalize_projections",
     "owner_of_color", "partitions_may_interfere",
     "regions_may_alias_symbolic", "shard_communication_summary",
-    "shard_owned_colors", "walk",
+    "shard_owned_colors", "verify_ir", "walk",
 ]

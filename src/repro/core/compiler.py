@@ -14,107 +14,50 @@ The result is a new program in which each CR fragment has become
 ``initialization; shard launch; finalization`` (paper Fig. 4d), plus a
 :class:`CompilationReport` describing what every phase did.  Phases can be
 individually disabled for the ablation benchmarks.
+
+The pipeline itself lives in :mod:`repro.core.passes` as a pass-manager
+(`PassManager` over seven named `Pass` objects with per-pass timing,
+inter-pass verification, tracing, and dump hooks); this module is a thin
+compatibility wrapper over it.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from typing import Callable, Iterable
 
-from ..regions.partition import Partition
-from .copy_placement import PlacementStats, place_copies
-from .data_replication import replicate_data
-from .intersections import IntersectionStats, optimize_intersections
-from .ir import Block, Program, Stmt
-from .normalize import normalize_projections
-from .shards import create_shards
-from .synchronization import SyncStats, insert_synchronization
-from .target import Fragment, find_fragments
+from ..obs import NULL_TRACER, Tracer
+from .ir import Program
+from .passes import (
+    CompilationReport,
+    FragmentReport,
+    PassContext,
+    PassManager,
+    default_passes,
+)
 
 __all__ = ["CompilationReport", "FragmentReport", "control_replicate"]
 
 
-@dataclass
-class FragmentReport:
-    """What the pipeline did to one CR fragment."""
-
-    start: int
-    stop: int
-    partitions: list[str]
-    exchange_copies: int
-    reduction_copies: int
-    reduction_temps: list[Partition]
-    placement: PlacementStats
-    intersections: IntersectionStats
-    sync: SyncStats
-
-
-@dataclass
-class CompilationReport:
-    fragments: list[FragmentReport] = field(default_factory=list)
-
-    @property
-    def num_fragments(self) -> int:
-        return len(self.fragments)
-
-    def summary(self) -> str:
-        lines = [f"control replication: {self.num_fragments} fragment(s)"]
-        for i, f in enumerate(self.fragments):
-            lines.append(
-                f"  fragment {i}: stmts [{f.start}, {f.stop}); "
-                f"partitions {f.partitions}; "
-                f"{f.exchange_copies} exchange + {f.reduction_copies} reduction copies inserted; "
-                f"{f.placement.hoisted} hoisted, "
-                f"{f.placement.removed_redundant} redundant + {f.placement.removed_dead} dead removed; "
-                f"{f.intersections.pair_sets} intersection pair sets; "
-                f"{f.sync.p2p_copies} p2p copies, {f.sync.barriers} barriers, "
-                f"{f.sync.collectives} collectives")
-        return "\n".join(lines)
-
-
 def control_replicate(program: Program, num_shards: int | None = None,
                       sync: str = "p2p", optimize_placement: bool = True,
-                      optimize_intersection: bool = True) -> tuple[Program, CompilationReport]:
+                      optimize_intersection: bool = True, *,
+                      tracer: Tracer = NULL_TRACER, verify: bool = True,
+                      dump_after: Iterable[str] = (),
+                      dump_sink: Callable[[str, str], None] | None = None,
+                      ) -> tuple[Program, CompilationReport]:
     """Apply control replication to every eligible fragment of ``program``.
 
     ``sync`` selects ``"p2p"`` (default, phase-barrier point-to-point) or
     ``"barrier"`` (the naive Fig. 4c form).  The two ``optimize_*`` flags
     exist for ablation studies; disabling them preserves semantics.
+
+    ``tracer`` records per-pass spans, ``verify`` runs the inter-pass IR
+    verifier (on by default), and ``dump_after`` names passes whose output
+    IR is rendered through ``dump_sink`` (or printed).
     """
-    program = normalize_projections(program)
-    fragments = find_fragments(program)
-    report = CompilationReport()
-    new_body: list[Stmt] = []
-    cursor = 0
-    for frag in fragments:
-        new_body.extend(program.body.stmts[cursor:frag.start])
-        new_body.extend(_replicate_fragment(frag, num_shards, sync,
-                                            optimize_placement,
-                                            optimize_intersection, report))
-        cursor = frag.stop
-    new_body.extend(program.body.stmts[cursor:])
-    return (Program(body=Block(new_body), scalars=dict(program.scalars),
-                    name=program.name),
-            report)
-
-
-def _replicate_fragment(frag: Fragment, num_shards: int | None, sync: str,
-                        optimize_placement: bool, optimize_intersection: bool,
-                        report: CompilationReport) -> list[Stmt]:
-    repl = replicate_data(frag)
-    init, body, final = repl.init, repl.body, repl.final
-    placement = PlacementStats()
-    if optimize_placement:
-        init, body, final, placement = place_copies(init, body, final)
-    istats = IntersectionStats()
-    if optimize_intersection:
-        init, body, final, istats = optimize_intersections(init, body, final)
-    body, sstats = insert_synchronization(body, mode=sync)
-    shard_launch = create_shards(body, repl.usage.launch_domains, num_shards)
-    report.fragments.append(FragmentReport(
-        start=frag.start, stop=frag.stop,
-        partitions=[p.name for p in repl.usage.partitions],
-        exchange_copies=repl.num_exchange_copies,
-        reduction_copies=repl.num_reduction_copies,
-        reduction_temps=repl.reduction_temps,
-        placement=placement, intersections=istats, sync=sstats))
-    return [*init, shard_launch, *final]
+    pm = PassManager(default_passes(optimize_placement=optimize_placement,
+                                    optimize_intersection=optimize_intersection))
+    ctx = PassContext(num_shards=num_shards, sync=sync, tracer=tracer,
+                      verify=verify, dump_after=frozenset(dump_after),
+                      dump_sink=dump_sink)
+    return pm.run(program, ctx)

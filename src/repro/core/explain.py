@@ -24,11 +24,13 @@ from .ir import (
     ShardLaunch,
     Stmt,
     WhileLoop,
+    format_program,
+    format_stmts,
     walk,
 )
 from .shards import owner_of_color, shard_owned_colors
 
-__all__ = ["explain_shard", "shard_communication_summary"]
+__all__ = ["explain_shard", "shard_communication_summary", "format_pipeline_ir"]
 
 
 def _copy_pairs(stmt: PairwiseCopy) -> list[tuple[int, int]]:
@@ -92,6 +94,31 @@ def _fmt(stmt: Stmt, shard: int, ns: int, lines: list[str], depth: int) -> None:
         lines.append(f"{pad}{stmt.name} = ...  (replicated)")
     else:
         lines.append(f"{pad}{type(stmt).__name__}")
+
+
+def format_pipeline_ir(ir) -> str:
+    """Render a :class:`repro.core.passes.PipelineIR` (the dump-after view).
+
+    Before fragments are split out (or after reassembly) this is the whole
+    program; during the per-fragment passes each fragment is shown as its
+    ``init`` / ``body`` / ``final`` parts so dumps track exactly what the
+    next pass will see.
+    """
+    if not ir.fragments or ir.assembled:
+        return format_program(ir.program)
+    out: list[str] = [f"-- program {ir.program.name}: "
+                      f"{len(ir.fragments)} fragment(s)"]
+    for k, frag in enumerate(ir.fragments):
+        out.append(f"-- fragment {k}: stmts [{frag.start}, {frag.stop})")
+        if not frag.replicated:
+            out.append(format_stmts(frag.stmts, indent=1))
+            continue
+        for label, part in (("init", frag.init), ("body", frag.body),
+                            ("final", frag.final)):
+            out.append(f"  -- {label}:")
+            if part:
+                out.append(format_stmts(part, indent=2))
+    return "\n".join(s for s in out if s)
 
 
 def explain_shard(program: Program, shard: int,

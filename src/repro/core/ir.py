@@ -32,7 +32,7 @@ __all__ = [
     "CopyKind", "PartitionFill", "InitCopy", "FinalCopy", "PairwiseCopy",
     "ComputeIntersections", "BarrierStmt", "FillReductionBuffer",
     "ScalarCollective", "ShardLaunch", "Program",
-    "walk", "format_program",
+    "walk", "format_program", "format_stmts",
 ]
 
 _uid = itertools.count()
@@ -540,4 +540,12 @@ def _fmt_stmt(s: Stmt, indent: int, out: list[str]) -> None:
 def format_program(prog: Program) -> str:
     out: list[str] = [f"-- program {prog.name}"]
     _fmt_stmt(prog.body, 0, out)
+    return "\n".join(out)
+
+
+def format_stmts(stmts: Sequence[Stmt], indent: int = 0) -> str:
+    """Render a bare statement sequence (e.g. one pipeline fragment part)."""
+    out: list[str] = []
+    for s in stmts:
+        _fmt_stmt(s, indent, out)
     return "\n".join(out)

@@ -24,6 +24,7 @@ Regent configurations reserve one core per node for runtime analysis
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 from .model import MachineModel
 from .simulator import Simulation
@@ -133,12 +134,18 @@ def _wire_comm(sim: Simulation, machine: MachineModel, edges, prev_uids,
 
 
 def simulate_regent_cr(workload: AppWorkload, machine: MachineModel,
-                       nodes: int, nodes_per_shard: int = 1) -> StepResult:
+                       nodes: int, nodes_per_shard: int = 1,
+                       on_complete: Callable[[Simulation], None] | None = None,
+                       ) -> StepResult:
     """CR execution.  ``nodes_per_shard`` is the mapping study knob of
     paper §4.2: the default maps one shard (control thread) per node;
     larger values make one shard drive several nodes, whose launches then
     serialize on a single control thread — interpolating between full
-    control replication and the single-thread limit."""
+    control replication and the single-thread limit.
+
+    ``on_complete`` (all three models take it) receives the finished
+    :class:`Simulation` — the hook the trace exporter and utilization
+    analyses use, since the sim object is otherwise internal."""
     if nodes_per_shard < 1:
         raise ValueError("nodes_per_shard must be >= 1")
     tiles = workload.num_tiles(nodes)
@@ -188,12 +195,16 @@ def simulate_regent_cr(workload: AppWorkload, machine: MachineModel,
                          deps=list(prev_phase.values()), label="step-end")
         end_markers.append(marker)
     makespan = sim.run()
+    if on_complete is not None:
+        on_complete(sim)
     step_ends = [sim.finish_of(m) for m in end_markers]
     return _steady_state(step_ends, makespan, len(sim.tasks))
 
 
 def simulate_regent_noncr(workload: AppWorkload, machine: MachineModel,
-                          nodes: int) -> StepResult:
+                          nodes: int,
+                          on_complete: Callable[[Simulation], None] | None = None,
+                          ) -> StepResult:
     tiles = workload.num_tiles(nodes)
     cores = machine.cores_per_node - (1 if machine.dedicated_analysis_core else 0)
     sim = Simulation(nodes, max(1, cores))
@@ -233,13 +244,17 @@ def simulate_regent_noncr(workload: AppWorkload, machine: MachineModel,
         marker = sim.add(0.0, 0, kind="none", deps=list(prev_phase.values()))
         end_markers.append(marker)
     makespan = sim.run()
+    if on_complete is not None:
+        on_complete(sim)
     return _steady_state([sim.finish_of(m) for m in end_markers], makespan,
                          len(sim.tasks))
 
 
 def simulate_mpi(workload: AppWorkload, machine: MachineModel, nodes: int,
                  omp_efficiency: float = 1.0,
-                 omp_fork_join: float = 0.0) -> StepResult:
+                 omp_fork_join: float = 0.0,
+                 on_complete: Callable[[Simulation], None] | None = None,
+                 ) -> StepResult:
     """MPI (rank per tile).  ``tiles_per_node`` selects the configuration:
     cores-per-node tiles = rank/core, one tile = rank/node (+OpenMP), with
     ``omp_efficiency``/``omp_fork_join`` modelling the threaded runtime."""
@@ -290,6 +305,8 @@ def simulate_mpi(workload: AppWorkload, machine: MachineModel, nodes: int,
         marker = sim.add(0.0, 0, kind="none", deps=list(prev_phase.values()))
         end_markers.append(marker)
     makespan = sim.run()
+    if on_complete is not None:
+        on_complete(sim)
     return _steady_state([sim.finish_of(m) for m in end_markers], makespan,
                          len(sim.tasks))
 

@@ -37,6 +37,7 @@ class SimTask:
     # Filled by the run:
     start: float = -1.0
     finish: float = -1.0
+    server: int = 0  # which server of the pool ran it (0 for ctrl/nic/none)
 
 
 class Simulation:
@@ -92,9 +93,10 @@ class Simulation:
         while heap:
             rt, uid = heapq.heappop(heap)
             task = self.tasks[uid]
-            start = self._acquire(task.kind, task.node, rt, task.duration)
+            start, server = self._acquire(task.kind, task.node, rt, task.duration)
             task.start = start
             task.finish = start + task.duration
+            task.server = server
             makespan = max(makespan, task.finish)
             completed += 1
             for succ in dependents.get(uid, ()):  # release dependents
@@ -109,22 +111,24 @@ class Simulation:
                                f"(dependency cycle?)")
         return makespan
 
-    def _acquire(self, kind: str, node: int, ready: float, duration: float) -> float:
+    def _acquire(self, kind: str, node: int, ready: float,
+                 duration: float) -> tuple[float, int]:
+        """Returns (start time, index of the server of the pool used)."""
         if kind == "none":
-            return ready
+            return ready, 0
         if kind == "core":
             free = self._core_free[node]
             i = min(range(len(free)), key=free.__getitem__)
             start = max(ready, free[i])
             free[i] = start + duration
-            return start
+            return start, i
         if kind == "ctrl":
             start = max(ready, self._ctrl_free[node])
             self._ctrl_free[node] = start + duration
-            return start
+            return start, 0
         start = max(ready, self._nic_free[node])
         self._nic_free[node] = start + duration
-        return start
+        return start, 0
 
     def finish_of(self, uid: int) -> float:
         return self.tasks[uid].finish

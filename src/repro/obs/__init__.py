@@ -1,0 +1,12 @@
+"""Shared observability: structured spans/counters and Chrome-trace export.
+
+This subsystem gives the compiler, the functional SPMD runtime, and the
+machine simulator one vocabulary for timelines, so a single ``--trace``
+file can show per-pass compile time, per-shard execution (point tasks,
+barrier waits, bytes copied), and simulated virtual-time schedules in the
+same viewer.
+"""
+
+from .trace import NULL_TRACER, PID_COMPILER, PID_SIM_BASE, PID_SPMD, Tracer
+
+__all__ = ["Tracer", "NULL_TRACER", "PID_COMPILER", "PID_SPMD", "PID_SIM_BASE"]

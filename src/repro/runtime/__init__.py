@@ -7,7 +7,8 @@ from .intersection_exec import (IntersectionResult, compute_intersections,
                                 compute_intersections_sharded)
 from .mapping import BlockMapper, Mapper
 from .sequential import SequentialExecutor
-from .spmd import DeadlockError, ReplicationDivergence, SPMDExecutor
+from .spmd import (DeadlockError, ReplicationDivergence, SPMDExecutor,
+                   ShardExceptionGroup)
 
 __all__ = [
     "DeadlockError",
@@ -25,6 +26,7 @@ __all__ = [
     "SCALAR_REDUCTIONS",
     "SPMDExecutor",
     "Sequence",
+    "ShardExceptionGroup",
     "SequentialExecutor",
     "compute_intersections",
     "compute_intersections_sharded",

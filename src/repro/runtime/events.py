@@ -22,12 +22,18 @@ __all__ = ["Event", "Sequence", "PhaseBarrier", "GlobalBarrier"]
 
 
 class Event:
-    """A one-shot trigger, safe for both cooperative and threaded use."""
+    """A one-shot trigger, safe for both cooperative and threaded use.
 
-    __slots__ = ("_ev",)
+    ``label`` optionally names what the event stands for (e.g. which
+    channel's handshake); the threaded driver uses it to attribute
+    blocked-wait time on shard timelines.
+    """
 
-    def __init__(self, triggered: bool = False):
+    __slots__ = ("_ev", "label")
+
+    def __init__(self, triggered: bool = False, label: str | None = None):
         self._ev = threading.Event()
+        self.label = label
         if triggered:
             self._ev.set()
 
@@ -73,12 +79,12 @@ class Sequence:
             for g in ready:
                 self._waiters.pop(g).trigger()
 
-    def event_for(self, n: int) -> Event:
+    def event_for(self, n: int, label: str | None = None) -> Event:
         with self._lock:
             if self._value >= n:
-                return _TRIGGERED
+                return _TRIGGERED  # shared singleton: never label it
             if n not in self._waiters:
-                self._waiters[n] = Event()
+                self._waiters[n] = Event(label=label)
             return self._waiters[n]
 
 
@@ -93,9 +99,9 @@ class PhaseBarrier:
         self._events: dict[int, Event] = {}
         self._lock = threading.Lock()
 
-    def _event(self, generation: int) -> Event:
+    def _event(self, generation: int, label: str | None = None) -> Event:
         if generation not in self._events:
-            self._events[generation] = Event()
+            self._events[generation] = Event(label=label)
         return self._events[generation]
 
     def arrive(self, generation: int, count: int = 1) -> None:
@@ -109,9 +115,9 @@ class PhaseBarrier:
             if got == self.arrivals:
                 self._event(generation).trigger()
 
-    def wait_event(self, generation: int) -> Event:
+    def wait_event(self, generation: int, label: str | None = None) -> Event:
         with self._lock:
-            return self._event(generation)
+            return self._event(generation, label)
 
 
 class GlobalBarrier:
@@ -124,6 +130,7 @@ class GlobalBarrier:
     def __init__(self, participants: int):
         self._pb = PhaseBarrier(participants)
 
-    def arrive_and_wait_event(self, generation: int) -> Event:
+    def arrive_and_wait_event(self, generation: int,
+                              label: str | None = None) -> Event:
         self._pb.arrive(generation)
-        return self._pb.wait_event(generation)
+        return self._pb.wait_event(generation, label)

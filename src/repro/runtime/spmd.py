@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import random
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import Any, Iterator
 
@@ -56,6 +57,7 @@ from ..core.ir import (
     walk,
 )
 from ..core.shards import owner_of_color, shard_owned_colors
+from ..obs import NULL_TRACER, PID_SPMD, Tracer
 from ..regions.partition import Partition
 from ..regions.region import PhysicalInstance, reduction_identity
 from ..tasks.views import RegionView
@@ -64,7 +66,8 @@ from .events import Event, GlobalBarrier, Sequence
 from .intersection_exec import IntersectionResult, compute_intersections
 from .sequential import SequentialExecutor
 
-__all__ = ["SPMDExecutor", "DeadlockError", "ReplicationDivergence"]
+__all__ = ["SPMDExecutor", "DeadlockError", "ReplicationDivergence",
+           "ShardExceptionGroup"]
 
 
 class DeadlockError(RuntimeError):
@@ -73,6 +76,27 @@ class DeadlockError(RuntimeError):
 
 class ReplicationDivergence(RuntimeError):
     """Replicated scalar state diverged across shards (compiler bug)."""
+
+
+try:
+    _ExceptionGroupBase = ExceptionGroup  # noqa: F821 -- builtin on py3.11+
+except NameError:  # pragma: no cover -- py3.10 fallback
+    class _ExceptionGroupBase(Exception):
+        def __init__(self, message: str, exceptions):
+            super().__init__(message)
+            self.exceptions = tuple(exceptions)
+
+        def __str__(self) -> str:
+            return (f"{self.args[0]} "
+                    f"({len(self.exceptions)} sub-exception(s))")
+
+
+class ShardExceptionGroup(_ExceptionGroupBase):
+    """Several shards of one threaded SPMD run failed independently."""
+
+
+class _Cancelled(BaseException):
+    """Internal: a sibling shard failed; unwind this shard quietly."""
 
 
 @dataclass
@@ -87,6 +111,12 @@ class _ShardState:
     scalars: dict[str, Any]
     epochs: dict[int, int] = field(default_factory=dict)
     pending_reductions: dict[str, Any] = field(default_factory=dict)
+    # Copy counters accumulate per-shard (no shared lock on the copy hot
+    # path) and are merged into the executor totals after the drivers run.
+    pair_visits: int = 0
+    elements_copied: int = 0
+    copies_performed: int = 0
+    bytes_copied: int = 0
 
     def next_epoch(self, uid: int) -> int:
         g = self.epochs.get(uid, 0) + 1
@@ -98,7 +128,8 @@ class SPMDExecutor(SequentialExecutor):
     """Execute a control-replicated program across ``num_shards`` shards."""
 
     def __init__(self, num_shards: int, mode: str = "stepped", seed: int = 0,
-                 instances=None, validate_replication: bool = True):
+                 instances=None, validate_replication: bool = True,
+                 tracer: Tracer = NULL_TRACER, deadlock_timeout: float = 60.0):
         super().__init__(instances=instances)
         if mode not in ("stepped", "threaded"):
             raise ValueError(f"unknown mode {mode!r}")
@@ -108,11 +139,16 @@ class SPMDExecutor(SequentialExecutor):
         self.mode = mode
         self.seed = seed
         self.validate_replication = validate_replication
+        self.tracer = tracer
+        self.deadlock_timeout = deadlock_timeout
         self.dist: dict[tuple[int, int], PhysicalInstance] = {}
         self.pair_sets: dict[str, IntersectionResult] = {}
         self.elements_copied = 0
         self.copies_performed = 0
         self.pair_visits = 0  # copy pairs visited, including empty ones
+        self.bytes_copied = 0
+        # Only reduction-operator copies still need this: ufunc.at on a
+        # shared destination is not atomic across threads.
         self._copy_lock = threading.Lock()
 
     # -- distributed storage -----------------------------------------------
@@ -156,6 +192,7 @@ class SPMDExecutor(SequentialExecutor):
             state = _ShardState(shard=0, scalars=self.scalars)
             for _ in self._exec_copy(stmt, state, every_pair=True):
                 pass
+            self._merge_counters([state])
         else:
             super()._stmt(stmt)
 
@@ -193,12 +230,17 @@ class SPMDExecutor(SequentialExecutor):
         states = [_ShardState(shard=x, scalars=dict(self.scalars)) for x in range(ns)]
         ctx = _EpochContext(channels=channels, collectives=collectives,
                             barriers=barriers, num_shards=ns)
+        if self.tracer.enabled:
+            self.tracer.name_process(PID_SPMD, "spmd executor")
+            for x in range(ns):
+                self.tracer.name_thread(PID_SPMD, x, f"shard {x}")
         gens = [self._shard_body(stmt.body, states[x], ctx) for x in range(ns)]
         if self.mode == "threaded":
             self._drive_threaded(gens)
         else:
             self._drive_stepped(gens)
         self._merge_scalars(states)
+        self._merge_counters(states)
 
     def _build_channels(self, stmt: ShardLaunch, ns: int):
         channels: dict[int, dict[tuple[int, int], _Channel]] = {}
@@ -211,6 +253,13 @@ class SPMDExecutor(SequentialExecutor):
         if stmt.pairs_name is not None:
             return self.pair_sets[stmt.pairs_name].nonempty_pairs()
         return [(i, j) for i in stmt.src.colors for j in stmt.dst.colors]
+
+    def _merge_counters(self, states: list[_ShardState]) -> None:
+        for st in states:
+            self.pair_visits += st.pair_visits
+            self.elements_copied += st.elements_copied
+            self.copies_performed += st.copies_performed
+            self.bytes_copied += st.bytes_copied
 
     def _merge_scalars(self, states: list[_ShardState]) -> None:
         if self.validate_replication and len(states) > 1:
@@ -246,24 +295,55 @@ class SPMDExecutor(SequentialExecutor):
     def _drive_threaded(self, gens: list[Iterator[Event | None]]) -> None:
         errors: list[BaseException] = []
         lock = threading.Lock()
+        cancel = threading.Event()
+        tracer = self.tracer
 
-        def run(gen: Iterator[Event | None]) -> None:
+        def wait(shard: int, ev: Event) -> None:
+            # Poll so a sibling's failure (the cancel token) unblocks this
+            # shard promptly instead of after the full deadlock timeout.
+            if ev.is_set():
+                return
+            start = tracer.now_us() if tracer.enabled else 0.0
+            deadline = time.monotonic() + self.deadlock_timeout
+            while not ev.wait_blocking(timeout=0.02):
+                if cancel.is_set():
+                    raise _Cancelled()
+                if time.monotonic() >= deadline:
+                    raise DeadlockError(
+                        f"shard {shard} blocked on "
+                        f"{ev.label or 'event'} for {self.deadlock_timeout}s")
+            if tracer.enabled:
+                tracer.complete(f"wait:{ev.label or 'event'}", start,
+                                tracer.now_us() - start, cat="wait",
+                                pid=PID_SPMD, tid=shard)
+
+        def run(shard: int, gen: Iterator[Event | None]) -> None:
             try:
                 for ev in gen:
+                    if cancel.is_set():
+                        raise _Cancelled()
                     if ev is not None:
-                        if not ev.wait_blocking(timeout=60.0):
-                            raise DeadlockError("shard blocked for 60s")
+                        wait(shard, ev)
+            except _Cancelled:
+                pass  # a sibling already recorded the primary error
             except BaseException as exc:  # propagate to the launcher
                 with lock:
                     errors.append(exc)
+                cancel.set()
 
-        threads = [threading.Thread(target=run, args=(g,), daemon=True) for g in gens]
+        threads = [threading.Thread(target=run, args=(x, g), daemon=True)
+                   for x, g in enumerate(gens)]
         for t in threads:
             t.start()
         for t in threads:
             t.join()
-        if errors:
+        if len(errors) == 1:
             raise errors[0]
+        if errors:
+            if not all(isinstance(e, Exception) for e in errors):
+                raise errors[0]  # e.g. KeyboardInterrupt: re-raise directly
+            raise ShardExceptionGroup(
+                f"{len(errors)} shards failed", errors)
 
     # -- shard interpreter (a generator yielding blocking events) -------------
     def _shard_body(self, block: Block, state: _ShardState,
@@ -298,7 +378,8 @@ class SPMDExecutor(SequentialExecutor):
             yield from self._exec_copy(stmt, state, ctx=ctx)
         elif isinstance(stmt, BarrierStmt):
             g = state.next_epoch(stmt.uid)
-            yield ctx.barriers[stmt.tag].arrive_and_wait_event(g)
+            yield ctx.barriers[stmt.tag].arrive_and_wait_event(
+                g, label=f"barrier:{stmt.tag}")
         elif isinstance(stmt, ScalarCollective):
             coll = ctx.collectives[stmt.uid]
             g = state.next_epoch(stmt.uid)
@@ -330,7 +411,10 @@ class SPMDExecutor(SequentialExecutor):
                     args.append(view)
                 else:
                     args.append(evaluate(arg.expr, {**state.scalars, "i": i}))
-            result = stmt.task(*args)
+            with self.tracer.span(f"task:{stmt.task.name}", cat="task",
+                                  pid=PID_SPMD, tid=state.shard,
+                                  args={"color": i}):
+                result = stmt.task(*args)
             for v in views:
                 v.finalize()
             self.tasks_executed += 1
@@ -365,7 +449,8 @@ class SPMDExecutor(SequentialExecutor):
         sync = stmt.sync_mode if not every_pair else "none"
 
         if sync == "barrier":
-            yield ctx.barriers[f"pre:{stmt.uid}"].arrive_and_wait_event(g)
+            yield ctx.barriers[f"pre:{stmt.uid}"].arrive_and_wait_event(
+                g, label=f"copy{stmt.uid}:pre")
 
         if sync == "p2p":
             # Consumer side first: arrival at this statement in epoch g means
@@ -382,8 +467,9 @@ class SPMDExecutor(SequentialExecutor):
             if sync == "p2p":
                 # WAR: wait for the consumer to have arrived at epoch g
                 # before overwriting its instance with epoch g data.
-                yield chans[(i, j)].acked.event_for(g)
-            self._do_pair_copy(stmt, i, j)
+                yield chans[(i, j)].acked.event_for(
+                    g, label=f"copy{stmt.uid}:ack({i},{j})")
+            self._do_pair_copy(stmt, i, j, state)
             if sync == "p2p":
                 chans[(i, j)].ready.advance_to(g)
             yield None
@@ -391,13 +477,15 @@ class SPMDExecutor(SequentialExecutor):
         if sync == "p2p":
             for (i, j) in pairs:
                 if owner_of_color(dst_n, ns, j) == me:
-                    yield chans[(i, j)].ready.event_for(g)
+                    yield chans[(i, j)].ready.event_for(
+                        g, label=f"copy{stmt.uid}:ready({i},{j})")
         elif sync == "barrier":
-            yield ctx.barriers[f"post:{stmt.uid}"].arrive_and_wait_event(g)
+            yield ctx.barriers[f"post:{stmt.uid}"].arrive_and_wait_event(
+                g, label=f"copy{stmt.uid}:post")
 
-    def _do_pair_copy(self, stmt: PairwiseCopy, i: int, j: int) -> None:
-        with self._copy_lock:
-            self.pair_visits += 1
+    def _do_pair_copy(self, stmt: PairwiseCopy, i: int, j: int,
+                      state: _ShardState) -> None:
+        state.pair_visits += 1
         if stmt.pairs_name is not None:
             pts = self.pair_sets[stmt.pairs_name].pairs[(i, j)]
         else:
@@ -406,16 +494,26 @@ class SPMDExecutor(SequentialExecutor):
             return
         dst_inst = self.dist_instance(stmt.dst, j)
         src_inst = self.dist_instance(stmt.src, i)
-        if stmt.redop is not None:
-            # Reduction applies from different producers may touch the same
-            # destination elements; ufunc.at is not atomic across threads.
-            with self._copy_lock:
-                n = dst_inst.copy_from(src_inst, pts, stmt.fields, redop=stmt.redop)
-        else:
-            n = dst_inst.copy_from(src_inst, pts, stmt.fields)
-        with self._copy_lock:
-            self.elements_copied += n
-            self.copies_performed += 1
+        with self.tracer.span(f"copy:{stmt.src.name}->{stmt.dst.name}",
+                              cat="copy", pid=PID_SPMD, tid=state.shard,
+                              args={"pair": [i, j],
+                                    "elements": len(pts)}):
+            if stmt.redop is not None:
+                # Reduction applies from different producers may touch the
+                # same destination elements; ufunc.at is not atomic across
+                # threads.
+                with self._copy_lock:
+                    n = dst_inst.copy_from(src_inst, pts, stmt.fields,
+                                           redop=stmt.redop)
+            else:
+                n = dst_inst.copy_from(src_inst, pts, stmt.fields)
+        nbytes = n * sum(dst_inst.fields[f].dtype.itemsize for f in stmt.fields)
+        state.elements_copied += n
+        state.copies_performed += 1
+        state.bytes_copied += nbytes
+        if self.tracer.enabled:
+            self.tracer.counter("bytes copied", float(state.bytes_copied),
+                                pid=PID_SPMD, tid=state.shard)
 
 
 @dataclass

@@ -1,0 +1,222 @@
+"""The pass framework: pipeline equivalence, timing/stats, dumps, verifier."""
+
+import json
+
+import pytest
+
+from repro.core import (
+    PASS_NAMES,
+    IRVerificationError,
+    PassContext,
+    PassManager,
+    control_replicate,
+    default_passes,
+    walk,
+)
+from repro.core.ir import Block, ComputeIntersections, PairwiseCopy, ShardLaunch
+from repro.core.passes import PipelineIR
+from repro.core.verify import verify_ir
+from repro.obs import Tracer
+
+
+def _fragment_key(f):
+    return (f.start, f.stop, f.partitions, f.exchange_copies,
+            f.reduction_copies, f.placement, f.intersections, f.sync)
+
+
+def app_problems():
+    from repro.apps.circuit import CircuitProblem
+    from repro.apps.miniaero import MiniAeroProblem
+    from repro.apps.pennant import PennantProblem
+    from repro.apps.stencil import StencilProblem
+    return {
+        "stencil": StencilProblem(n=48, radius=2, tiles=4, steps=2),
+        "circuit": CircuitProblem(pieces=4, nodes_per_piece=40,
+                                  wires_per_piece=60, steps=2),
+        "pennant": PennantProblem(nx=12, ny=12, pieces=4, steps=2),
+        "miniaero": MiniAeroProblem(shape=(8, 8, 8), tiles=4, steps=2),
+    }
+
+
+class TestPipelineEquivalence:
+    @pytest.mark.parametrize("app", ["stencil", "circuit", "pennant",
+                                     "miniaero"])
+    def test_manager_matches_wrapper_on_apps(self, app):
+        """Driving the PassManager directly reproduces the wrapper's
+        CompilationReport numbers on every evaluation app."""
+        problem = app_problems()[app]
+        prog_a, report_a = control_replicate(problem.build_program(),
+                                             num_shards=4)
+        pm = PassManager(default_passes())
+        prog_b, report_b = pm.run(problem.build_program(),
+                                  PassContext(num_shards=4))
+        assert report_a.num_fragments == report_b.num_fragments >= 1
+        assert ([_fragment_key(f) for f in report_a.fragments]
+                == [_fragment_key(f) for f in report_b.fragments])
+        kinds_a = [type(s).__name__ for s in prog_a.body.stmts]
+        kinds_b = [type(s).__name__ for s in prog_b.body.stmts]
+        assert kinds_a == kinds_b
+
+    @pytest.mark.parametrize("placement,intersection", [
+        (False, True), (True, False), (False, False)])
+    def test_ablation_means_omitting_the_pass(self, fig2, placement,
+                                              intersection):
+        """The optimize_* flags are exactly pass-list membership."""
+        _, report = control_replicate(fig2.build(), num_shards=2,
+                                      optimize_placement=placement,
+                                      optimize_intersection=intersection)
+        names = [t.name for t in report.passes]
+        assert ("placement" in names) == placement
+        assert ("intersections" in names) == intersection
+        # Ablated phases leave zeroed stats in the fragment report.
+        frag = report.fragments[0]
+        if not placement:
+            assert frag.placement.hoisted == 0
+        if not intersection:
+            assert frag.intersections.pair_sets == 0
+
+    def test_pass_order_and_timings(self, fig2):
+        _, report = control_replicate(fig2.build(), num_shards=2)
+        assert [t.name for t in report.passes] == list(PASS_NAMES)
+        assert all(t.seconds >= 0.0 for t in report.passes)
+        assert report.pass_stats("replicate")["exchange_copies"] == 1
+        assert report.pass_stats("intersections")["pair_sets"] == 1
+        assert report.pass_stats("synchronization")["p2p_copies"] == 1
+        assert report.pass_stats("shards")["shard_launches"] == 1
+        assert report.pass_stats("no-such-pass") == {}
+
+    def test_pass_table_lists_every_pass(self, fig2):
+        _, report = control_replicate(fig2.build(), num_shards=2)
+        table = report.pass_table()
+        for name in PASS_NAMES:
+            assert name in table
+        assert "7 passes" in table
+
+
+class TestTracing:
+    def test_compiler_passes_become_spans(self, fig2):
+        tracer = Tracer()
+        control_replicate(fig2.build(), num_shards=2, tracer=tracer)
+        spans = [e for e in tracer.events() if e.get("cat") == "compiler"]
+        assert [e["name"] for e in spans] == [f"pass:{n}" for n in PASS_NAMES]
+        assert all(e["ph"] == "X" and e["dur"] >= 0.0 for e in spans)
+        # The whole trace round-trips as Chrome-trace JSON.
+        doc = json.loads(json.dumps(tracer.chrome_trace()))
+        assert isinstance(doc["traceEvents"], list)
+
+
+GOLDEN_DUMP_AFTER_SYNC = """\
+-- program fig2: 1 fragment(s)
+-- fragment 0: stmts [0, 1)
+  -- init:
+    var I_QB_PB_0 = { i, j | QB[j] ∩ PB[i] ≠ ∅ }
+    for i: PB[i] <- B  -- fields ['v']
+    for i: PA[i] <- A  -- fields ['v']
+    for i: QB[i] <- B  -- fields ['v']
+  -- body:
+    for t = 0, T do
+      for i in I: TF(PB[i], PA[i])
+      for i, j in I_QB_PB_0: QB[j] <- PB[i]  -- fields ['v'], sync=p2p
+      for i in I: TG(PA[i], QB[i])
+    end
+  -- final:
+    for i: B <- PB[i]  -- fields ['v']
+    for i: A <- PA[i]  -- fields ['v']"""
+
+
+class TestDumpAfter:
+    def test_golden_dump_after_synchronization(self, fig2):
+        dumps = {}
+        control_replicate(fig2.build(), num_shards=2,
+                          dump_after=("synchronization",),
+                          dump_sink=lambda name, text: dumps.__setitem__(name, text))
+        assert list(dumps) == ["synchronization"]
+        assert dumps["synchronization"] == GOLDEN_DUMP_AFTER_SYNC
+
+    def test_dump_after_every_pass_is_renderable(self, fig2):
+        dumps = {}
+        control_replicate(fig2.build(), num_shards=2, dump_after=PASS_NAMES,
+                          dump_sink=lambda name, text: dumps.__setitem__(name, text))
+        assert set(dumps) == set(PASS_NAMES)
+        assert all(text.strip() for text in dumps.values())
+
+
+class TestVerifier:
+    def _assembled_ir(self, fig2, **kw):
+        prog, _ = control_replicate(fig2.build(), num_shards=2, **kw)
+        return PipelineIR(program=prog, assembled=True,
+                          invariants={"normalized", "fragments", "replicated",
+                                      "synchronized", "sharded"})
+
+    def test_clean_program_verifies(self, fig2):
+        verify_ir(self._assembled_ir(fig2), stage="final")
+
+    def test_duplicate_uid_rejected(self, fig2):
+        ir = self._assembled_ir(fig2)
+        stmts = [s for s in walk(ir.program.body)]
+        stmts[3].uid = stmts[2].uid
+        with pytest.raises(IRVerificationError, match="duplicate stmt uid"):
+            verify_ir(ir, stage="tamper")
+
+    def test_dangling_pairs_name_rejected(self, fig2):
+        ir = self._assembled_ir(fig2)
+        for s in walk(ir.program.body):
+            if isinstance(s, PairwiseCopy):
+                s.pairs_name = "no_such_pairs"
+        with pytest.raises(IRVerificationError, match="dangling pairs_name"):
+            verify_ir(ir, stage="tamper")
+
+    def test_mismatched_pairs_name_rejected(self, fig2):
+        """A pairs_name computed for *different* partitions is also wrong."""
+        ir = self._assembled_ir(fig2)
+        copies = [s for s in walk(ir.program.body)
+                  if isinstance(s, PairwiseCopy)]
+        cis = [s for s in walk(ir.program.body)
+               if isinstance(s, ComputeIntersections)]
+        assert copies and cis
+        cis[0].src = copies[0].dst  # now the pair set no longer matches
+        with pytest.raises(IRVerificationError,
+                           match="computed for different partitions"):
+            verify_ir(ir, stage="tamper")
+
+    def test_nested_shard_launch_rejected(self, fig2):
+        ir = self._assembled_ir(fig2)
+        outer = next(s for s in walk(ir.program.body)
+                     if isinstance(s, ShardLaunch))
+        inner = ShardLaunch(body=Block([]), num_shards=2, launch_domains=())
+        outer.body.stmts.append(inner)
+        with pytest.raises(IRVerificationError, match="nested ShardLaunch"):
+            verify_ir(ir, stage="tamper")
+
+    def test_unsynchronized_copy_in_shard_body_rejected(self, fig2):
+        ir = self._assembled_ir(fig2)
+        for s in walk(ir.program.body):
+            if isinstance(s, PairwiseCopy):
+                s.sync_mode = "none"
+        with pytest.raises(IRVerificationError, match="sync_mode"):
+            verify_ir(ir, stage="tamper")
+
+    def test_broken_pass_caught_at_pass_boundary(self, fig2):
+        """A pass that corrupts the IR fails its own boundary check, naming
+        the pass — not a later pass or the executor."""
+        from repro.core.passes import Pass
+
+        class ClobberSync(Pass):
+            name = "clobber"
+
+            def run(self, ir, ctx):
+                for frag in ir.fragments:
+                    for top in frag.body:
+                        for s in walk(top):
+                            if isinstance(s, PairwiseCopy):
+                                s.sync_mode = "bogus"
+                return ir
+
+        passes = default_passes()
+        passes.insert(6, ClobberSync())  # after synchronization
+        with pytest.raises(IRVerificationError, match="pass 'clobber'") :
+            PassManager(passes).run(fig2.build(), PassContext(num_shards=2))
+
+    def test_verify_off_skips_checks(self, fig2):
+        prog, _ = control_replicate(fig2.build(), num_shards=2, verify=False)
+        assert prog is not None

@@ -1,0 +1,88 @@
+"""The shared tracer: event shapes, thread safety, export, null behavior."""
+
+import json
+import threading
+
+from repro.obs import NULL_TRACER, PID_SIM_BASE, PID_SPMD, Tracer
+
+
+class TestTracer:
+    def test_span_records_complete_event(self):
+        t = Tracer()
+        with t.span("work", cat="c", pid=3, tid=7, args={"k": 1}):
+            pass
+        (ev,) = t.events()
+        assert ev["ph"] == "X" and ev["name"] == "work"
+        assert ev["pid"] == 3 and ev["tid"] == 7
+        assert ev["dur"] >= 0.0 and ev["ts"] >= 0.0
+        assert ev["args"] == {"k": 1}
+
+    def test_span_records_even_on_exception(self):
+        t = Tracer()
+        try:
+            with t.span("boom"):
+                raise RuntimeError("x")
+        except RuntimeError:
+            pass
+        assert [e["name"] for e in t.events()] == ["boom"]
+
+    def test_complete_uses_caller_virtual_time(self):
+        t = Tracer()
+        t.complete("sim", ts_us=1000.0, dur_us=250.0, pid=PID_SIM_BASE)
+        (ev,) = t.events()
+        assert ev["ts"] == 1000.0 and ev["dur"] == 250.0
+
+    def test_counter_accepts_bare_number_and_dict(self):
+        t = Tracer()
+        t.counter("bytes", 42.0, pid=PID_SPMD, tid=1)
+        t.counter("multi", {"a": 1.0, "b": 2.0})
+        a, b = t.events()
+        assert a["ph"] == "C" and a["args"] == {"value": 42.0}
+        assert b["args"] == {"a": 1.0, "b": 2.0}
+
+    def test_metadata_events(self):
+        t = Tracer()
+        t.name_process(5, "five")
+        t.name_thread(5, 2, "worker")
+        names = [(e["ph"], e["name"]) for e in t.events()]
+        assert names == [("M", "process_name"), ("M", "thread_name")]
+
+    def test_chrome_trace_is_valid_json(self, tmp_path):
+        t = Tracer()
+        with t.span("a"):
+            pass
+        t.counter("c", 1.0)
+        path = tmp_path / "trace.json"
+        t.write(str(path))
+        doc = json.loads(path.read_text())
+        assert set(doc) == {"traceEvents", "displayTimeUnit"}
+        assert len(doc["traceEvents"]) == 2
+
+    def test_concurrent_emission_is_safe(self):
+        t = Tracer()
+
+        def emit():
+            for k in range(200):
+                with t.span(f"s{k}"):
+                    pass
+
+        threads = [threading.Thread(target=emit) for _ in range(4)]
+        for th in threads:
+            th.start()
+        for th in threads:
+            th.join()
+        assert len(t.events()) == 800
+
+
+class TestNullTracer:
+    def test_records_nothing(self):
+        with NULL_TRACER.span("x", args={"y": 1}):
+            pass
+        NULL_TRACER.counter("c", 1.0)
+        NULL_TRACER.instant("i")
+        NULL_TRACER.name_process(0, "p")
+        assert NULL_TRACER.events() == []
+        assert not NULL_TRACER.enabled
+
+    def test_clock_still_works(self):
+        assert NULL_TRACER.now_us() >= 0.0

@@ -209,8 +209,10 @@ class TestErrorPaths:
             ex.run(prog)
 
     def test_threaded_errors_propagate(self, fig2):
-        """An exception inside a shard thread reaches the launcher."""
+        """Exceptions inside shard threads reach the launcher; when several
+        shards fail independently, ALL their errors surface in one group."""
         from repro.core import control_replicate
+        from repro.runtime.spmd import ShardExceptionGroup
         from repro.tasks import PrivilegeError
 
         @task(privileges=[R("v")], name="violator")
@@ -223,8 +225,11 @@ class TestErrorPaths:
         prog, _ = control_replicate(b.build(), num_shards=2)
         ex = SPMDExecutor(num_shards=2, mode="threaded",
                           instances=fig2.fresh_instances())
-        with pytest.raises(PrivilegeError):
+        with pytest.raises((PrivilegeError, ShardExceptionGroup)) as exc_info:
             ex.run(prog)
+        if isinstance(exc_info.value, ShardExceptionGroup):
+            assert all(isinstance(e, PrivilegeError)
+                       for e in exc_info.value.exceptions)
 
     def test_stepped_errors_propagate(self, fig2):
         from repro.core import control_replicate
@@ -242,3 +247,84 @@ class TestErrorPaths:
         from repro.tasks import PrivilegeError
         with pytest.raises(PrivilegeError):
             ex.run(prog)
+
+    def test_all_shard_errors_collected_in_group(self, fig2):
+        """Two shards failing independently -> one group with BOTH errors
+        (the old driver raised only errors[0] and dropped the rest)."""
+        import threading
+
+        from repro.core import control_replicate
+        from repro.runtime.spmd import ShardExceptionGroup
+
+        gate = threading.Barrier(2)
+
+        @task(privileges=[RW("v"), R("v")], name="both_boom")
+        def both_boom(Bv, Av):
+            gate.wait(timeout=10)  # both shards reach the failure point
+            raise ValueError(f"boom at point {min(Av.points)}")
+
+        b = ProgramBuilder()
+        with b.for_range("t", 0, 1):
+            b.launch(both_boom, fig2.I, fig2.PB, fig2.PA)
+        prog, _ = control_replicate(b.build(), num_shards=2)
+        ex = SPMDExecutor(num_shards=2, mode="threaded",
+                          instances=fig2.fresh_instances())
+        with pytest.raises(ShardExceptionGroup) as exc_info:
+            ex.run(prog)
+        assert len(exc_info.value.exceptions) == 2
+        assert all(isinstance(e, ValueError)
+                   for e in exc_info.value.exceptions)
+
+    def test_failing_shard_unblocks_siblings_promptly(self, fig2):
+        """A failing shard cancels its siblings' blocked waits instead of
+        leaving them stuck until the deadlock timeout."""
+        import time as _time
+
+        from repro.core import control_replicate
+
+        @task(privileges=[RW("v"), R("v")], name="boom_on_shard0")
+        def boom_on_shard0(Bv, Av):
+            if 0 in set(Av.points):  # only shard 0 owns point 0
+                raise RuntimeError("shard 0 boom")
+            Bv.write("v")[:] = 1.0
+
+        b = ProgramBuilder()
+        b.let("T", 3)
+        with b.for_range("t", 0, "T"):
+            b.launch(boom_on_shard0, fig2.I, fig2.PB, fig2.PA)
+            b.launch(fig2.TG, fig2.I, fig2.PA, fig2.QB)
+        prog, _ = control_replicate(b.build(), num_shards=2)
+        # Shard 1 blocks on the exchange channel whose producer (shard 0)
+        # has already died; cooperative cancellation must release it long
+        # before the 30s deadlock timeout.
+        ex = SPMDExecutor(num_shards=2, mode="threaded",
+                          instances=fig2.fresh_instances(),
+                          deadlock_timeout=30.0)
+        t0 = _time.perf_counter()
+        with pytest.raises(RuntimeError, match="shard 0 boom"):
+            ex.run(prog)
+        assert _time.perf_counter() - t0 < 10.0
+
+    def test_deadlock_timeout_names_the_event(self, fig2):
+        """A genuinely stuck shard reports what it was waiting for."""
+        from repro.core import control_replicate
+        prog, _ = control_replicate(fig2.build(), num_shards=2)
+        ex = SPMDExecutor(num_shards=2, mode="threaded",
+                          instances=fig2.fresh_instances(),
+                          deadlock_timeout=0.2)
+        broken = ex._build_channels
+
+        def never_ready(stmt, ns):
+            chans = broken(stmt, ns)
+            for per_pair in chans.values():
+                for ch in per_pair.values():
+                    ch.ready.advance_to = lambda n: None  # drop releases
+            return chans
+
+        ex._build_channels = never_ready
+        with pytest.raises(Exception) as exc_info:
+            ex.run(prog)
+        exc = exc_info.value
+        leaves = getattr(exc, "exceptions", [exc])
+        assert any(isinstance(e, DeadlockError) and "copy" in str(e)
+                   for e in leaves)
