@@ -4,6 +4,9 @@ Commands:
 
 * ``verify``  — run an evaluation application three ways (reference,
   sequential, control-replicated SPMD) and check agreement;
+* ``run``     — execute an application on one SPMD backend
+  (``--backend {sequential,stepped,threaded,procs}``), check the region
+  state against the sequential executor, and report throughput;
 * ``compile`` — print an application's control program before and after
   control replication, plus the compilation report;
 * ``figure``  — run one of the paper's weak-scaling figures on the machine
@@ -22,6 +25,7 @@ leaves a pass.
 Examples::
 
     python -m repro verify circuit --shards 4 --mode threaded --trace t.json
+    python -m repro run pennant --backend procs --shards 4 --steps 10
     python -m repro compile stencil --explain-passes --dump-after replicate
     python -m repro figure 8 --max-nodes 64
     python -m repro simulate pennant --nodes 16 --model cr --trace sim.json
@@ -98,14 +102,32 @@ def build_parser() -> argparse.ArgumentParser:
         sp.add_argument("--shape", choices=["star", "square"], default="star",
                         help="stencil shape (stencil only)")
 
+    SPMD_BACKENDS = ["stepped", "threaded", "procs"]
+
     v = sub.add_parser("verify", help="check CR == sequential == reference")
     add_app_args(v)
     v.add_argument("--shards", type=int, default=4)
-    v.add_argument("--mode", choices=["stepped", "threaded"], default="stepped")
+    v.add_argument("--mode", "--backend", dest="mode", choices=SPMD_BACKENDS,
+                   default="stepped",
+                   help="SPMD driver: deterministic interleaving, OS "
+                        "threads, or OS processes over shared memory")
     v.add_argument("--seed", type=int, default=0)
     v.add_argument("--sync", choices=["p2p", "barrier"], default="p2p")
     v.add_argument("--trace", metavar="OUT.json", default=None,
                    help="write a Chrome-trace timeline of the compile + run")
+
+    r = sub.add_parser("run", help="run one app on one backend and time it")
+    add_app_args(r)
+    r.add_argument("--shards", type=int, default=4)
+    r.add_argument("--backend", choices=["sequential"] + SPMD_BACKENDS,
+                   default="threaded")
+    r.add_argument("--seed", type=int, default=0)
+    r.add_argument("--sync", choices=["p2p", "barrier"], default="p2p")
+    r.add_argument("--no-check", action="store_true",
+                   help="skip the region-state comparison against the "
+                        "sequential executor")
+    r.add_argument("--trace", metavar="OUT.json", default=None,
+                   help="write a Chrome-trace timeline of the run")
 
     c = sub.add_parser("compile", help="show the program before/after CR")
     add_app_args(c)
@@ -167,6 +189,50 @@ def cmd_verify(args) -> int:
     print(f"{args.app}: reference == sequential == CR({args.shards} shards, "
           f"{args.mode}, {args.sync}): {'OK' if ok else 'MISMATCH'} "
           f"[{ex.elements_copied} elements exchanged, {elapsed:.2f}s]")
+    if args.trace:
+        tracer.write(args.trace)
+        print(f"-- trace: {len(tracer.events())} events -> {args.trace}")
+    return 0 if ok else 1
+
+
+def cmd_run(args) -> int:
+    from .obs import NULL_TRACER, Tracer
+    problem = APP_FACTORIES[args.app](args)
+    tracer = Tracer() if args.trace else NULL_TRACER
+    t0 = time.perf_counter()
+    if args.backend == "sequential":
+        state, _, ex = problem.run_sequential()
+        elapsed = time.perf_counter() - t0
+        print(f"{args.app}: sequential, {ex.tasks_executed} tasks, "
+              f"{elapsed:.3f}s")
+        return 0
+    state, _, ex, report = problem.run_control_replicated(
+        args.shards, mode=args.backend, seed=args.seed, sync=args.sync,
+        tracer=tracer)
+    elapsed = time.perf_counter() - t0
+
+    ok = True
+    check = "unchecked"
+    if not args.no_check:
+        seq, _, _ = problem.run_sequential()
+        bitwise = all(np.array_equal(state[k], seq[k]) for k in seq)
+        if bitwise:
+            check = "bitwise-identical to sequential"
+        elif all(np.allclose(state[k], seq[k], rtol=1e-11, atol=1e-13)
+                 for k in seq):
+            # Float reduction copies reassociate sums, so apps with "+"
+            # reduction fields agree to round-off rather than bitwise.
+            check = "matches sequential to round-off"
+        else:
+            ok = False
+            check = "MISMATCH vs sequential"
+            for k in seq:
+                if not np.allclose(state[k], seq[k], rtol=1e-11, atol=1e-13):
+                    print(f"FAIL {args.backend} != sequential on {k} "
+                          f"(max diff {np.abs(state[k] - seq[k]).max():.3e})")
+    print(f"{args.app}: backend={args.backend} shards={args.shards} "
+          f"[{ex.tasks_executed} tasks, {ex.copies_performed} copies, "
+          f"{ex.bytes_copied} bytes exchanged, {elapsed:.3f}s] -- {check}")
     if args.trace:
         tracer.write(args.trace)
         print(f"-- trace: {len(tracer.events())} events -> {args.trace}")
@@ -296,6 +362,7 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handler = {
         "verify": cmd_verify,
+        "run": cmd_run,
         "compile": cmd_compile,
         "figure": cmd_figure,
         "simulate": cmd_simulate,

@@ -120,6 +120,23 @@ class Tracer:
         with self._lock:
             return list(self._events)
 
+    def event_count(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+    def ingest(self, events: list[dict[str, Any]]) -> None:
+        """Merge events collected elsewhere into this timeline.
+
+        The procs SPMD driver uses this to funnel per-shard spans back to
+        the parent: a forked child inherits the tracer (same ``_t0``, and
+        ``perf_counter`` is system-wide monotonic on the platforms that
+        support fork), records its spans locally, and ships the new events
+        over a pipe at exit — so ``--trace`` produces one merged timeline
+        no matter which driver ran the shards.
+        """
+        with self._lock:
+            self._events.extend(events)
+
     def chrome_trace(self) -> dict[str, Any]:
         """The complete Chrome-trace JSON object."""
         return {"traceEvents": self.events(), "displayTimeUnit": "ms"}
@@ -140,6 +157,9 @@ class _NullTracer(Tracer):
         return False
 
     def _emit(self, event: dict[str, Any]) -> None:
+        pass
+
+    def ingest(self, events: list[dict[str, Any]]) -> None:
         pass
 
     @contextmanager

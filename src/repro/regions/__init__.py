@@ -28,6 +28,7 @@ from .partition_ops import (
     partition_union,
 )
 from .rects import Rect, bounding_rect_of_intervals, rect_to_intervals
+from .shm import SharedMemoryArena
 from .region import (
     FieldSpace,
     PhysicalInstance,
@@ -49,6 +50,7 @@ __all__ = [
     "PrivateGhost",
     "Rect",
     "Region",
+    "SharedMemoryArena",
     "apply_reduction",
     "bounding_rect_of_intervals",
     "ispace",

@@ -166,15 +166,23 @@ class PhysicalInstance:
     ``index_set`` enumerates the global points this instance holds, in
     sorted order; field arrays are indexed by local slot (the rank of the
     point within ``index_set``).
+
+    ``allocator`` customizes where the field arrays live: it is called as
+    ``allocator(shape, dtype)`` and must return a zero-initialized array.
+    The default allocates ordinary process-private memory; the procs SPMD
+    backend passes :meth:`repro.regions.shm.SharedMemoryArena.allocate` so
+    instances are visible to every forked shard process.
     """
 
-    def __init__(self, region: Region, index_set: IntervalSet | None = None):
+    def __init__(self, region: Region, index_set: IntervalSet | None = None,
+                 allocator=None):
         self.region = region
         self.index_set = region.index_set if index_set is None else index_set
         self._points = self.index_set.to_indices()
         n = self._points.shape[0]
+        alloc = np.zeros if allocator is None else allocator
         self.fields: dict[str, np.ndarray] = {
-            fname: np.zeros((n, *eshape), dtype=dtype)
+            fname: alloc((n, *eshape), dtype)
             for fname, (dtype, eshape) in region.fspace.items()
         }
 

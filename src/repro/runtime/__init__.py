@@ -6,6 +6,7 @@ from .events import Event, GlobalBarrier, PhaseBarrier, Sequence
 from .intersection_exec import (IntersectionResult, compute_intersections,
                                 compute_intersections_sharded)
 from .mapping import BlockMapper, Mapper
+from .procs import ProcsUnavailableError, procs_available
 from .sequential import SequentialExecutor
 from .spmd import (DeadlockError, ReplicationDivergence, SPMDExecutor,
                    ShardExceptionGroup)
@@ -22,6 +23,7 @@ __all__ = [
     "BlockMapper",
     "Mapper",
     "PhaseBarrier",
+    "ProcsUnavailableError",
     "ReplicationDivergence",
     "SCALAR_REDUCTIONS",
     "SPMDExecutor",
@@ -30,4 +32,5 @@ __all__ = [
     "SequentialExecutor",
     "compute_intersections",
     "compute_intersections_sharded",
+    "procs_available",
 ]

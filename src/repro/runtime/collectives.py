@@ -14,6 +14,9 @@ from __future__ import annotations
 import threading
 from typing import Any, Callable
 
+import numpy as np
+
+from ..regions.region import reduction_identity
 from .events import Event
 
 __all__ = ["DynamicCollective", "SCALAR_REDUCTIONS"]
@@ -27,7 +30,14 @@ SCALAR_REDUCTIONS: dict[str, Callable[[Any, Any], Any]] = {
 
 
 class DynamicCollective:
-    """A generational all-reduce over a fixed set of shards."""
+    """A generational all-reduce over a fixed set of shards.
+
+    Generations are retired once every shard has read their result, so a
+    long control loop (one generation per ``dt`` reduction per time step)
+    keeps the internal dicts at O(live generations), not O(total).  Each
+    shard must read :meth:`result` exactly once per generation it
+    contributed to — which is exactly what the shard interpreter does.
+    """
 
     def __init__(self, num_shards: int, redop: str):
         if redop not in SCALAR_REDUCTIONS:
@@ -40,6 +50,7 @@ class DynamicCollective:
         self._arrived: dict[int, int] = {}
         self._results: dict[int, Any] = {}
         self._events: dict[int, Event] = {}
+        self._reads: dict[int, int] = {}
 
     def _event(self, generation: int) -> Event:
         if generation not in self._events:
@@ -60,16 +71,33 @@ class DynamicCollective:
             ev = self._event(generation)
             if n == self.num_shards:
                 if generation not in self._partial:
-                    raise RuntimeError(
-                        f"collective generation {generation}: every shard "
-                        f"contributed None (empty launch domain?)")
-                self._results[generation] = self._partial.pop(generation)
+                    # Every shard contributed None: legal under the paper's
+                    # dynamically determined participant counts (§4.4, e.g.
+                    # an empty launch domain); reduce to the identity.
+                    self._results[generation] = reduction_identity(
+                        self.redop, np.float64)
+                else:
+                    self._results[generation] = self._partial.pop(generation)
                 ev.trigger()
             elif n > self.num_shards:
                 raise RuntimeError("collective over-arrived")
         return ev
 
     def result(self, generation: int) -> Any:
-        """The reduced value; only valid once the generation's event fired."""
+        """The reduced value; only valid once the generation's event fired.
+
+        The ``num_shards``-th read retires the generation (every shard
+        reads the result exactly once, so the last read means no one can
+        still need it).
+        """
         with self._lock:
-            return self._results[generation]
+            value = self._results[generation]
+            reads = self._reads.get(generation, 0) + 1
+            if reads >= self.num_shards:
+                del self._results[generation]
+                self._reads.pop(generation, None)
+                self._arrived.pop(generation, None)
+                self._events.pop(generation, None)
+            else:
+                self._reads[generation] = reads
+            return value

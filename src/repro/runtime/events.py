@@ -68,7 +68,11 @@ class Sequence:
 
     @property
     def value(self) -> int:
-        return self._value
+        # Reads take the lock so an observer (e.g. a deadlock detector
+        # polling from another thread) never sees a torn or stale value
+        # relative to the waiter dict it inspects next.
+        with self._lock:
+            return self._value
 
     def advance_to(self, n: int) -> None:
         with self._lock:
@@ -89,7 +93,19 @@ class Sequence:
 
 
 class PhaseBarrier:
-    """A generational barrier: each generation needs ``arrivals`` arrivals."""
+    """A generational barrier: each generation needs ``arrivals`` arrivals.
+
+    Generations are 1-based (generation 0 is the barrier's initial,
+    already-completed state — matching the shard interpreter's epoch
+    counters, which start at 1).
+
+    Completed generations are retired eagerly: a long-running control loop
+    advances through one generation per time step, so ``_counts`` and
+    ``_events`` must hold O(live generations), not O(total generations).
+    A watermark (plus a small set for out-of-order completions) remembers
+    which generations already completed so late waiters still get a
+    triggered event.
+    """
 
     def __init__(self, arrivals: int):
         if arrivals <= 0:
@@ -98,6 +114,12 @@ class PhaseBarrier:
         self._counts: dict[int, int] = {}
         self._events: dict[int, Event] = {}
         self._lock = threading.Lock()
+        self._completed_through = 0  # all generations <= this completed
+        self._completed_beyond: set[int] = set()  # out-of-order completions
+
+    def _is_completed(self, generation: int) -> bool:
+        return (generation <= self._completed_through
+                or generation in self._completed_beyond)
 
     def _event(self, generation: int, label: str | None = None) -> Event:
         if generation not in self._events:
@@ -106,6 +128,12 @@ class PhaseBarrier:
 
     def arrive(self, generation: int, count: int = 1) -> None:
         with self._lock:
+            if generation <= 0:
+                raise ValueError("phase barrier generations are 1-based")
+            if self._is_completed(generation):
+                raise RuntimeError(
+                    f"phase barrier over-arrived: generation {generation} "
+                    f"already completed with {self.arrivals} arrivals")
             got = self._counts.get(generation, 0) + count
             if got > self.arrivals:
                 raise RuntimeError(
@@ -113,10 +141,22 @@ class PhaseBarrier:
                     f"{got} > {self.arrivals}")
             self._counts[generation] = got
             if got == self.arrivals:
-                self._event(generation).trigger()
+                # Retire the generation: drop its count, trigger and drop
+                # its event (waiters hold their own references), and fold
+                # it into the completion watermark.
+                self._counts.pop(generation)
+                ev = self._events.pop(generation, None)
+                if ev is not None:
+                    ev.trigger()
+                self._completed_beyond.add(generation)
+                while self._completed_through + 1 in self._completed_beyond:
+                    self._completed_through += 1
+                    self._completed_beyond.discard(self._completed_through)
 
     def wait_event(self, generation: int, label: str | None = None) -> Event:
         with self._lock:
+            if self._is_completed(generation):
+                return _TRIGGERED  # shared singleton: never label it
             return self._event(generation, label)
 
 

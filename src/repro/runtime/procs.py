@@ -1,0 +1,475 @@
+"""Process-based SPMD driver: one forked OS process per shard.
+
+The threaded driver only overlaps where numpy drops the GIL; this driver
+gives each shard a real OS process, so replicated control flow and
+pure-Python task bodies genuinely run in parallel — the regime the
+paper's weak-scaling argument (§1, Fig. 1) is about.
+
+Design:
+
+* **fork, not spawn.**  Children must inherit the compiled IR, the task
+  closures, the evaluated intersection pair sets, and the executor itself
+  without pickling any of it, so the driver requires the ``fork`` start
+  method (available on the POSIX platforms this targets).  The shard
+  interpreter — the generator in :class:`~repro.runtime.spmd.SPMDExecutor`
+  that yields the :class:`~repro.runtime.events.Event`-shaped objects it
+  blocks on — is reused completely unchanged; only the event
+  implementations, the instance allocator, and this driver differ.
+
+* **shared-memory instances.**  Every ``PhysicalInstance`` named by a
+  partition is allocated from a :class:`~repro.regions.shm.SharedMemoryArena`
+  *before* the fork, so all shards map the same buffers and a pairwise
+  copy is a numpy fancy-indexed assignment between shared buffers: a true
+  zero-serialization memcpy between processes.
+
+* **one sync board.**  All synchronization state — the per-channel
+  ready/ack sequences of the §3.4 handshake, global-barrier generations,
+  and dynamic-collective slots (§4.4) — lives in flat ``ctypes`` arrays in
+  anonymous shared memory, guarded by a single ``multiprocessing``
+  condition variable.  Waiters re-check monotone predicates; every state
+  change notifies.  Collective values travel as float64 (double-buffered
+  by generation parity, which is safe because generation ``g+2``
+  contributions cannot begin until every shard has read generation ``g``).
+
+* **funneling.**  Each child ships its final scalar environment, copy
+  counters, task count, and trace spans back over a pipe, so ``--trace``
+  produces one merged Chrome-trace timeline exactly as the threaded
+  driver does, and replication validation sees every shard's scalars.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from typing import Any, Callable
+
+import numpy as np
+
+from ..core.ir import PairwiseCopy, ScalarCollective, BarrierStmt, walk
+from ..obs import PID_SPMD
+from ..regions.region import reduction_identity
+from .collectives import SCALAR_REDUCTIONS
+
+__all__ = ["procs_available", "ensure_procs_available", "ProcsUnavailableError"]
+
+
+class ProcsUnavailableError(RuntimeError):
+    """The platform lacks the ``fork`` start method the driver needs."""
+
+
+class _Cancelled(BaseException):
+    """Internal: a sibling shard failed; unwind this shard quietly."""
+
+
+def procs_available() -> bool:
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def ensure_procs_available() -> None:
+    if not procs_available():
+        raise ProcsUnavailableError(
+            "the procs SPMD backend requires the 'fork' multiprocessing "
+            "start method (unavailable on this platform); use "
+            "mode='threaded' instead")
+
+
+def _fork_context():
+    ensure_procs_available()
+    return multiprocessing.get_context("fork")
+
+
+# ---------------------------------------------------------------------------
+# Cross-process synchronization primitives
+# ---------------------------------------------------------------------------
+
+class _BoardEvent:
+    """Event facade over a monotone predicate on shared sync state.
+
+    Duck-types :class:`repro.runtime.events.Event` as far as the drivers
+    need: ``is_set`` / ``wait_blocking`` / ``label``.
+    """
+
+    __slots__ = ("_cond", "_check", "label")
+
+    def __init__(self, cond, check: Callable[[], bool], label: str | None = None):
+        self._cond = cond
+        self._check = check
+        self.label = label
+
+    def is_set(self) -> bool:
+        # Lock-free read: every predicate is monotone (a false positive is
+        # impossible; a stale False only costs one wait round-trip).
+        return bool(self._check())
+
+    def wait_blocking(self, timeout: float | None = None) -> bool:
+        with self._cond:
+            return self._cond.wait_for(self._check, timeout)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"_BoardEvent({self.label or 'event'}, {'set' if self.is_set() else 'unset'})"
+
+
+class _BoardSequence:
+    """Cross-process :class:`~repro.runtime.events.Sequence`: a monotone
+    counter at a fixed slot of a shared array."""
+
+    __slots__ = ("_cond", "_arr", "_idx")
+
+    def __init__(self, cond, arr, idx: int):
+        self._cond = cond
+        self._arr = arr
+        self._idx = idx
+
+    @property
+    def value(self) -> int:
+        with self._cond:
+            return self._arr[self._idx]
+
+    def advance_to(self, n: int) -> None:
+        with self._cond:
+            if n > self._arr[self._idx]:
+                self._arr[self._idx] = n
+                self._cond.notify_all()
+
+    def event_for(self, n: int, label: str | None = None) -> _BoardEvent:
+        arr, idx = self._arr, self._idx
+        return _BoardEvent(self._cond, lambda: arr[idx] >= n, label)
+
+
+class _BoardBarrier:
+    """Cross-process :class:`~repro.runtime.events.GlobalBarrier`.
+
+    Generations complete strictly in order (every participant waits for
+    generation ``g`` before arriving at ``g+1``), so one arrival counter
+    plus a last-completed-generation watermark per barrier suffices —
+    the shared-state analogue of the eager pruning the in-process
+    :class:`~repro.runtime.events.PhaseBarrier` does.
+    """
+
+    __slots__ = ("_cond", "_count", "_done", "_idx", "_participants")
+
+    def __init__(self, cond, count, done, idx: int, participants: int):
+        self._cond = cond
+        self._count = count
+        self._done = done
+        self._idx = idx
+        self._participants = participants
+
+    def arrive_and_wait_event(self, generation: int,
+                              label: str | None = None) -> _BoardEvent:
+        with self._cond:
+            got = self._count[self._idx] + 1
+            if got == self._participants:
+                self._count[self._idx] = 0
+                self._done[self._idx] = generation
+                self._cond.notify_all()
+            else:
+                self._count[self._idx] = got
+        done, idx = self._done, self._idx
+        return _BoardEvent(self._cond, lambda: done[idx] >= generation, label)
+
+
+class _BoardCollective:
+    """Cross-process :class:`~repro.runtime.collectives.DynamicCollective`.
+
+    Values are reduced as float64 in shared slots double-buffered by
+    generation parity.  Slot reuse is safe: a contribution to generation
+    ``g+2`` can only happen after ``g+1`` completed, which requires every
+    shard to have read ``result(g)`` first.  Completed slots are reset at
+    trigger time, so the state is O(1) per collective regardless of how
+    many generations a control loop runs — the cross-process counterpart
+    of the in-process generation retirement.
+    """
+
+    __slots__ = ("_cond", "_partial", "_has", "_arrived", "_result", "_done",
+                 "_base", "_k", "_participants", "redop", "_fold")
+
+    def __init__(self, cond, partial, has, arrived, result, done,
+                 k: int, participants: int, redop: str):
+        self._cond = cond
+        self._partial = partial
+        self._has = has
+        self._arrived = arrived
+        self._result = result
+        self._done = done
+        self._k = k
+        self._base = 2 * k
+        self._participants = participants
+        self.redop = redop
+        self._fold = SCALAR_REDUCTIONS[redop]
+
+    def contribute(self, generation: int, value: Any | None) -> _BoardEvent:
+        s = self._base + (generation & 1)
+        with self._cond:
+            if value is not None:
+                v = float(value)
+                if self._has[s]:
+                    self._partial[s] = self._fold(self._partial[s], v)
+                else:
+                    self._partial[s] = v
+                    self._has[s] = 1
+            got = self._arrived[s] + 1
+            if got == self._participants:
+                if self._has[s]:
+                    self._result[s] = self._partial[s]
+                else:
+                    # Every shard contributed None (legal: §4.4 empty
+                    # launch domain) — reduce to the identity.
+                    self._result[s] = float(
+                        reduction_identity(self.redop, np.float64))
+                self._arrived[s] = 0
+                self._has[s] = 0
+                self._done[self._k] = generation
+                self._cond.notify_all()
+            else:
+                self._arrived[s] = got
+        done, k = self._done, self._k
+        return _BoardEvent(self._cond, lambda: done[k] >= generation,
+                           label=f"collective:g{generation}")
+
+    def result(self, generation: int) -> float:
+        with self._cond:
+            return self._result[self._base + (generation & 1)]
+
+
+class _SyncBoard:
+    """All cross-process synchronization state for one shard launch."""
+
+    def __init__(self, mpctx, num_shards: int, num_channels: int,
+                 collective_specs: list[tuple[int, str]],
+                 barrier_tags: list[str]):
+        self.num_shards = num_shards
+        self._cond = mpctx.Condition()
+        n = max(1, num_channels)
+        self._chan_ready = mpctx.RawArray("q", n)
+        self._chan_acked = mpctx.RawArray("q", n)
+        nb = max(1, len(barrier_tags))
+        self._bar_index = {tag: i for i, tag in enumerate(barrier_tags)}
+        self._bar_count = mpctx.RawArray("q", nb)
+        self._bar_done = mpctx.RawArray("q", nb)
+        nc = max(1, len(collective_specs))
+        self._coll_index = {uid: (i, redop)
+                           for i, (uid, redop) in enumerate(collective_specs)}
+        self._coll_partial = mpctx.RawArray("d", 2 * nc)
+        self._coll_has = mpctx.RawArray("b", 2 * nc)
+        self._coll_arrived = mpctx.RawArray("q", 2 * nc)
+        self._coll_result = mpctx.RawArray("d", 2 * nc)
+        self._coll_done = mpctx.RawArray("q", nc)
+
+    def ready_sequence(self, channel: int) -> _BoardSequence:
+        return _BoardSequence(self._cond, self._chan_ready, channel)
+
+    def acked_sequence(self, channel: int) -> _BoardSequence:
+        return _BoardSequence(self._cond, self._chan_acked, channel)
+
+    def barrier(self, tag: str) -> _BoardBarrier:
+        return _BoardBarrier(self._cond, self._bar_count, self._bar_done,
+                             self._bar_index[tag], self.num_shards)
+
+    def collective(self, uid: int) -> _BoardCollective:
+        k, redop = self._coll_index[uid]
+        return _BoardCollective(self._cond, self._coll_partial, self._coll_has,
+                                self._coll_arrived, self._coll_result,
+                                self._coll_done, k, self.num_shards, redop)
+
+
+# ---------------------------------------------------------------------------
+# Shard child process
+# ---------------------------------------------------------------------------
+
+def _wait_event(shard: int, ev, cancel, timeout_s: float, tracer) -> None:
+    """Block on one yielded event, honouring cancellation and the
+    deadlock timeout; mirrors the threaded driver's wait loop."""
+    from .spmd import DeadlockError
+
+    if ev.is_set():
+        return
+    start = tracer.now_us() if tracer.enabled else 0.0
+    deadline = time.monotonic() + timeout_s
+    while not ev.wait_blocking(timeout=0.02):
+        if cancel.is_set():
+            raise _Cancelled()
+        if time.monotonic() >= deadline:
+            raise DeadlockError(
+                f"shard {shard} blocked on {ev.label or 'event'} "
+                f"for {timeout_s}s")
+    if tracer.enabled:
+        tracer.complete(f"wait:{ev.label or 'event'}", start,
+                        tracer.now_us() - start, cat="wait",
+                        pid=PID_SPMD, tid=shard)
+
+
+def _shard_main(ex, body, state, ctx, cancel, conn) -> None:
+    """Child-process entry point: drive one shard's generator to the end,
+    then ship scalars / counters / trace spans back to the parent."""
+    tracer = ex.tracer
+    trace_base = tracer.event_count() if tracer.enabled else 0
+    tasks_base = ex.tasks_executed
+    # Instances must have been materialized (in shared memory) pre-fork;
+    # a lazily created one here would be process-private and silently
+    # wrong, so make dist_instance fail loudly instead.
+    ex._dist_frozen = True
+    error: BaseException | None = None
+    try:
+        for ev in ex._shard_body(body, state, ctx):
+            if cancel.is_set():
+                raise _Cancelled()
+            if ev is not None:
+                _wait_event(state.shard, ev, cancel, ex.deadlock_timeout, tracer)
+    except _Cancelled:
+        pass  # a sibling already recorded the primary error
+    except BaseException as exc:
+        cancel.set()
+        error = exc
+    payload = {
+        "shard": state.shard,
+        "scalars": state.scalars,
+        "pair_visits": state.pair_visits,
+        "elements_copied": state.elements_copied,
+        "copies_performed": state.copies_performed,
+        "bytes_copied": state.bytes_copied,
+        "tasks_executed": ex.tasks_executed - tasks_base,
+        "trace_events": tracer.events()[trace_base:] if tracer.enabled else [],
+        "error": error,
+    }
+    try:
+        conn.send(payload)
+    except Exception:
+        # The error (or a scalar) didn't pickle; degrade to its repr so the
+        # parent still learns what happened.
+        payload["error"] = RuntimeError(
+            f"shard {state.shard} failed with unpicklable state: {error!r}")
+        payload["scalars"] = {}
+        try:
+            conn.send(payload)
+        except Exception:  # pragma: no cover - pipe gone; parent sees EOF
+            pass
+    finally:
+        conn.close()
+
+
+# ---------------------------------------------------------------------------
+# Parent-side driver
+# ---------------------------------------------------------------------------
+
+def run_shard_launch_procs(ex, stmt, states, ns: int) -> None:
+    """Fork ``ns`` shard processes for one ShardLaunch and collect results.
+
+    ``ex`` is the :class:`~repro.runtime.spmd.SPMDExecutor`; ``states`` are
+    its per-shard :class:`_ShardState` objects, updated in place from the
+    child payloads so the caller's scalar merge / counter merge code runs
+    unchanged.
+    """
+    from .spmd import (DeadlockError, ShardExceptionGroup, _Channel,
+                       _EpochContext)
+
+    mpctx = _fork_context()
+
+    # Assign one slot per (copy statement, pair) channel and one per
+    # barrier tag / collective uid, mirroring _shard_launch's threaded
+    # setup but on the shared board.
+    channel_pairs: dict[int, list[tuple[int, int]]] = {}
+    collective_specs: list[tuple[int, str]] = []
+    barrier_tags: list[str] = []
+    for s in walk(stmt):
+        if isinstance(s, PairwiseCopy):
+            channel_pairs[s.uid] = ex._copy_pairs(s)
+            if s.sync_mode == "barrier":
+                for tag in (f"pre:{s.uid}", f"post:{s.uid}"):
+                    if tag not in barrier_tags:
+                        barrier_tags.append(tag)
+        elif isinstance(s, ScalarCollective):
+            collective_specs.append((s.uid, s.redop))
+        elif isinstance(s, BarrierStmt):
+            if s.tag not in barrier_tags:
+                barrier_tags.append(s.tag)
+    num_channels = sum(len(p) for p in channel_pairs.values())
+    board = _SyncBoard(mpctx, ns, num_channels, collective_specs, barrier_tags)
+
+    channels: dict[int, dict[tuple[int, int], _Channel]] = {}
+    slot = 0
+    for uid, pairs in channel_pairs.items():
+        chans = {}
+        for p in pairs:
+            chans[p] = _Channel(ready=board.ready_sequence(slot),
+                                acked=board.acked_sequence(slot))
+            slot += 1
+        channels[uid] = chans
+    ctx = _EpochContext(
+        channels=channels,
+        collectives={uid: board.collective(uid) for uid, _ in collective_specs},
+        barriers={tag: board.barrier(tag) for tag in barrier_tags},
+        num_shards=ns)
+
+    # Reduction copies from different producer processes may fold into the
+    # same destination elements; the executor's copy lock must therefore
+    # span processes for the duration of this launch.
+    old_lock = ex._copy_lock
+    ex._copy_lock = mpctx.Lock()
+    cancel = mpctx.Event()
+    procs: list = []
+    conns: list = []
+    errors: list[BaseException] = []
+    try:
+        for st in states:
+            parent_conn, child_conn = mpctx.Pipe(duplex=False)
+            p = mpctx.Process(target=_shard_main,
+                              args=(ex, stmt.body, st, ctx, cancel, child_conn),
+                              name=f"repro-shard-{st.shard}", daemon=True)
+            p.start()
+            child_conn.close()
+            procs.append(p)
+            conns.append(parent_conn)
+
+        # A child that deadlocks raises DeadlockError itself after
+        # ex.deadlock_timeout; the parent deadline is the backstop for a
+        # child that dies so hard it cannot even report.
+        deadline = time.monotonic() + ex.deadlock_timeout + 30.0
+        payloads: list[dict | None] = [None] * ns
+        for x, conn in enumerate(conns):
+            remaining = max(0.0, deadline - time.monotonic())
+            try:
+                if conn.poll(remaining):
+                    payloads[x] = conn.recv()
+            except (EOFError, OSError):
+                pass
+            if payloads[x] is None:
+                cancel.set()
+
+        for x, payload in enumerate(payloads):
+            if payload is None:
+                procs[x].join(timeout=1.0)
+                code = procs[x].exitcode
+                errors.append(DeadlockError(
+                    f"shard {x} did not report within the deadlock window")
+                    if code is None else RuntimeError(
+                        f"shard {x} process died without reporting "
+                        f"(exit code {code})"))
+                continue
+            if payload["error"] is not None:
+                errors.append(payload["error"])
+            st = states[x]
+            st.scalars = payload["scalars"]
+            st.pair_visits = payload["pair_visits"]
+            st.elements_copied = payload["elements_copied"]
+            st.copies_performed = payload["copies_performed"]
+            st.bytes_copied = payload["bytes_copied"]
+            ex.tasks_executed += payload["tasks_executed"]
+            if ex.tracer.enabled and payload["trace_events"]:
+                ex.tracer.ingest(payload["trace_events"])
+    finally:
+        ex._copy_lock = old_lock
+        for conn in conns:
+            conn.close()
+        for p in procs:
+            p.join(timeout=5.0)
+            if p.is_alive():  # pragma: no cover - hard-hung child
+                p.terminate()
+                p.join(timeout=5.0)
+
+    if len(errors) == 1:
+        raise errors[0]
+    if errors:
+        if not all(isinstance(e, Exception) for e in errors):
+            raise errors[0]  # e.g. KeyboardInterrupt: re-raise directly
+        raise ShardExceptionGroup(f"{len(errors)} shards failed", errors)

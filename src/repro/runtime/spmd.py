@@ -21,12 +21,15 @@ the functional equivalent of Legion phase barriers:
 * the consumer proceeds once every inbound channel is ``ready(g)``
   (read-after-write).
 
-Two drivers share one shard interpreter (a generator that yields the
+Three drivers share one shard interpreter (a generator that yields the
 events it blocks on): a **stepped** driver interleaves shards
 deterministically-adversarially under a seeded RNG (used by the
 failure-injection tests — removing synchronization makes it observably
-wrong), and a **threaded** driver runs each shard on an OS thread with
-blocking waits (numpy releases the GIL, so point tasks genuinely overlap).
+wrong), a **threaded** driver runs each shard on an OS thread with
+blocking waits (numpy releases the GIL, so point tasks genuinely overlap),
+and a **procs** driver (:mod:`repro.runtime.procs`) forks each shard as an
+OS process over shared-memory instances, so even pure-Python task bodies
+run in parallel.
 """
 
 from __future__ import annotations
@@ -131,10 +134,13 @@ class SPMDExecutor(SequentialExecutor):
                  instances=None, validate_replication: bool = True,
                  tracer: Tracer = NULL_TRACER, deadlock_timeout: float = 60.0):
         super().__init__(instances=instances)
-        if mode not in ("stepped", "threaded"):
+        if mode not in ("stepped", "threaded", "procs"):
             raise ValueError(f"unknown mode {mode!r}")
         if num_shards <= 0:
             raise ValueError("need at least one shard")
+        if mode == "procs":
+            from .procs import ensure_procs_available
+            ensure_procs_available()
         self.num_shards = num_shards
         self.mode = mode
         self.seed = seed
@@ -143,20 +149,57 @@ class SPMDExecutor(SequentialExecutor):
         self.deadlock_timeout = deadlock_timeout
         self.dist: dict[tuple[int, int], PhysicalInstance] = {}
         self.pair_sets: dict[str, IntersectionResult] = {}
+        # Loop-invariant ComputeIntersections statements hit this cache,
+        # keyed on partition identity, so an intersection inside a time
+        # loop is evaluated once rather than per epoch.
+        self._isect_cache: dict[tuple[int, int], IntersectionResult] = {}
+        self.intersections_computed = 0
         self.elements_copied = 0
         self.copies_performed = 0
         self.pair_visits = 0  # copy pairs visited, including empty ones
         self.bytes_copied = 0
         # Only reduction-operator copies still need this: ufunc.at on a
-        # shared destination is not atomic across threads.
+        # shared destination is not atomic across threads (the procs driver
+        # swaps in a cross-process lock for the span of a shard launch).
         self._copy_lock = threading.Lock()
+        # procs mode: instances live in shared memory so forked shard
+        # processes all map them; created lazily on first allocation.
+        self._arena = None
+        self._dist_frozen = False
+
+    def run(self, program):
+        try:
+            return super().run(program)
+        finally:
+            # Unlink shared-memory segment names eagerly (mappings — and
+            # therefore the instances — stay valid until process exit).
+            self.close()
+
+    def close(self) -> None:
+        """Release OS resources (shared-memory names) held by instances."""
+        if self._arena is not None:
+            self._arena.release()
 
     # -- distributed storage -----------------------------------------------
+    def _instance_allocator(self):
+        if self.mode != "procs":
+            return None
+        if self._arena is None:
+            from ..regions.shm import SharedMemoryArena
+            self._arena = SharedMemoryArena()
+        return self._arena.allocate
+
     def dist_instance(self, part: Partition, color: int) -> PhysicalInstance:
         key = (part.uid, color)
         inst = self.dist.get(key)
         if inst is None:
-            inst = PhysicalInstance(part[color])
+            if self._dist_frozen:
+                raise RuntimeError(
+                    f"instance for ({part.name}, {color}) requested inside a "
+                    f"shard process but was not materialized pre-fork — it "
+                    f"would be process-private and silently wrong")
+            inst = PhysicalInstance(part[color],
+                                    allocator=self._instance_allocator())
             self.dist[key] = inst
         return inst
 
@@ -183,7 +226,13 @@ class SPMDExecutor(SequentialExecutor):
         elif isinstance(stmt, FinalCopy):
             self._final_copy(stmt)
         elif isinstance(stmt, ComputeIntersections):
-            self.pair_sets[stmt.name] = compute_intersections(stmt.src, stmt.dst)
+            key = (stmt.src.uid, stmt.dst.uid)
+            result = self._isect_cache.get(key)
+            if result is None:
+                result = compute_intersections(stmt.src, stmt.dst)
+                self._isect_cache[key] = result
+                self.intersections_computed += 1
+            self.pair_sets[stmt.name] = result
         elif isinstance(stmt, ShardLaunch):
             self._shard_launch(stmt)
         elif isinstance(stmt, PairwiseCopy):
@@ -216,29 +265,33 @@ class SPMDExecutor(SequentialExecutor):
     def _shard_launch(self, stmt: ShardLaunch) -> None:
         ns = stmt.num_shards or self.num_shards
         self._precreate_instances(stmt)
-        channels = self._build_channels(stmt, ns)
-        collectives: dict[int, DynamicCollective] = {}
-        barriers: dict[str, GlobalBarrier] = {}
-        for s in walk(stmt):
-            if isinstance(s, ScalarCollective):
-                collectives[s.uid] = DynamicCollective(ns, s.redop)
-            elif isinstance(s, BarrierStmt):
-                barriers[s.tag] = GlobalBarrier(ns)
-            elif isinstance(s, PairwiseCopy) and s.sync_mode == "barrier":
-                barriers.setdefault(f"pre:{s.uid}", GlobalBarrier(ns))
-                barriers.setdefault(f"post:{s.uid}", GlobalBarrier(ns))
         states = [_ShardState(shard=x, scalars=dict(self.scalars)) for x in range(ns)]
-        ctx = _EpochContext(channels=channels, collectives=collectives,
-                            barriers=barriers, num_shards=ns)
         if self.tracer.enabled:
             self.tracer.name_process(PID_SPMD, "spmd executor")
             for x in range(ns):
                 self.tracer.name_thread(PID_SPMD, x, f"shard {x}")
-        gens = [self._shard_body(stmt.body, states[x], ctx) for x in range(ns)]
-        if self.mode == "threaded":
-            self._drive_threaded(gens)
+        if self.mode == "procs":
+            from .procs import run_shard_launch_procs
+            run_shard_launch_procs(self, stmt, states, ns)
         else:
-            self._drive_stepped(gens)
+            channels = self._build_channels(stmt, ns)
+            collectives: dict[int, DynamicCollective] = {}
+            barriers: dict[str, GlobalBarrier] = {}
+            for s in walk(stmt):
+                if isinstance(s, ScalarCollective):
+                    collectives[s.uid] = DynamicCollective(ns, s.redop)
+                elif isinstance(s, BarrierStmt):
+                    barriers[s.tag] = GlobalBarrier(ns)
+                elif isinstance(s, PairwiseCopy) and s.sync_mode == "barrier":
+                    barriers.setdefault(f"pre:{s.uid}", GlobalBarrier(ns))
+                    barriers.setdefault(f"post:{s.uid}", GlobalBarrier(ns))
+            ctx = _EpochContext(channels=channels, collectives=collectives,
+                                barriers=barriers, num_shards=ns)
+            gens = [self._shard_body(stmt.body, states[x], ctx) for x in range(ns)]
+            if self.mode == "threaded":
+                self._drive_threaded(gens)
+            else:
+                self._drive_stepped(gens)
         self._merge_scalars(states)
         self._merge_counters(states)
 

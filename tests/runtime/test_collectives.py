@@ -29,11 +29,19 @@ class TestDynamicCollective:
         c.contribute(1, None)
         assert c.result(1) == 7.0
 
-    def test_all_none_rejected(self):
-        c = DynamicCollective(2, "+")
-        c.contribute(1, None)
-        with pytest.raises(RuntimeError):
+    def test_all_none_reduces_to_identity(self):
+        """An empty launch domain is legal under §4.4's dynamically
+        determined participant counts: every shard contributing None
+        yields the redop's identity instead of crashing."""
+        import numpy as np
+
+        identities = {"+": 0.0, "*": 1.0, "min": np.inf, "max": -np.inf}
+        for redop, ident in identities.items():
+            c = DynamicCollective(2, redop)
             c.contribute(1, None)
+            ev = c.contribute(1, None)
+            assert ev.is_set()
+            assert c.result(1) == ident
 
     def test_generations_independent(self):
         c = DynamicCollective(2, "min")
@@ -52,6 +60,30 @@ class TestDynamicCollective:
     def test_unknown_op(self):
         with pytest.raises(ValueError):
             DynamicCollective(2, "median")
+
+    def test_generations_are_retired_after_reads(self):
+        """1000 full contribute/result cycles leave the internal dicts at
+        O(live generations) — the long-control-loop leak fix."""
+        c = DynamicCollective(3, "+")
+        for g in range(1, 1001):
+            for i in range(3):
+                c.contribute(g, float(i))
+            for _ in range(3):  # each shard reads once
+                assert c.result(g) == 3.0
+        assert len(c._results) == 0
+        assert len(c._reads) == 0
+        assert len(c._arrived) == 0
+        assert len(c._events) == 0
+        assert len(c._partial) == 0
+
+    def test_result_before_last_read_keeps_generation(self):
+        c = DynamicCollective(2, "min")
+        c.contribute(1, 4.0)
+        c.contribute(1, 3.0)
+        assert c.result(1) == 3.0
+        assert 1 in c._results  # one shard still hasn't read
+        assert c.result(1) == 3.0
+        assert 1 not in c._results
 
     def test_threaded_allreduce(self):
         c = DynamicCollective(8, "+")

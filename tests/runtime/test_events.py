@@ -51,6 +51,32 @@ class TestSequence:
         s.advance_to(10)
         assert e3.is_set() and e7.is_set()
 
+    def test_waiters_pruned_on_advance(self):
+        """Satisfied thresholds are popped eagerly: 1000 epochs of the
+        copy handshake leave no garbage behind."""
+        s = Sequence()
+        for g in range(1, 1001):
+            ev = s.event_for(g)
+            s.advance_to(g)
+            assert ev.is_set()
+        assert len(s._waiters) == 0
+        assert s.value == 1000
+
+    def test_value_read_is_locked(self):
+        """The property must acquire the lock (regression: torn reads
+        observed by the stepped driver's deadlock detector)."""
+        s = Sequence()
+        assert s._lock.acquire(blocking=False)
+        try:
+            reader = threading.Thread(target=lambda: s.value)
+            reader.start()
+            reader.join(timeout=0.2)
+            assert reader.is_alive()  # blocked on the lock, as required
+        finally:
+            s._lock.release()
+        reader.join(timeout=2.0)
+        assert not reader.is_alive()
+
 
 class TestPhaseBarrier:
     def test_generation_completion(self):
@@ -70,13 +96,49 @@ class TestPhaseBarrier:
 
     def test_over_arrival_rejected(self):
         pb = PhaseBarrier(1)
-        pb.arrive(0)
+        pb.arrive(1)
         with pytest.raises(RuntimeError):
+            pb.arrive(1)
+
+    def test_over_arrival_within_generation_rejected(self):
+        pb = PhaseBarrier(2)
+        with pytest.raises(RuntimeError):
+            pb.arrive(1, count=3)
+
+    def test_generations_are_one_based(self):
+        pb = PhaseBarrier(1)
+        with pytest.raises(ValueError):
             pb.arrive(0)
+        assert pb.wait_event(0).is_set()  # initial state: already complete
 
     def test_positive_arrivals_required(self):
         with pytest.raises(ValueError):
             PhaseBarrier(0)
+
+    def test_completed_generations_are_retired(self):
+        """After 1000 generations the internal dicts hold O(live), not
+        O(total) entries (the long-control-loop leak)."""
+        pb = PhaseBarrier(3)
+        for g in range(1, 1001):
+            ev = pb.wait_event(g)
+            for _ in range(3):
+                pb.arrive(g)
+            assert ev.is_set()
+        assert len(pb._counts) == 0
+        assert len(pb._events) == 0
+        assert len(pb._completed_beyond) == 0
+        # Late waiters on retired generations still see them complete.
+        assert pb.wait_event(500).is_set()
+
+    def test_out_of_order_completion_compacts(self):
+        pb = PhaseBarrier(1)
+        pb.arrive(2)
+        assert pb.wait_event(2).is_set()
+        assert not pb.wait_event(1).is_set()
+        assert len(pb._completed_beyond) == 1  # gap at 1: not yet compactable
+        pb.arrive(1)
+        assert pb.wait_event(1).is_set()
+        assert len(pb._completed_beyond) == 0  # compacted into the watermark
 
 
 class TestGlobalBarrier:
@@ -86,6 +148,15 @@ class TestGlobalBarrier:
         assert not e1.is_set()
         e2 = gb.arrive_and_wait_event(1)
         assert e1.is_set() and e2.is_set()
+
+    def test_long_loop_stays_bounded(self):
+        gb = GlobalBarrier(2)
+        for g in range(1, 1001):
+            e1 = gb.arrive_and_wait_event(g)
+            e2 = gb.arrive_and_wait_event(g)
+            assert e1.is_set() and e2.is_set()
+        assert len(gb._pb._counts) == 0
+        assert len(gb._pb._events) == 0
 
     def test_threaded_rendezvous(self):
         gb = GlobalBarrier(4)

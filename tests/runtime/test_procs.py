@@ -1,0 +1,187 @@
+"""Tests for the process-based SPMD driver (``mode="procs"``).
+
+Each shard runs as a forked OS process; partition-named instances live in
+``multiprocessing.shared_memory`` segments so cross-shard copies are plain
+memcpys between processes.  These tests assert the procs driver is
+observationally identical to the threaded one: same region state, same
+copy counters, same error propagation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import ProgramBuilder, control_replicate
+from repro.regions import PhysicalInstance, ispace, partition_block, region
+from repro.runtime import (
+    SequentialExecutor,
+    ShardExceptionGroup,
+    SPMDExecutor,
+    procs_available,
+)
+from repro.tasks import RW, task
+
+pytestmark = pytest.mark.skipif(
+    not procs_available(),
+    reason="fork start method unavailable on this platform")
+
+
+def run_pair(fig2, num_shards, mode):
+    seq = SequentialExecutor(instances=fig2.fresh_instances())
+    seq.run(fig2.build())
+    prog, _ = control_replicate(fig2.build(), num_shards=num_shards)
+    spmd = SPMDExecutor(num_shards=num_shards, mode=mode,
+                        instances=fig2.fresh_instances())
+    spmd.run(prog)
+    return seq, spmd
+
+
+class TestFig2:
+    @pytest.mark.parametrize("shards", [1, 2, 4])
+    def test_matches_sequential(self, fig2, shards):
+        seq, spmd = run_pair(fig2, shards, "procs")
+        for uid in (fig2.A.uid, fig2.B.uid):
+            assert np.array_equal(spmd.instances[uid].fields["v"],
+                                  seq.instances[uid].fields["v"])
+
+    def test_counters_match_threaded(self, fig2):
+        _, th = run_pair(fig2, 4, "threaded")
+        _, pr = run_pair(fig2, 4, "procs")
+        assert pr.tasks_executed == th.tasks_executed
+        assert pr.copies_performed == th.copies_performed
+        assert pr.elements_copied == th.elements_copied
+        assert pr.bytes_copied == th.bytes_copied
+
+    def test_trace_funnels_to_parent(self, fig2):
+        from repro.obs import Tracer
+        tracer = Tracer()
+        prog, _ = control_replicate(fig2.build(), num_shards=2,
+                                    tracer=tracer)
+        spmd = SPMDExecutor(num_shards=2, mode="procs",
+                            instances=fig2.fresh_instances(), tracer=tracer)
+        spmd.run(prog)
+        names = {e.get("name", "") for e in tracer.events()}
+        # Task spans executed inside child processes appear in the parent.
+        assert "task:TF" in names and "task:TG" in names
+
+    def test_shared_memory_released(self, fig2):
+        import os
+        prog, _ = control_replicate(fig2.build(), num_shards=2)
+        spmd = SPMDExecutor(num_shards=2, mode="procs",
+                            instances=fig2.fresh_instances())
+        spmd.run(prog)
+        if os.path.isdir("/dev/shm"):
+            leftovers = [f for f in os.listdir("/dev/shm")
+                         if f.startswith("psm_")]
+            assert leftovers == []
+
+
+class TestApps:
+    """Backend equivalence over all four paper applications (§5).
+
+    stencil/circuit/miniaero are bitwise-identical to sequential under
+    every backend.  PENNANT's "+"-reduction copies reassociate float adds
+    (buffer-then-fold vs direct accumulate), so — exactly as for the
+    threaded backend — its point fields match only to round-off.
+    """
+
+    def _seq_and_procs(self, p):
+        seq, seq_scal, _ = p.run_sequential()
+        cr, cr_scal, ex, _ = p.run_control_replicated(4, mode="procs")
+        return seq, seq_scal, cr, cr_scal
+
+    def test_stencil_bitwise(self):
+        from repro.apps.stencil import StencilProblem
+        p = StencilProblem(n=24, radius=2, tiles=4, steps=3)
+        seq, _, cr, _ = self._seq_and_procs(p)
+        assert np.array_equal(cr["in"], seq["in"])
+        assert np.array_equal(cr["out"], seq["out"])
+
+    def test_circuit_bitwise(self):
+        from repro.apps.circuit import CircuitProblem
+        p = CircuitProblem(pieces=4, nodes_per_piece=25, wires_per_piece=40,
+                           steps=3)
+        seq, _, cr, _ = self._seq_and_procs(p)
+        assert np.array_equal(cr["voltage"], seq["voltage"])
+        assert np.array_equal(cr["current"], seq["current"])
+
+    def test_miniaero_bitwise(self):
+        from repro.apps.miniaero import MiniAeroProblem
+        p = MiniAeroProblem(shape=(6, 6, 6), tiles=4, steps=2)
+        seq, _, cr, _ = self._seq_and_procs(p)
+        for key in seq:
+            assert np.array_equal(cr[key], seq[key]), key
+
+    def test_pennant_roundoff(self):
+        from repro.apps.pennant import PennantProblem
+        p = PennantProblem(nx=8, ny=8, pieces=4, steps=3)
+        seq, seq_scal, cr, cr_scal = self._seq_and_procs(p)
+        for key in seq:
+            assert np.allclose(cr[key], seq[key], rtol=1e-11, atol=1e-13), key
+        # dt goes through the "min" collective: order-insensitive, exact.
+        assert cr_scal["dt"] == seq_scal["dt"]
+
+
+class TestErrorPropagation:
+    def _failing_problem(self):
+        U = ispace(size=16, name="U")
+        I = ispace(size=4, name="I")
+        A = region(U, {"v": np.float64}, name="A")
+        PA = partition_block(A, I, name="PA")
+
+        @task(privileges=[RW("v")], name="boom")
+        def boom(Av):
+            raise ValueError(f"bad tile {Av.points[0]}")
+
+        b = ProgramBuilder("failing")
+        b.launch(boom, I, PA)
+        return b.build(), A
+
+    def test_child_exception_reaches_parent(self):
+        prog, A = self._failing_problem()
+        cprog, _ = control_replicate(prog, num_shards=2)
+        spmd = SPMDExecutor(num_shards=2, mode="procs",
+                            instances={A.uid: PhysicalInstance(A)})
+        with pytest.raises((ValueError, ShardExceptionGroup)) as exc_info:
+            spmd.run(cprog)
+        err = exc_info.value
+        if isinstance(err, ShardExceptionGroup):
+            assert all(isinstance(e, ValueError) for e in err.exceptions)
+            assert any("bad tile" in str(e) for e in err.exceptions)
+        else:
+            assert "bad tile" in str(err)
+
+
+class TestIntersectionCache:
+    def test_repeated_pairs_computed_once(self, fig2):
+        """Two fragments emit two ComputeIntersections over the same
+        (src, dst) pair; the executor computes the pair set once and
+        shares the IntersectionResult object."""
+        from repro.core import ComputeIntersections, walk
+        from repro.tasks import R
+
+        @task(privileges=[R("v")], name="probe")
+        def probe(Av):
+            pass
+
+        b = ProgramBuilder("twofrags")
+        b.let("T", 2)
+        with b.for_range("t", 0, "T"):
+            b.launch(fig2.TF, fig2.I, fig2.PB, fig2.PA)
+            b.launch(fig2.TG, fig2.I, fig2.PA, fig2.QB)
+        b.call(probe, [fig2.A])  # not CR-able: splits the fragment run
+        with b.for_range("s", 0, "T"):
+            b.launch(fig2.TF, fig2.I, fig2.PB, fig2.PA)
+            b.launch(fig2.TG, fig2.I, fig2.PA, fig2.QB)
+        cprog, report = control_replicate(b.build(), num_shards=2)
+        assert report.num_fragments == 2
+        stmts = [s for s in walk(cprog.body)
+                 if isinstance(s, ComputeIntersections)]
+        assert len(stmts) == 2
+        assert (stmts[0].src.uid, stmts[0].dst.uid) == \
+               (stmts[1].src.uid, stmts[1].dst.uid)
+
+        spmd = SPMDExecutor(num_shards=2, mode="stepped",
+                            instances=fig2.fresh_instances())
+        spmd.run(cprog)
+        assert spmd.intersections_computed == 1
+        assert len(spmd._isect_cache) == 1
