@@ -13,6 +13,7 @@ discussion calls out:
 """
 
 import pytest
+from conftest import bench_and_record
 
 from repro.apps.circuit import CircuitProblem
 from repro.apps.stencil import StencilProblem
@@ -52,7 +53,9 @@ class TestIntersectionAblation:
             return with_opt, without
 
         (prog_opt, ex_opt, rep_opt), (prog_no, ex_no, rep_no) = \
-            benchmark.pedantic(run, rounds=1, iterations=1)
+            bench_and_record(benchmark, run, bench="ablation_phases",
+                             op="intersection_ablation", shards=4,
+                             backend="stepped")
         # The pass pipeline records what the optimization did — the ablated
         # pipeline simply never ran the pass.
         assert rep_opt.pass_stats("intersections")["pair_sets"] >= 1
@@ -76,8 +79,10 @@ class TestSyncAblation:
     def test_sync_modes_cost(self, benchmark, sync):
         problem = CircuitProblem(pieces=8, nodes_per_piece=40,
                                  wires_per_piece=60, steps=3)
-        _, ex, report = benchmark.pedantic(
-            lambda: run_spmd(problem, sync=sync), rounds=1, iterations=1)
+        _, ex, report = bench_and_record(
+            benchmark, lambda: run_spmd(problem, sync=sync),
+            bench="ablation_phases", op=f"sync_{sync}", shards=4,
+            backend="stepped")
         sstats = report.pass_stats("synchronization")
         print(f"\n[ablation §3.4] sync={sync}: {sstats.get('p2p_copies', 0):g} "
               f"p2p copies, {sstats.get('barriers', 0):g} barriers inserted; "
@@ -106,7 +111,9 @@ class TestHierarchicalAblation:
             flat = compute_intersections(problem.pg.top, problem.pg.top)
             return ghost
 
-        ghost = benchmark.pedantic(run, rounds=1, iterations=1)
+        ghost = bench_and_record(benchmark, run, bench="ablation_phases",
+                                 op="hierarchical_intersections", shards=16,
+                                 backend="analysis")
         ghost_elems = sum(s.count for s in
                           (pg.all_ghost.index_set,))
         total = pg.root.volume

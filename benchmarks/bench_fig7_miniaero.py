@@ -15,7 +15,10 @@ from repro.apps.miniaero.perf import figure7_spec
 
 def test_figure7_weak_scaling(benchmark, machine):
     spec = figure7_spec(machine, max_nodes=1024)
-    data = run_once(benchmark, lambda: run_figure(spec))
+    data = run_once(benchmark, lambda: run_figure(spec),
+                    record={"bench": "fig7_miniaero",
+                            "op": "weak_scaling_sweep",
+                            "shards": 1024, "backend": "simulator"})
     print()
     print(data.format_table())
     cr = data.efficiency_at_max("Regent (with CR)")

@@ -13,7 +13,10 @@ from repro.apps.circuit.perf import figure9_spec
 
 def test_figure9_weak_scaling(benchmark, machine):
     spec = figure9_spec(machine, max_nodes=1024)
-    data = run_once(benchmark, lambda: run_figure(spec))
+    data = run_once(benchmark, lambda: run_figure(spec),
+                    record={"bench": "fig9_circuit",
+                            "op": "weak_scaling_sweep",
+                            "shards": 1024, "backend": "simulator"})
     print()
     print(data.format_table())
     cr = data.efficiency_at_max("Regent (with CR)")

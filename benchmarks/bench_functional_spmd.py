@@ -11,6 +11,7 @@ department; this file keeps the functional executors' overhead honest
 
 import numpy as np
 import pytest
+from conftest import bench_and_record
 
 from repro.apps.circuit import CircuitProblem
 from repro.apps.miniaero import MiniAeroProblem
@@ -42,7 +43,9 @@ def test_sequential_baseline(benchmark):
         ex.run(p.build_program())
         return ex
 
-    ex = benchmark.pedantic(run, rounds=3, iterations=1)
+    ex = bench_and_record(benchmark, run, rounds=3,
+                          bench="functional_spmd", op="stencil_run",
+                          shards=1, backend="sequential")
     assert ex.tasks_executed == 8 * 2 * 3
 
 
@@ -57,7 +60,9 @@ def test_threaded_spmd(benchmark, compiled, shards):
         ex.run(prog)
         return ex
 
-    ex = benchmark.pedantic(run, rounds=3, iterations=1)
+    ex = bench_and_record(benchmark, run, rounds=3,
+                          bench="functional_spmd", op="stencil_run",
+                          shards=shards, backend="threaded")
     assert ex.tasks_executed == 8 * 2 * 3
 
 
@@ -72,7 +77,9 @@ def test_stepped_vs_threaded_overhead(benchmark, compiled):
         ex.run(prog)
         return ex
 
-    ex = benchmark.pedantic(run, rounds=3, iterations=1)
+    ex = bench_and_record(benchmark, run, rounds=3,
+                          bench="functional_spmd", op="stencil_run",
+                          shards=4, backend="stepped")
     assert ex.tasks_executed == 48
 
 
@@ -103,7 +110,9 @@ def test_backend_per_app(benchmark, app, mode):
         ex.run(prog)
         return ex
 
-    ex = benchmark.pedantic(run, rounds=3, iterations=1)
+    ex = bench_and_record(benchmark, run, rounds=3,
+                          bench="functional_spmd", op=f"{app}_run",
+                          shards=4, backend=mode)
     assert ex.tasks_executed > 0
 
 

@@ -8,6 +8,7 @@ single-control-thread limit (all nodes on one shard).
 """
 
 import pytest
+from conftest import bench_and_record
 
 from repro.apps.miniaero.perf import CELLS_PER_NODE, RATE_REGENT_1NODE, miniaero_workload
 from repro.machine.execution_models import simulate_regent_cr
@@ -20,10 +21,12 @@ NODES = 1024
 def test_shards_per_node_sweep(benchmark, nodes_per_shard):
     machine = PIZ_DAINT
     w = miniaero_workload(machine.cores_per_node - 1, RATE_REGENT_1NODE)
-    res = benchmark.pedantic(
+    res = bench_and_record(
+        benchmark,
         lambda: simulate_regent_cr(w, machine, NODES,
                                    nodes_per_shard=nodes_per_shard),
-        rounds=1, iterations=1)
+        bench="mapping", op=f"nodes_per_shard_{nodes_per_shard}",
+        shards=NODES // nodes_per_shard, backend="simulator")
     tput = res.throughput_per_node(CELLS_PER_NODE)
     print(f"\n[mapping §4.2] {NODES} nodes, {nodes_per_shard} node(s)/shard: "
           f"{tput / 1e3:.1f} k cells/s/node")

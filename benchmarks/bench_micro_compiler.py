@@ -8,6 +8,7 @@ count and record the wall time of the full five-phase pipeline.
 
 import numpy as np
 import pytest
+from conftest import bench_and_record
 
 from repro.core import PASS_NAMES, ProgramBuilder, control_replicate
 from repro.regions import ispace, partition_block, partition_by_image, region
@@ -37,7 +38,10 @@ def make_program(num_launches: int, num_partitions: int, colors: int = 16):
 @pytest.mark.parametrize("launches", [4, 16, 64])
 def test_compile_time_vs_fragment_size(benchmark, launches):
     program = make_program(launches, num_partitions=4)
-    prog, report = benchmark(lambda: control_replicate(program, num_shards=16))
+    prog, report = bench_and_record(
+        benchmark, lambda: control_replicate(program, num_shards=16),
+        rounds=3, bench="micro_compiler", op=f"compile_{launches}_launches",
+        shards=16, backend="compiler")
     assert report.num_fragments == 1
     # The pass pipeline itself attributes where compile time goes.
     assert [t.name for t in report.passes] == list(PASS_NAMES)
@@ -47,6 +51,9 @@ def test_compile_time_vs_fragment_size(benchmark, launches):
 @pytest.mark.parametrize("partitions", [2, 8])
 def test_compile_time_vs_partition_count(benchmark, partitions):
     program = make_program(16, num_partitions=partitions)
-    prog, report = benchmark(lambda: control_replicate(program, num_shards=16))
+    prog, report = bench_and_record(
+        benchmark, lambda: control_replicate(program, num_shards=16),
+        rounds=3, bench="micro_compiler",
+        op=f"compile_{partitions}_partitions", shards=16, backend="compiler")
     assert report.num_fragments == 1
     print("\n" + report.pass_table())

@@ -7,6 +7,7 @@ copy path, at sizes where asymptotic differences show.
 
 import numpy as np
 import pytest
+from conftest import bench_and_record
 
 from repro.regions import (
     IntervalSet,
@@ -29,18 +30,25 @@ def big_sets():
 class TestIntervalSetOps:
     def test_union(self, benchmark, big_sets):
         a, b = big_sets
-        out = benchmark(lambda: a | b)
+        out = bench_and_record(benchmark, lambda: a | b, rounds=3,
+                               bench="micro_substrate", op="intervalset_union",
+                               backend="substrate")
         assert out.count >= max(a.count, b.count)
 
     def test_intersection(self, benchmark, big_sets):
         a, b = big_sets
-        out = benchmark(lambda: a & b)
+        out = bench_and_record(benchmark, lambda: a & b, rounds=3,
+                               bench="micro_substrate",
+                               op="intervalset_intersection", backend="substrate")
         assert out.count <= min(a.count, b.count)
 
     def test_from_indices(self, benchmark):
         rng = np.random.default_rng(1)
         idx = rng.choice(1_000_000, 100_000, replace=False)
-        out = benchmark(lambda: IntervalSet.from_indices(idx))
+        out = bench_and_record(benchmark,
+                               lambda: IntervalSet.from_indices(idx),
+                               rounds=3, bench="micro_substrate",
+                               op="intervalset_from_indices", backend="substrate")
         assert out.count == 100_000
 
 
@@ -53,7 +61,10 @@ class TestShallowIntersections:
 
     def test_interval_tree_pairs(self, benchmark):
         sets = self._sets(512)
-        pairs = benchmark(lambda: shallow_intersection_pairs(sets, sets))
+        pairs = bench_and_record(
+            benchmark, lambda: shallow_intersection_pairs(sets, sets),
+            rounds=3, bench="micro_substrate", op="shallow_pairs_tree",
+            backend="substrate")
         assert len(pairs) >= 512  # diagonal plus neighbors
 
     def test_bruteforce_baseline(self, benchmark):
@@ -62,7 +73,9 @@ class TestShallowIntersections:
         def brute():
             return [(i, j) for i in range(len(sets)) for j in range(len(sets))
                     if sets[i].intersects(sets[j])]
-        pairs = benchmark(brute)
+        pairs = bench_and_record(benchmark, brute, rounds=3,
+                                 bench="micro_substrate",
+                                 op="shallow_pairs_bruteforce", backend="substrate")
         assert len(pairs) >= 128
 
 
@@ -73,5 +86,8 @@ class TestCopyPath:
         src = PhysicalInstance(p[0])
         dst = PhysicalInstance(R, p[0].index_set)
         pts = p[0].index_set
-        moved = benchmark(lambda: dst.copy_from(src, pts, ["v"]))
+        moved = bench_and_record(benchmark,
+                                 lambda: dst.copy_from(src, pts, ["v"]),
+                                 rounds=3, bench="micro_substrate",
+                                 op="instance_copy_500k", backend="substrate")
         assert moved == 500_000

@@ -20,6 +20,7 @@ Paper values (ms):
 """
 
 import pytest
+from conftest import record_bench
 
 from repro.apps.circuit import CircuitProblem
 from repro.apps.miniaero import MiniAeroProblem
@@ -83,6 +84,11 @@ def test_table1_intersections(benchmark, app, pieces):
         return shallow, complete, sum(len(r.pairs) for r in results)
 
     shallow, complete, npairs = benchmark.pedantic(run, rounds=3, iterations=1)
+    record_bench("table1_intersections", op=f"{app}_intersections",
+                 shards=pieces, backend="analysis",
+                 seconds_per_iteration=shallow + complete,
+                 shallow_seconds=shallow, complete_seconds=complete,
+                 nonempty_pairs=npairs)
     paper_shallow, paper_complete = PAPER_MS[(app, pieces)]
     print(f"\n[Table 1] {app:>8} @ {pieces:>4} pieces: "
           f"shallow {shallow * 1e3:8.2f} ms (paper {paper_shallow}), "

@@ -5,11 +5,22 @@ itself is the deterministic discrete-event simulation; repeating it only
 re-measures our simulator's wall-clock, so one round suffices) and prints
 the same table rows the paper's figure plots.  ``pytest benchmarks/
 --benchmark-only`` therefore reproduces the whole evaluation section.
+
+Every benchmark module also records machine-readable results via
+:func:`record_bench`; at session end each module's records are written to
+``benchmarks/BENCH_<module>.json`` so the perf trajectory can be compared
+across commits without scraping pytest-benchmark's console table.
 """
+
+import json
+import time
+from pathlib import Path
 
 import pytest
 
 from repro.machine.model import PIZ_DAINT
+
+_RECORDS: dict[str, list[dict]] = {}
 
 
 @pytest.fixture(scope="session")
@@ -17,6 +28,63 @@ def machine():
     return PIZ_DAINT
 
 
-def run_once(benchmark, fn):
-    """Run a sweep exactly once under pytest-benchmark timing."""
-    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+def record_bench(bench: str, op: str, shards: int, backend: str,
+                 seconds_per_iteration: float, **extra) -> None:
+    """Append one result row to ``BENCH_<bench>.json``.
+
+    ``bench`` is the module key (e.g. ``fig6_stencil``); ``op`` names the
+    measured operation; ``seconds_per_iteration`` is wall time per
+    benchmark iteration (for sweeps, per full sweep).  Extra keyword pairs
+    (problem sizes, speedups) are stored verbatim.
+    """
+    row = {"op": op, "shards": int(shards), "backend": backend,
+           "seconds_per_iteration": float(seconds_per_iteration)}
+    row.update(extra)
+    _RECORDS.setdefault(bench, []).append(row)
+
+
+def pytest_sessionfinish(session, exitstatus):
+    here = Path(__file__).resolve().parent
+    for bench, rows in sorted(_RECORDS.items()):
+        out = here / f"BENCH_{bench}.json"
+        out.write_text(json.dumps(rows, indent=1, sort_keys=True) + "\n")
+
+
+def bench_and_record(benchmark, fn, *, rounds: int = 1, bench: str, op: str,
+                     shards: int = 0, backend: str = "n/a", **extra):
+    """Run ``fn`` under pytest-benchmark and record the best round's wall
+    time into the module's ``BENCH_<bench>.json``."""
+    durations: list[float] = []
+
+    def timed():
+        t0 = time.perf_counter()
+        out = fn()
+        durations.append(time.perf_counter() - t0)
+        return out
+
+    result = benchmark.pedantic(timed, rounds=rounds, iterations=1,
+                                warmup_rounds=0)
+    record_bench(bench, op=op, shards=shards, backend=backend,
+                 seconds_per_iteration=min(durations), **extra)
+    return result
+
+
+def run_once(benchmark, fn, record: dict | None = None):
+    """Run a sweep exactly once under pytest-benchmark timing.
+
+    With ``record`` (keywords for :func:`record_bench` minus the timing),
+    the wall time of the run is also captured into the module's JSON.
+    """
+    timing: dict[str, float] = {}
+
+    def timed():
+        t0 = time.perf_counter()
+        out = fn()
+        timing["seconds"] = time.perf_counter() - t0
+        return out
+
+    result = benchmark.pedantic(timed, rounds=1, iterations=1,
+                                warmup_rounds=0)
+    if record is not None:
+        record_bench(seconds_per_iteration=timing["seconds"], **record)
+    return result

@@ -50,7 +50,8 @@ class AppProblem:
 
     def run_control_replicated(self, num_shards: int, mode: str = "stepped",
                                seed: int = 0, sync: str = "p2p",
-                               tracer=None, **compile_kw):
+                               tracer=None, replay: str = "auto",
+                               **compile_kw):
         from ..core.compiler import control_replicate
         from ..obs import NULL_TRACER
         from ..runtime.spmd import SPMDExecutor
@@ -59,7 +60,8 @@ class AppProblem:
                                          num_shards=num_shards, sync=sync,
                                          tracer=tracer, **compile_kw)
         ex = SPMDExecutor(num_shards=num_shards, mode=mode, seed=seed,
-                          instances=self.fresh_instances(), tracer=tracer)
+                          instances=self.fresh_instances(), tracer=tracer,
+                          replay=replay)
         scalars = ex.run(prog)
         return self.extract_state(ex.instances), scalars, ex, report
 

@@ -113,6 +113,11 @@ def build_parser() -> argparse.ArgumentParser:
                         "threads, or OS processes over shared memory")
     v.add_argument("--seed", type=int, default=0)
     v.add_argument("--sync", choices=["p2p", "barrier"], default="p2p")
+    v.add_argument("--replay", choices=["auto", "off", "force"],
+                   default="auto",
+                   help="steady-state trace capture & replay: auto freezes "
+                        "after two identical iterations, off always "
+                        "interprets, force freezes after the first")
     v.add_argument("--trace", metavar="OUT.json", default=None,
                    help="write a Chrome-trace timeline of the compile + run")
 
@@ -123,6 +128,11 @@ def build_parser() -> argparse.ArgumentParser:
                    default="threaded")
     r.add_argument("--seed", type=int, default=0)
     r.add_argument("--sync", choices=["p2p", "barrier"], default="p2p")
+    r.add_argument("--replay", choices=["auto", "off", "force"],
+                   default="auto",
+                   help="steady-state trace capture & replay: auto freezes "
+                        "after two identical iterations, off always "
+                        "interprets, force freezes after the first")
     r.add_argument("--no-check", action="store_true",
                    help="skip the region-state comparison against the "
                         "sequential executor")
@@ -172,7 +182,7 @@ def cmd_verify(args) -> int:
     seq, seq_scalars, _ = problem.run_sequential()
     cr, cr_scalars, ex, report = problem.run_control_replicated(
         args.shards, mode=args.mode, seed=args.seed, sync=args.sync,
-        tracer=tracer)
+        tracer=tracer, replay=args.replay)
     elapsed = time.perf_counter() - t0
 
     ok = True
@@ -208,7 +218,7 @@ def cmd_run(args) -> int:
         return 0
     state, _, ex, report = problem.run_control_replicated(
         args.shards, mode=args.backend, seed=args.seed, sync=args.sync,
-        tracer=tracer)
+        tracer=tracer, replay=args.replay)
     elapsed = time.perf_counter() - t0
 
     ok = True
@@ -231,8 +241,11 @@ def cmd_run(args) -> int:
                     print(f"FAIL {args.backend} != sequential on {k} "
                           f"(max diff {np.abs(state[k] - seq[k]).max():.3e})")
     print(f"{args.app}: backend={args.backend} shards={args.shards} "
+          f"replay={args.replay} "
           f"[{ex.tasks_executed} tasks, {ex.copies_performed} copies, "
-          f"{ex.bytes_copied} bytes exchanged, {elapsed:.3f}s] -- {check}")
+          f"{ex.bytes_copied} bytes exchanged, "
+          f"{ex.replay_hits} replayed / {ex.replay_misses} interpreted "
+          f"iterations, {elapsed:.3f}s] -- {check}")
     if args.trace:
         tracer.write(args.trace)
         print(f"-- trace: {len(tracer.events())} events -> {args.trace}")

@@ -7,6 +7,7 @@ from .intersection_exec import (IntersectionResult, compute_intersections,
                                 compute_intersections_sharded)
 from .mapping import BlockMapper, Mapper
 from .procs import ProcsUnavailableError, procs_available
+from .replay import LoopReplay, ReplayError, ReplayTrace
 from .sequential import SequentialExecutor
 from .spmd import (DeadlockError, ReplicationDivergence, SPMDExecutor,
                    ShardExceptionGroup)
@@ -24,6 +25,9 @@ __all__ = [
     "Mapper",
     "PhaseBarrier",
     "ProcsUnavailableError",
+    "LoopReplay",
+    "ReplayError",
+    "ReplayTrace",
     "ReplicationDivergence",
     "SCALAR_REDUCTIONS",
     "SPMDExecutor",

@@ -84,9 +84,15 @@ class Sequence:
                 self._waiters.pop(g).trigger()
 
     def event_for(self, n: int, label: str | None = None) -> Event:
+        # Lock-free fast path: _value is monotone, so a stale read can only
+        # under-report it — and then we fall through to the locked check.
+        # This is the hot call on replayed steady-state iterations, where
+        # the producer has usually already advanced past n.
+        if self._value >= n:
+            return _TRIGGERED  # shared singleton: never label it
         with self._lock:
             if self._value >= n:
-                return _TRIGGERED  # shared singleton: never label it
+                return _TRIGGERED
             if n not in self._waiters:
                 self._waiters[n] = Event(label=label)
             return self._waiters[n]

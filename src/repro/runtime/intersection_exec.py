@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
+from dataclasses import field as dataclass_field
 
 from ..regions.bvh import structured_intersection_pairs
 from ..regions.interval_tree import shallow_intersection_pairs
@@ -39,9 +40,15 @@ class IntersectionResult:
     shallow_seconds: float
     complete_seconds: float
     candidate_pairs: int = 0
+    _nonempty: list | None = dataclass_field(default=None, repr=False,
+                                             compare=False)
 
     def nonempty_pairs(self) -> list[tuple[int, int]]:
-        return sorted(self.pairs)
+        # Called once per copy execution per shard per iteration; the pair
+        # dict is immutable after construction, so sort it only once.
+        if self._nonempty is None:
+            self._nonempty = sorted(self.pairs)
+        return self._nonempty
 
     def src_pairs(self, colors) -> list[tuple[int, int]]:
         """Pairs whose source color is in ``colors`` (a shard's slice)."""

@@ -328,6 +328,9 @@ def _shard_main(ex, body, state, ctx, cancel, conn) -> None:
         "elements_copied": state.elements_copied,
         "copies_performed": state.copies_performed,
         "bytes_copied": state.bytes_copied,
+        "replay_hits": state.replay_hits,
+        "replay_misses": state.replay_misses,
+        "capture_points": state.capture_points,
         "tasks_executed": ex.tasks_executed - tasks_base,
         "trace_events": tracer.events()[trace_base:] if tracer.enabled else [],
         "error": error,
@@ -454,6 +457,9 @@ def run_shard_launch_procs(ex, stmt, states, ns: int) -> None:
             st.elements_copied = payload["elements_copied"]
             st.copies_performed = payload["copies_performed"]
             st.bytes_copied = payload["bytes_copied"]
+            st.replay_hits = payload["replay_hits"]
+            st.replay_misses = payload["replay_misses"]
+            st.capture_points = payload["capture_points"]
             ex.tasks_executed += payload["tasks_executed"]
             if ex.tracer.enabled and payload["trace_events"]:
                 ex.tracer.ingest(payload["trace_events"])

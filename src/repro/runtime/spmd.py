@@ -67,10 +67,11 @@ from ..tasks.views import RegionView
 from .collectives import SCALAR_REDUCTIONS, DynamicCollective
 from .events import Event, GlobalBarrier, Sequence
 from .intersection_exec import IntersectionResult, compute_intersections
+from .replay import LoopReplay, PairCopy, ReplayError
 from .sequential import SequentialExecutor
 
 __all__ = ["SPMDExecutor", "DeadlockError", "ReplicationDivergence",
-           "ShardExceptionGroup"]
+           "ReplayError", "ShardExceptionGroup"]
 
 
 class DeadlockError(RuntimeError):
@@ -120,6 +121,14 @@ class _ShardState:
     elements_copied: int = 0
     copies_performed: int = 0
     bytes_copied: int = 0
+    # Steady-state trace capture & replay (repro.runtime.replay).
+    replay_hits: int = 0
+    replay_misses: int = 0
+    # loop uid -> iteration index at which this shard froze its trace.
+    # Capture decisions are replicated control flow, so all shards must
+    # agree; validated after the launch like scalar state.
+    capture_points: dict[int, int] = field(default_factory=dict)
+    loop_replays: dict[int, LoopReplay] = field(default_factory=dict)
 
     def next_epoch(self, uid: int) -> int:
         g = self.epochs.get(uid, 0) + 1
@@ -132,10 +141,13 @@ class SPMDExecutor(SequentialExecutor):
 
     def __init__(self, num_shards: int, mode: str = "stepped", seed: int = 0,
                  instances=None, validate_replication: bool = True,
-                 tracer: Tracer = NULL_TRACER, deadlock_timeout: float = 60.0):
+                 tracer: Tracer = NULL_TRACER, deadlock_timeout: float = 60.0,
+                 replay: str = "auto"):
         super().__init__(instances=instances)
         if mode not in ("stepped", "threaded", "procs"):
             raise ValueError(f"unknown mode {mode!r}")
+        if replay not in ("auto", "off", "force"):
+            raise ValueError(f"unknown replay mode {replay!r}")
         if num_shards <= 0:
             raise ValueError("need at least one shard")
         if mode == "procs":
@@ -144,6 +156,9 @@ class SPMDExecutor(SequentialExecutor):
         self.num_shards = num_shards
         self.mode = mode
         self.seed = seed
+        self.replay = replay
+        self.replay_hits = 0
+        self.replay_misses = 0
         self.validate_replication = validate_replication
         self.tracer = tracer
         self.deadlock_timeout = deadlock_timeout
@@ -168,6 +183,15 @@ class SPMDExecutor(SequentialExecutor):
         self._dist_frozen = False
 
     def run(self, program):
+        # A second run() on the same executor re-allocates every
+        # distributed instance (the shared-memory arena was released at the
+        # end of the previous run), so intersection results and pair sets
+        # resolved against the old instances must not leak into this one.
+        self.dist.clear()
+        self.pair_sets.clear()
+        self._isect_cache.clear()
+        self._arena = None
+        self._dist_frozen = False
         try:
             return super().run(program)
         finally:
@@ -294,6 +318,10 @@ class SPMDExecutor(SequentialExecutor):
                 self._drive_stepped(gens)
         self._merge_scalars(states)
         self._merge_counters(states)
+        if self.tracer.enabled:
+            self.tracer.counter("replay", {"hit": float(self.replay_hits),
+                                           "miss": float(self.replay_misses)},
+                                pid=PID_SPMD)
 
     def _build_channels(self, stmt: ShardLaunch, ns: int):
         channels: dict[int, dict[tuple[int, int], _Channel]] = {}
@@ -313,6 +341,8 @@ class SPMDExecutor(SequentialExecutor):
             self.elements_copied += st.elements_copied
             self.copies_performed += st.copies_performed
             self.bytes_copied += st.bytes_copied
+            self.replay_hits += st.replay_hits
+            self.replay_misses += st.replay_misses
 
     def _merge_scalars(self, states: list[_ShardState]) -> None:
         if self.validate_replication and len(states) > 1:
@@ -322,6 +352,16 @@ class SPMDExecutor(SequentialExecutor):
                     diff = {k for k in ref if st.scalars.get(k) != ref.get(k)}
                     raise ReplicationDivergence(
                         f"shard {st.shard} scalar state diverged on {sorted(diff)}")
+            # Capture decisions are a function of the replicated control
+            # flow and schedule keys, so shards freezing a loop at
+            # different iterations means the replicated state diverged.
+            ref_cp = states[0].capture_points
+            for st in states[1:]:
+                if st.capture_points != ref_cp:
+                    raise ReplicationDivergence(
+                        f"shard {st.shard} froze replay traces at different "
+                        f"iterations than shard {states[0].shard}: "
+                        f"{st.capture_points} != {ref_cp}")
         self.scalars.update(states[0].scalars)
 
     # -- drivers --------------------------------------------------------------
@@ -400,42 +440,73 @@ class SPMDExecutor(SequentialExecutor):
 
     # -- shard interpreter (a generator yielding blocking events) -------------
     def _shard_body(self, block: Block, state: _ShardState,
-                    ctx: "_EpochContext") -> Iterator[Event | None]:
+                    ctx: "_EpochContext", rec=None) -> Iterator[Event | None]:
         for stmt in block.stmts:
-            yield from self._shard_stmt(stmt, state, ctx)
+            yield from self._shard_stmt(stmt, state, ctx, rec)
 
     def _shard_stmt(self, stmt: Stmt, state: _ShardState,
-                    ctx: "_EpochContext") -> Iterator[Event | None]:
+                    ctx: "_EpochContext", rec=None) -> Iterator[Event | None]:
         if isinstance(stmt, ScalarAssign):
+            if rec is not None:
+                rec.assign(stmt.uid, stmt.name, stmt.expr)
             state.scalars[stmt.name] = evaluate(stmt.expr, state.scalars)
         elif isinstance(stmt, ForRange):
             start = evaluate(stmt.start, state.scalars)
             stop = evaluate(stmt.stop, state.scalars)
+            if rec is None and self.replay != "off":
+                # Outermost loop on this shard: the capture/replay window.
+                yield from self._replay_loop(
+                    stmt, stmt.var, range(int(start), int(stop)), state, ctx)
+                return
+            if rec is not None:
+                # A nested loop replays only while its bounds still evaluate
+                # to the captured values at the start of the iteration.
+                rec.guard(stmt.start, start, as_bool=False)
+                rec.guard(stmt.stop, stop, as_bool=False)
             for v in range(int(start), int(stop)):
+                if rec is not None:
+                    rec.setvar(stmt.var, v)
                 state.scalars[stmt.var] = v
-                yield from self._shard_body(stmt.body, state, ctx)
+                yield from self._shard_body(stmt.body, state, ctx, rec)
         elif isinstance(stmt, WhileLoop):
-            while evaluate(stmt.cond, state.scalars):
-                yield from self._shard_body(stmt.body, state, ctx)
+            if rec is None and self.replay != "off":
+                yield from self._replay_loop(
+                    stmt, None, self._while_values(stmt, state), state, ctx)
+                return
+            while True:
+                taken = bool(evaluate(stmt.cond, state.scalars))
+                if rec is not None:
+                    rec.guard(stmt.cond, taken, as_bool=True)
+                if not taken:
+                    break
+                yield from self._shard_body(stmt.body, state, ctx, rec)
         elif isinstance(stmt, IfStmt):
-            if evaluate(stmt.cond, state.scalars):
-                yield from self._shard_body(stmt.then_block, state, ctx)
-            else:
-                yield from self._shard_body(stmt.else_block, state, ctx)
+            taken = bool(evaluate(stmt.cond, state.scalars))
+            if rec is not None:
+                rec.guard(stmt.cond, taken, as_bool=True)
+            yield from self._shard_body(
+                stmt.then_block if taken else stmt.else_block, state, ctx, rec)
         elif isinstance(stmt, IndexLaunch):
-            yield from self._shard_launch_stmt(stmt, state, ctx)
+            yield from self._shard_launch_stmt(stmt, state, ctx, rec)
         elif isinstance(stmt, FillReductionBuffer):
-            self._shard_fill(stmt, state, ctx)
+            self._shard_fill(stmt, state, ctx, rec)
+            if rec is not None:
+                rec.yield_none()
             yield None
         elif isinstance(stmt, PairwiseCopy):
-            yield from self._exec_copy(stmt, state, ctx=ctx)
+            yield from self._exec_copy(stmt, state, ctx=ctx, rec=rec)
         elif isinstance(stmt, BarrierStmt):
             g = state.next_epoch(stmt.uid)
-            yield ctx.barriers[stmt.tag].arrive_and_wait_event(
-                g, label=f"barrier:{stmt.tag}")
+            bar = ctx.barriers[stmt.tag]
+            label = f"barrier:{stmt.tag}"
+            if rec is not None:
+                rec.barrier(stmt.uid, stmt.tag, bar, g, label)
+            yield bar.arrive_and_wait_event(g, label=label)
         elif isinstance(stmt, ScalarCollective):
             coll = ctx.collectives[stmt.uid]
             g = state.next_epoch(stmt.uid)
+            if rec is not None:
+                rec.collective(stmt.uid, coll, g, stmt.name)
             partial = state.pending_reductions.pop(stmt.name, None)
             ev = coll.contribute(g, partial)
             yield ev
@@ -446,9 +517,59 @@ class SPMDExecutor(SequentialExecutor):
             raise TypeError(
                 f"shard interpreter cannot execute {type(stmt).__name__}")
 
+    # -- steady-state trace capture & replay -----------------------------------
+    @staticmethod
+    def _while_values(stmt: WhileLoop, state: _ShardState):
+        while evaluate(stmt.cond, state.scalars):
+            yield None
+
+    def _replay_loop(self, stmt: Stmt, var: str | None, values,
+                     state: _ShardState,
+                     ctx: "_EpochContext") -> Iterator[Event | None]:
+        """Run an outermost loop, capturing and then replaying steady state.
+
+        Each iteration either replays the frozen trace (all guards hold) or
+        interprets under a fresh :class:`IterationRecorder`; the recorder
+        is discarded once a trace exists, so a guard miss costs only that
+        one interpreted iteration.
+        """
+        lr = state.loop_replays.get(stmt.uid)
+        if lr is None:
+            lr = state.loop_replays[stmt.uid] = LoopReplay(stmt.uid,
+                                                           self.replay)
+        tracer = self.tracer
+        for v in values:
+            if var is not None:
+                state.scalars[var] = v
+            trace = lr.trace
+            if trace is not None and trace.guards_hold(state.scalars):
+                state.replay_hits += 1
+                if tracer.enabled:
+                    t0 = tracer.now_us()
+                    yield from trace.replay(self, state)
+                    tracer.complete("replay:iteration", t0,
+                                    tracer.now_us() - t0, cat="replay",
+                                    pid=PID_SPMD, tid=state.shard,
+                                    args={"loop": stmt.uid})
+                else:
+                    yield from trace.replay(self, state)
+                continue
+            state.replay_misses += 1
+            rec = lr.begin_iteration(state.epochs)
+            t0 = tracer.now_us() if tracer.enabled else 0.0
+            yield from self._shard_body(stmt.body, state, ctx, rec)
+            if lr.end_iteration(self, state) and tracer.enabled:
+                tracer.complete("replay:capture", t0, tracer.now_us() - t0,
+                                cat="replay", pid=PID_SPMD, tid=state.shard,
+                                args={"loop": stmt.uid,
+                                      "iteration": lr.iterations_recorded})
+
     def _shard_launch_stmt(self, stmt: IndexLaunch, state: _ShardState,
-                           ctx: "_EpochContext") -> Iterator[Event | None]:
+                           ctx: "_EpochContext",
+                           rec=None) -> Iterator[Event | None]:
         owned = shard_owned_colors(stmt.domain.size, ctx.num_shards, state.shard)
+        if rec is not None:
+            rec.launch(stmt, owned)
         fold = SCALAR_REDUCTIONS[stmt.reduce[0]] if stmt.reduce else None
         partial = state.pending_reductions.get(stmt.reduce[1]) if stmt.reduce else None
         for i in owned:
@@ -479,19 +600,25 @@ class SPMDExecutor(SequentialExecutor):
                 state.pending_reductions[stmt.reduce[1]] = partial
 
     def _shard_fill(self, stmt: FillReductionBuffer, state: _ShardState,
-                    ctx: "_EpochContext") -> None:
+                    ctx: "_EpochContext", rec=None) -> None:
         part = stmt.partition
         owned = shard_owned_colors(part.num_colors, ctx.num_shards, state.shard)
+        fills = [] if rec is not None else None
         for c in owned:
             inst = self.dist_instance(part, c)
             for f in stmt.fields:
-                inst.fields[f][...] = reduction_identity(stmt.redop,
-                                                         inst.fields[f].dtype)
+                value = reduction_identity(stmt.redop, inst.fields[f].dtype)
+                inst.fields[f][...] = value
+                if fills is not None:
+                    fills.append((inst.fields[f], value))
+        if rec is not None:
+            rec.fill(stmt.uid, fills)
 
     # -- copies -----------------------------------------------------------------
     def _exec_copy(self, stmt: PairwiseCopy, state: _ShardState,
                    ctx: "_EpochContext | None" = None,
-                   every_pair: bool = False) -> Iterator[Event | None]:
+                   every_pair: bool = False,
+                   rec=None) -> Iterator[Event | None]:
         pairs = self._copy_pairs(stmt)
         me = state.shard
         ns = ctx.num_shards if ctx is not None else 1
@@ -502,8 +629,11 @@ class SPMDExecutor(SequentialExecutor):
         sync = stmt.sync_mode if not every_pair else "none"
 
         if sync == "barrier":
-            yield ctx.barriers[f"pre:{stmt.uid}"].arrive_and_wait_event(
-                g, label=f"copy{stmt.uid}:pre")
+            bar = ctx.barriers[f"pre:{stmt.uid}"]
+            label = f"copy{stmt.uid}:pre"
+            if rec is not None:
+                rec.barrier(stmt.uid, "pre", bar, g, label)
+            yield bar.arrive_and_wait_event(g, label=label)
 
         if sync == "p2p":
             # Consumer side first: arrival at this statement in epoch g means
@@ -511,7 +641,10 @@ class SPMDExecutor(SequentialExecutor):
             # replicated program order — the write-after-read release.
             for (i, j) in pairs:
                 if owner_of_color(dst_n, ns, j) == me:
-                    chans[(i, j)].acked.advance_to(g)
+                    seq = chans[(i, j)].acked
+                    if rec is not None:
+                        rec.advance(stmt.uid, ("ack", i, j), seq, g)
+                    seq.advance_to(g)
 
         # Producer side: perform owned copies.
         for (i, j) in pairs:
@@ -520,38 +653,64 @@ class SPMDExecutor(SequentialExecutor):
             if sync == "p2p":
                 # WAR: wait for the consumer to have arrived at epoch g
                 # before overwriting its instance with epoch g data.
-                yield chans[(i, j)].acked.event_for(
-                    g, label=f"copy{stmt.uid}:ack({i},{j})")
-            self._do_pair_copy(stmt, i, j, state)
+                seq = chans[(i, j)].acked
+                label = f"copy{stmt.uid}:ack({i},{j})"
+                if rec is not None:
+                    rec.wait(stmt.uid, ("ack", i, j), seq, g, label)
+                yield seq.event_for(g, label=label)
+            self._do_pair_copy(stmt, i, j, state, rec)
             if sync == "p2p":
-                chans[(i, j)].ready.advance_to(g)
+                seq = chans[(i, j)].ready
+                if rec is not None:
+                    rec.advance(stmt.uid, ("rdy", i, j), seq, g)
+                seq.advance_to(g)
+            if rec is not None:
+                rec.yield_none()
             yield None
 
         if sync == "p2p":
             for (i, j) in pairs:
                 if owner_of_color(dst_n, ns, j) == me:
-                    yield chans[(i, j)].ready.event_for(
-                        g, label=f"copy{stmt.uid}:ready({i},{j})")
+                    seq = chans[(i, j)].ready
+                    label = f"copy{stmt.uid}:ready({i},{j})"
+                    if rec is not None:
+                        rec.wait(stmt.uid, ("rdy", i, j), seq, g, label)
+                    yield seq.event_for(g, label=label)
         elif sync == "barrier":
-            yield ctx.barriers[f"post:{stmt.uid}"].arrive_and_wait_event(
-                g, label=f"copy{stmt.uid}:post")
+            bar = ctx.barriers[f"post:{stmt.uid}"]
+            label = f"copy{stmt.uid}:post"
+            if rec is not None:
+                rec.barrier(stmt.uid, "post", bar, g, label)
+            yield bar.arrive_and_wait_event(g, label=label)
 
     def _do_pair_copy(self, stmt: PairwiseCopy, i: int, j: int,
-                      state: _ShardState) -> None:
+                      state: _ShardState, rec=None) -> None:
         state.pair_visits += 1
         if stmt.pairs_name is not None:
             pts = self.pair_sets[stmt.pairs_name].pairs[(i, j)]
         else:
             pts = stmt.src.subset(i) & stmt.dst.subset(j)
         if not pts:
+            if rec is not None:
+                rec.visit(stmt.uid, i, j)
             return
         dst_inst = self.dist_instance(stmt.dst, j)
         src_inst = self.dist_instance(stmt.src, i)
+        pc = None
+        if rec is not None:
+            # Lower once against resolved instances; the capture iteration
+            # itself runs the lowered copy, so the frozen form is exercised
+            # (and its localization validated) before any replay.
+            pc = PairCopy.build(stmt, src_inst, dst_inst, pts)
+            rec.copy(stmt.uid, i, j, pc)
         with self.tracer.span(f"copy:{stmt.src.name}->{stmt.dst.name}",
                               cat="copy", pid=PID_SPMD, tid=state.shard,
                               args={"pair": [i, j],
                                     "elements": len(pts)}):
-            if stmt.redop is not None:
+            if pc is not None:
+                pc.apply(self._copy_lock)
+                n = pc.count
+            elif stmt.redop is not None:
                 # Reduction applies from different producers may touch the
                 # same destination elements; ufunc.at is not atomic across
                 # threads.
