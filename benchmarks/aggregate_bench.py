@@ -1,0 +1,24 @@
+#!/usr/bin/env python
+"""Print the merged benchmark trajectory table for this checkout.
+
+Thin wrapper over :func:`repro.analysis.bench_report` (also exposed as
+``python -m repro bench-report``) so CI — and anyone staring at a perf
+regression — can see every ``benchmarks/BENCH_*.json`` row in one table::
+
+    PYTHONPATH=src python benchmarks/aggregate_bench.py [bench_dir]
+"""
+
+import sys
+from pathlib import Path
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    bench_dir = Path(argv[0]) if argv else Path(__file__).resolve().parent
+    from repro.analysis import bench_report
+    print(bench_report(bench_dir))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,76 @@
+"""Aggregate ``benchmarks/BENCH_*.json`` files into one trajectory table.
+
+Every benchmark module records machine-readable rows (see
+``benchmarks/conftest.py``) into its own ``BENCH_<module>.json``; this
+module merges them into a single table — one line per (bench, op, backend,
+shards) — so a PR's perf trajectory is visible in one place (CI prints it
+via ``python -m repro bench-report``) instead of scattered across files.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+__all__ = ["load_bench_records", "format_bench_table", "bench_report"]
+
+# Keys every row carries; anything else is a benchmark-specific extra.
+_CORE_KEYS = ("op", "shards", "backend", "seconds_per_iteration")
+
+
+def load_bench_records(bench_dir: str | Path) -> list[dict[str, Any]]:
+    """All rows from ``BENCH_*.json`` under ``bench_dir``, tagged by bench.
+
+    Rows are returned in (bench, op, backend, shards) order.  A file that
+    does not parse is reported as a pseudo-row with an ``error`` key
+    rather than aborting the whole report.
+    """
+    records: list[dict[str, Any]] = []
+    for path in sorted(Path(bench_dir).glob("BENCH_*.json")):
+        bench = path.stem[len("BENCH_"):]
+        try:
+            rows = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            records.append({"bench": bench, "error": str(exc)})
+            continue
+        for row in rows:
+            records.append({"bench": bench, **row})
+    records.sort(key=lambda r: (r["bench"], str(r.get("op", "")),
+                                str(r.get("backend", "")),
+                                r.get("shards", 0)))
+    return records
+
+
+def _fmt_extra(row: dict[str, Any]) -> str:
+    extras = {k: v for k, v in row.items()
+              if k not in _CORE_KEYS and k != "bench"}
+    return " ".join(f"{k}={v:g}" if isinstance(v, float) else f"{k}={v}"
+                    for k, v in sorted(extras.items()))
+
+
+def format_bench_table(records: list[dict[str, Any]]) -> str:
+    """One human-readable trajectory table over all recorded benchmarks."""
+    if not records:
+        return "no BENCH_*.json records found"
+    lines = [f"{'bench':<22} {'op':<28} {'backend':<10} {'shards':>6} "
+             f"{'s/iter':>12}  extras"]
+    for row in records:
+        if "error" in row:
+            lines.append(f"{row['bench']:<22} !! unreadable: {row['error']}")
+            continue
+        lines.append(
+            f"{row['bench']:<22} {str(row.get('op', '?')):<28} "
+            f"{str(row.get('backend', '?')):<10} "
+            f"{row.get('shards', 0):>6} "
+            f"{row.get('seconds_per_iteration', float('nan')):>12.6f}  "
+            f"{_fmt_extra(row)}".rstrip())
+    lines.append(f"-- {sum(1 for r in records if 'error' not in r)} rows "
+                 f"from {len({r['bench'] for r in records})} benchmark "
+                 f"file(s)")
+    return "\n".join(lines)
+
+
+def bench_report(bench_dir: str | Path) -> str:
+    """Convenience: load + format in one call (the CLI entry point)."""
+    return format_bench_table(load_bench_records(bench_dir))

@@ -50,18 +50,21 @@ class AppProblem:
 
     def run_control_replicated(self, num_shards: int, mode: str = "stepped",
                                seed: int = 0, sync: str = "p2p",
-                               tracer=None, replay: str = "auto",
+                               tracer=None, metrics=None,
+                               replay: str = "auto",
                                **compile_kw):
         from ..core.compiler import control_replicate
-        from ..obs import NULL_TRACER
+        from ..obs import NULL_METRICS, NULL_TRACER
         from ..runtime.spmd import SPMDExecutor
         tracer = tracer if tracer is not None else NULL_TRACER
+        metrics = metrics if metrics is not None else NULL_METRICS
         prog, report = control_replicate(self.build_program(),
                                          num_shards=num_shards, sync=sync,
-                                         tracer=tracer, **compile_kw)
+                                         tracer=tracer, metrics=metrics,
+                                         **compile_kw)
         ex = SPMDExecutor(num_shards=num_shards, mode=mode, seed=seed,
                           instances=self.fresh_instances(), tracer=tracer,
-                          replay=replay)
+                          metrics=metrics, replay=replay)
         scalars = ex.run(prog)
         return self.extract_state(ex.instances), scalars, ex, report
 

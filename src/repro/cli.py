@@ -13,14 +13,22 @@ Commands:
   simulator and print its table;
 * ``simulate`` — run one execution model of one app on the machine
   simulator and print timing/utilization;
+* ``profile`` — run an app sequentially and under SPMD, then attribute
+  each shard's wall time into compute/copy/sync-wait/launch/replay
+  buckets, extract the critical path, and report parallel efficiency
+  (human table + JSON report + Prometheus text export);
+* ``bench-report`` — merge all ``benchmarks/BENCH_*.json`` files into one
+  perf-trajectory table;
 * ``apps``    — list the available applications.
 
-Observability (the shared ``repro.obs`` timeline): ``--trace out.json``
+Observability (the shared ``repro.obs`` subsystem): ``--trace out.json``
 writes a Chrome-trace file (``chrome://tracing`` / Perfetto) from
 ``verify`` (compiler passes + per-shard execution) and ``simulate``
-(virtual-time schedules); ``compile --explain-passes`` prints per-pass
-wall time and stats; ``compile --dump-after <pass>`` prints the IR as it
-leaves a pass.
+(virtual-time schedules) — if the file already exists, a run-index suffix
+is appended instead of clobbering it; ``--metrics out.prom`` writes the
+run's counters/gauges/histograms in the Prometheus text format;
+``compile --explain-passes`` prints per-pass wall time and stats;
+``compile --dump-after <pass>`` prints the IR as it leaves a pass.
 
 Examples::
 
@@ -29,18 +37,37 @@ Examples::
     python -m repro compile stencil --explain-passes --dump-after replicate
     python -m repro figure 8 --max-nodes 64
     python -m repro simulate pennant --nodes 16 --model cr --trace sim.json
+    python -m repro profile --app stencil --backend procs --shards 2
+    python -m repro bench-report
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from typing import Callable
 
 import numpy as np
 
-__all__ = ["main", "build_parser", "APP_FACTORIES"]
+__all__ = ["main", "build_parser", "APP_FACTORIES", "resolve_trace_path"]
+
+
+def resolve_trace_path(path: str) -> str:
+    """A non-clobbering variant of ``path``: ``t.json`` -> ``t.1.json``...
+
+    Two runs pointed at the same ``--trace`` (or ``--metrics``) file used
+    to silently overwrite each other; instead, insert the first free
+    run-index suffix before the extension so every run keeps its output.
+    """
+    if not os.path.exists(path):
+        return path
+    root, ext = os.path.splitext(path)
+    k = 1
+    while os.path.exists(f"{root}.{k}{ext}"):
+        k += 1
+    return f"{root}.{k}{ext}"
 
 
 def _stencil(args):
@@ -120,6 +147,8 @@ def build_parser() -> argparse.ArgumentParser:
                         "interprets, force freezes after the first")
     v.add_argument("--trace", metavar="OUT.json", default=None,
                    help="write a Chrome-trace timeline of the compile + run")
+    v.add_argument("--metrics", metavar="OUT.prom", default=None,
+                   help="write run metrics in Prometheus text format")
 
     r = sub.add_parser("run", help="run one app on one backend and time it")
     add_app_args(r)
@@ -138,6 +167,8 @@ def build_parser() -> argparse.ArgumentParser:
                         "sequential executor")
     r.add_argument("--trace", metavar="OUT.json", default=None,
                    help="write a Chrome-trace timeline of the run")
+    r.add_argument("--metrics", metavar="OUT.prom", default=None,
+                   help="write run metrics in Prometheus text format")
 
     c = sub.add_parser("compile", help="show the program before/after CR")
     add_app_args(c)
@@ -155,6 +186,9 @@ def build_parser() -> argparse.ArgumentParser:
     f.add_argument("--max-nodes", type=int, default=64)
     f.add_argument("--csv", action="store_true",
                    help="emit machine-readable CSV instead of the table")
+    f.add_argument("--metrics", metavar="OUT.prom", default=None,
+                   help="write throughput/efficiency gauges in Prometheus "
+                        "text format")
 
     s = sub.add_parser("simulate",
                        help="simulate one execution model of one app")
@@ -163,6 +197,47 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--model", choices=["cr", "noncr", "mpi"], default="cr")
     s.add_argument("--trace", metavar="OUT.json", default=None,
                    help="write the virtual-time schedule as a Chrome trace")
+    s.add_argument("--metrics", metavar="OUT.prom", default=None,
+                   help="write virtual-time buckets in Prometheus text "
+                        "format")
+
+    pr = sub.add_parser(
+        "profile",
+        help="attribute shard time, extract the critical path, and "
+             "report parallel efficiency")
+    pr.add_argument("--app", required=True, choices=sorted(APP_FACTORIES))
+    pr.add_argument("--tiles", type=int, default=4,
+                    help="pieces/tiles in the partition (default 4)")
+    pr.add_argument("--steps", type=int, default=6,
+                    help="time steps (default 6: enough to reach replay "
+                         "steady state)")
+    pr.add_argument("--size", type=int, default=None,
+                    help="per-app problem size knob")
+    pr.add_argument("--shape", choices=["star", "square"], default="star",
+                    help="stencil shape (stencil only)")
+    pr.add_argument("--backend", choices=SPMD_BACKENDS, default="threaded")
+    pr.add_argument("--shards", type=int, default=2)
+    pr.add_argument("--seed", type=int, default=0)
+    pr.add_argument("--sync", choices=["p2p", "barrier"], default="p2p")
+    pr.add_argument("--replay", choices=["auto", "off", "force"],
+                    default="auto")
+    pr.add_argument("--top-k", dest="top_k", type=int, default=3,
+                    help="number of longest chains to extract (default 3)")
+    pr.add_argument("--json", metavar="OUT.json", default=None,
+                    help="machine-readable report path (default "
+                         "profile_<app>_<backend>.json)")
+    pr.add_argument("--prom", metavar="OUT.prom", default=None,
+                    help="Prometheus text export path (default "
+                         "profile_<app>_<backend>.prom)")
+    pr.add_argument("--trace", metavar="OUT.json", default=None,
+                    help="also keep the raw Chrome-trace timeline")
+
+    b = sub.add_parser("bench-report",
+                       help="merge benchmarks/BENCH_*.json into one "
+                            "trajectory table")
+    b.add_argument("--bench-dir", default="benchmarks",
+                   help="directory holding BENCH_*.json files "
+                        "(default: ./benchmarks)")
 
     e = sub.add_parser("explain", help="show what one shard will do")
     add_app_args(e)
@@ -173,16 +248,23 @@ def build_parser() -> argparse.ArgumentParser:
     return p
 
 
+def _write_metrics(metrics, path: str) -> None:
+    out = resolve_trace_path(path)
+    metrics.write_prometheus(out)
+    print(f"-- metrics: {out}")
+
+
 def cmd_verify(args) -> int:
-    from .obs import NULL_TRACER, Tracer
+    from .obs import NULL_METRICS, NULL_TRACER, MetricsRegistry, Tracer
     problem = APP_FACTORIES[args.app](args)
     tracer = Tracer() if args.trace else NULL_TRACER
+    metrics = MetricsRegistry() if args.metrics else NULL_METRICS
     t0 = time.perf_counter()
     ref = problem.reference_state()
     seq, seq_scalars, _ = problem.run_sequential()
     cr, cr_scalars, ex, report = problem.run_control_replicated(
         args.shards, mode=args.mode, seed=args.seed, sync=args.sync,
-        tracer=tracer, replay=args.replay)
+        tracer=tracer, metrics=metrics, replay=args.replay)
     elapsed = time.perf_counter() - t0
 
     ok = True
@@ -200,15 +282,19 @@ def cmd_verify(args) -> int:
           f"{args.mode}, {args.sync}): {'OK' if ok else 'MISMATCH'} "
           f"[{ex.elements_copied} elements exchanged, {elapsed:.2f}s]")
     if args.trace:
-        tracer.write(args.trace)
-        print(f"-- trace: {len(tracer.events())} events -> {args.trace}")
+        out = resolve_trace_path(args.trace)
+        tracer.write(out)
+        print(f"-- trace: {len(tracer.events())} events -> {out}")
+    if args.metrics:
+        _write_metrics(metrics, args.metrics)
     return 0 if ok else 1
 
 
 def cmd_run(args) -> int:
-    from .obs import NULL_TRACER, Tracer
+    from .obs import NULL_METRICS, NULL_TRACER, MetricsRegistry, Tracer
     problem = APP_FACTORIES[args.app](args)
     tracer = Tracer() if args.trace else NULL_TRACER
+    metrics = MetricsRegistry() if args.metrics else NULL_METRICS
     t0 = time.perf_counter()
     if args.backend == "sequential":
         state, _, ex = problem.run_sequential()
@@ -218,7 +304,7 @@ def cmd_run(args) -> int:
         return 0
     state, _, ex, report = problem.run_control_replicated(
         args.shards, mode=args.backend, seed=args.seed, sync=args.sync,
-        tracer=tracer, replay=args.replay)
+        tracer=tracer, metrics=metrics, replay=args.replay)
     elapsed = time.perf_counter() - t0
 
     ok = True
@@ -247,8 +333,11 @@ def cmd_run(args) -> int:
           f"{ex.replay_hits} replayed / {ex.replay_misses} interpreted "
           f"iterations, {elapsed:.3f}s] -- {check}")
     if args.trace:
-        tracer.write(args.trace)
-        print(f"-- trace: {len(tracer.events())} events -> {args.trace}")
+        out = resolve_trace_path(args.trace)
+        tracer.write(out)
+        print(f"-- trace: {len(tracer.events())} events -> {out}")
+    if args.metrics:
+        _write_metrics(metrics, args.metrics)
     return 0 if ok else 1
 
 
@@ -274,8 +363,9 @@ def cmd_compile(args) -> int:
         print("\n" + report.pass_table())
     if args.trace:
         tracer.name_process(PID_COMPILER, "compiler")
-        tracer.write(args.trace)
-        print(f"-- trace: {len(tracer.events())} events -> {args.trace}")
+        out = resolve_trace_path(args.trace)
+        tracer.write(out)
+        print(f"-- trace: {len(tracer.events())} events -> {out}")
     return 0
 
 
@@ -289,6 +379,18 @@ def cmd_figure(args) -> int:
     spec = spec_fn(PIZ_DAINT, max_nodes=args.max_nodes)
     data = run_figure(spec)
     print(to_csv(data) if args.csv else data.format_table())
+    if args.metrics:
+        from .obs import MetricsRegistry
+        metrics = MetricsRegistry()
+        for label, vals in data.values.items():
+            for nodes, tput in vals.items():
+                metrics.gauge("figure_throughput_per_node",
+                              figure=args.number, series=label,
+                              nodes=nodes).set(tput)
+                metrics.gauge("figure_parallel_efficiency",
+                              figure=args.number, series=label,
+                              nodes=nodes).set(data.efficiency(label, nodes))
+        _write_metrics(metrics, args.metrics)
     return 0
 
 
@@ -338,8 +440,63 @@ def cmd_simulate(args) -> int:
     if tracer is not None:
         n = simulation_trace_events(sims[0], tracer,
                                     name_prefix=f"{args.app}-{args.model}")
-        tracer.write(args.trace)
-        print(f"-- trace: {n} events -> {args.trace}")
+        out = resolve_trace_path(args.trace)
+        tracer.write(out)
+        print(f"-- trace: {n} events -> {out}")
+    if args.metrics:
+        from .machine import simulation_metrics
+        from .obs import MetricsRegistry
+        metrics = MetricsRegistry()
+        simulation_metrics(sims[0], metrics,
+                           name_prefix=f"{args.app}-{args.model}")
+        _write_metrics(metrics, args.metrics)
+    return 0
+
+
+def cmd_profile(args) -> int:
+    import json
+
+    from .obs import MetricsRegistry, Tracer, build_profile
+    problem = APP_FACTORIES[args.app](args)
+
+    # Baseline: the unreplicated sequential interpreter on an identical
+    # fresh problem — the T_seq of the paper's efficiency metric.
+    t0 = time.perf_counter()
+    problem.run_sequential()
+    t_seq = time.perf_counter() - t0
+
+    tracer = Tracer()
+    metrics = MetricsRegistry()
+    _, _, ex, report = problem.run_control_replicated(
+        args.shards, mode=args.backend, seed=args.seed, sync=args.sync,
+        tracer=tracer, metrics=metrics, replay=args.replay)
+
+    prof = build_profile(tracer.events(), app=args.app, backend=args.backend,
+                         num_shards=args.shards, t_seq_s=t_seq, executor=ex,
+                         compile_report=report, metrics=metrics,
+                         top_k=args.top_k)
+    prof.export_metrics(metrics)
+    print(prof.format())
+
+    base = f"profile_{args.app}_{args.backend}"
+    json_path = resolve_trace_path(args.json or f"{base}.json")
+    with open(json_path, "w") as fh:
+        json.dump(prof.to_dict(), fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    print(f"-- report: {json_path}")
+    prom_path = resolve_trace_path(args.prom or f"{base}.prom")
+    metrics.write_prometheus(prom_path)
+    print(f"-- metrics: {prom_path}")
+    if args.trace:
+        out = resolve_trace_path(args.trace)
+        tracer.write(out)
+        print(f"-- trace: {len(tracer.events())} events -> {out}")
+    return 0
+
+
+def cmd_bench_report(args) -> int:
+    from .analysis import bench_report
+    print(bench_report(args.bench_dir))
     return 0
 
 
@@ -379,6 +536,8 @@ def main(argv: list[str] | None = None) -> int:
         "compile": cmd_compile,
         "figure": cmd_figure,
         "simulate": cmd_simulate,
+        "profile": cmd_profile,
+        "bench-report": cmd_bench_report,
         "explain": cmd_explain,
         "apps": cmd_apps,
     }[args.command]

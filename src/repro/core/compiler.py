@@ -25,7 +25,7 @@ from __future__ import annotations
 
 from typing import Callable, Iterable
 
-from ..obs import NULL_TRACER, Tracer
+from ..obs import NULL_METRICS, NULL_TRACER, MetricsRegistry, Tracer
 from .ir import Program
 from .passes import (
     CompilationReport,
@@ -41,7 +41,9 @@ __all__ = ["CompilationReport", "FragmentReport", "control_replicate"]
 def control_replicate(program: Program, num_shards: int | None = None,
                       sync: str = "p2p", optimize_placement: bool = True,
                       optimize_intersection: bool = True, *,
-                      tracer: Tracer = NULL_TRACER, verify: bool = True,
+                      tracer: Tracer = NULL_TRACER,
+                      metrics: MetricsRegistry = NULL_METRICS,
+                      verify: bool = True,
                       dump_after: Iterable[str] = (),
                       dump_sink: Callable[[str, str], None] | None = None,
                       ) -> tuple[Program, CompilationReport]:
@@ -51,13 +53,14 @@ def control_replicate(program: Program, num_shards: int | None = None,
     ``"barrier"`` (the naive Fig. 4c form).  The two ``optimize_*`` flags
     exist for ablation studies; disabling them preserves semantics.
 
-    ``tracer`` records per-pass spans, ``verify`` runs the inter-pass IR
+    ``tracer`` records per-pass spans, ``metrics`` per-pass time / IR-size
+    / rewrite-count instruments, ``verify`` runs the inter-pass IR
     verifier (on by default), and ``dump_after`` names passes whose output
     IR is rendered through ``dump_sink`` (or printed).
     """
     pm = PassManager(default_passes(optimize_placement=optimize_placement,
                                     optimize_intersection=optimize_intersection))
     ctx = PassContext(num_shards=num_shards, sync=sync, tracer=tracer,
-                      verify=verify, dump_after=frozenset(dump_after),
-                      dump_sink=dump_sink)
+                      metrics=metrics, verify=verify,
+                      dump_after=frozenset(dump_after), dump_sink=dump_sink)
     return pm.run(program, ctx)

@@ -27,12 +27,12 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
-from ..obs import NULL_TRACER, PID_COMPILER, Tracer
+from ..obs import NULL_METRICS, NULL_TRACER, PID_COMPILER, MetricsRegistry, Tracer
 from ..regions.partition import Partition
 from .copy_placement import PlacementStats, place_copies
 from .data_replication import replicate_data
 from .intersections import IntersectionStats, optimize_intersections
-from .ir import Block, Program, Stmt
+from .ir import Block, Program, Stmt, walk
 from .normalize import normalize_projections
 from .shards import create_shards
 from .synchronization import SyncStats, insert_synchronization
@@ -42,7 +42,7 @@ from .verify import verify_ir
 __all__ = [
     "CompilationReport", "FragmentReport", "FragmentIR", "PipelineIR",
     "Pass", "PassContext", "PassManager", "PassTiming",
-    "PASS_NAMES", "default_passes",
+    "PASS_NAMES", "default_passes", "ir_size",
 ]
 
 
@@ -179,6 +179,7 @@ class PassContext:
     num_shards: int | None = None
     sync: str = "p2p"
     tracer: Tracer = NULL_TRACER
+    metrics: MetricsRegistry = NULL_METRICS
     verify: bool = True
     dump_after: frozenset[str] = frozenset()
     dump_sink: Callable[[str, str], None] | None = None
@@ -356,6 +357,24 @@ def default_passes(optimize_placement: bool = True,
 # The pass manager
 # ---------------------------------------------------------------------------
 
+def ir_size(ir: "PipelineIR | Program") -> int:
+    """Statement count of the in-flight IR (or a bare :class:`Program`).
+
+    Counts the program tree plus, mid-pipeline, the rewritten fragment
+    parts (which live outside ``program.body`` until ``shards``
+    reassembles them; unreplicated fragments still alias the program body
+    and are not double-counted).
+    """
+    program = ir if isinstance(ir, Program) else ir.program
+    n = sum(1 for _ in walk(program.body))
+    if not getattr(ir, "assembled", True):
+        for frag in ir.fragments:
+            if frag.replicated:
+                for s in frag.parts():
+                    n += sum(1 for _ in walk(s))
+    return n
+
+
 class PassManager:
     """Run a pass sequence with timing, verification, tracing, and dumps."""
 
@@ -374,7 +393,19 @@ class PassManager:
                 ir = p.run(ir, ctx)
                 elapsed = time.perf_counter() - t0
             ir.invariants.update(p.establishes)
-            ctx.timings.append(PassTiming(p.name, elapsed, p.stats(ir)))
+            stats = p.stats(ir)
+            ctx.timings.append(PassTiming(p.name, elapsed, stats))
+            if ctx.metrics.enabled:
+                m = ctx.metrics
+                m.counter("compiler_pass_seconds_total",
+                          **{"pass": p.name}).inc(elapsed)
+                m.counter("compiler_pass_runs_total",
+                          **{"pass": p.name}).inc()
+                m.gauge("compiler_pass_ir_stmts",
+                        **{"pass": p.name}).set(ir_size(ir))
+                for key, value in stats.items():
+                    m.counter("compiler_pass_stat_total",
+                              **{"pass": p.name, "stat": key}).inc(value)
             if ctx.verify:
                 verify_ir(ir, stage=p.name)
             if p.name in ctx.dump_after:

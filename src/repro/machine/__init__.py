@@ -11,7 +11,8 @@ from .from_graph import simulate_dependence_graph
 from .model import PIZ_DAINT, MachineModel
 from .patterns import halo_edges_2d, halo_edges_3d, random_graph_edges
 from .simulator import Simulation, SimTask
-from .tracing import UtilizationReport, analyze_simulation, simulation_trace_events
+from .tracing import (UtilizationReport, analyze_simulation,
+                      simulation_metrics, simulation_trace_events)
 from .workload import AppWorkload, PhaseSpec
 
 __all__ = [
@@ -24,6 +25,7 @@ __all__ = [
     "StepResult",
     "UtilizationReport",
     "analyze_simulation",
+    "simulation_metrics",
     "simulation_trace_events",
     "simulate_mpi",
     "simulate_regent_cr",

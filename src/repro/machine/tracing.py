@@ -15,11 +15,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..obs import PID_SIM_BASE, Tracer
+from ..obs import PID_SIM_BASE, MetricsRegistry, Tracer
 from .simulator import Simulation
 
 __all__ = ["UtilizationReport", "analyze_simulation",
-           "simulation_trace_events"]
+           "simulation_trace_events", "simulation_metrics"]
 
 
 @dataclass
@@ -76,6 +76,30 @@ def analyze_simulation(sim: Simulation) -> UtilizationReport:
     }
     return UtilizationReport(makespan=makespan, busy=busy, capacity=capacity,
                              by_label=by_label, per_node_ctrl=per_node_ctrl)
+
+
+def simulation_metrics(sim: Simulation, metrics: MetricsRegistry,
+                       name_prefix: str = "sim") -> None:
+    """Export a completed simulation's virtual-time buckets as metrics.
+
+    The simulator's clock is virtual, so everything lands in gauges and
+    virtual-second counters (``sim_busy_seconds_total`` per resource kind,
+    ``sim_virtual_seconds_total`` per label phase) rather than wall-time
+    histograms; ``name_prefix`` labels the run so several simulations can
+    share a registry.
+    """
+    report = analyze_simulation(sim)
+    lab = {"run": name_prefix}
+    metrics.gauge("sim_makespan_seconds", **lab).set(report.makespan)
+    for kind, secs in report.busy.items():
+        metrics.counter("sim_busy_seconds_total", kind=kind, **lab).inc(secs)
+        metrics.gauge("sim_utilization", kind=kind,
+                      **lab).set(report.utilization(kind))
+    for label, secs in report.by_label.items():
+        metrics.counter("sim_virtual_seconds_total", phase=label,
+                        **lab).inc(secs)
+    for node, secs in report.per_node_ctrl.items():
+        metrics.gauge("sim_ctrl_busy_seconds", node=node, **lab).set(secs)
 
 
 def _sim_tid(kind: str, server: int) -> int:

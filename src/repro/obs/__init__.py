@@ -1,12 +1,28 @@
-"""Shared observability: structured spans/counters and Chrome-trace export.
+"""Shared observability: spans, metrics, and post-run profiling.
 
 This subsystem gives the compiler, the functional SPMD runtime, and the
-machine simulator one vocabulary for timelines, so a single ``--trace``
-file can show per-pass compile time, per-shard execution (point tasks,
-barrier waits, bytes copied), and simulated virtual-time schedules in the
-same viewer.
+machine simulator one vocabulary for timelines (:mod:`repro.obs.trace`),
+one registry for quantitative counters/gauges/histograms
+(:mod:`repro.obs.metrics`), and a post-run profiler
+(:mod:`repro.obs.profile`) that turns a run's merged span timeline into
+per-shard time-attribution buckets, critical paths, and the paper's
+parallel-efficiency metric.
 """
 
-from .trace import NULL_TRACER, PID_COMPILER, PID_SIM_BASE, PID_SPMD, Tracer
+from .metrics import (DEFAULT_BUCKETS, NULL_METRICS, Counter, Gauge,
+                      Histogram, MetricsRegistry, parse_prometheus_text)
+from .profile import (BUCKETS, Chain, ChainStep, ProfileReport, Segment,
+                      ShardAttribution, attribute_shards, build_profile,
+                      critical_chains, flatten_spans)
+from .trace import (NULL_TRACER, PID_COMPILER, PID_SIM_BASE, PID_SPMD,
+                    Tracer, clock_anchor, rebase_events)
 
-__all__ = ["Tracer", "NULL_TRACER", "PID_COMPILER", "PID_SPMD", "PID_SIM_BASE"]
+__all__ = [
+    "Tracer", "NULL_TRACER", "PID_COMPILER", "PID_SPMD", "PID_SIM_BASE",
+    "clock_anchor", "rebase_events",
+    "Counter", "Gauge", "Histogram", "MetricsRegistry", "NULL_METRICS",
+    "DEFAULT_BUCKETS", "parse_prometheus_text",
+    "BUCKETS", "Segment", "ShardAttribution", "ChainStep", "Chain",
+    "ProfileReport", "flatten_spans", "attribute_shards", "critical_chains",
+    "build_profile",
+]

@@ -29,7 +29,8 @@ import time
 from contextlib import contextmanager
 from typing import Any, Iterator
 
-__all__ = ["Tracer", "NULL_TRACER", "PID_COMPILER", "PID_SPMD", "PID_SIM_BASE"]
+__all__ = ["Tracer", "NULL_TRACER", "PID_COMPILER", "PID_SPMD", "PID_SIM_BASE",
+           "clock_anchor", "rebase_events"]
 
 # Process-id convention: one "process" per system layer in the viewer.
 PID_COMPILER = 0   # compiler passes
@@ -144,6 +145,39 @@ class Tracer:
     def write(self, path: str) -> None:
         with open(path, "w") as fh:
             json.dump(self.chrome_trace(), fh)
+
+
+def clock_anchor(tracer: "Tracer") -> tuple[float, float]:
+    """A ``(wall_clock_s, tracer_us)`` pair naming the same instant.
+
+    Two processes that each take an anchor can compute the skew between
+    their tracer clocks through the shared wall clock: if the child's
+    anchor says "wall time W was tracer time C" and the parent's says
+    "wall time W' was tracer time P", the child's events sit
+    ``(P + (W - W') * 1e6) - C`` µs off the parent's timeline.  On
+    platforms where fork preserves the ``perf_counter`` base the skew is
+    ~0 and no rebasing happens; on platforms where each process gets its
+    own base (or when a tracer is re-created child-side) the skew is the
+    full base offset and :func:`rebase_events` repairs it.
+    """
+    return (time.time(), tracer.now_us())
+
+
+def rebase_events(events: list[dict[str, Any]],
+                  delta_us: float) -> list[dict[str, Any]]:
+    """Shift timestamped events by ``delta_us`` onto another clock base.
+
+    Durations are untouched (both clocks tick at wall rate); shifted
+    timestamps are clamped at zero so wall-clock jitter in the anchors
+    can never push an event before the trace origin.  Metadata events
+    ("M"), which carry no ``ts``, pass through unchanged.
+    """
+    out = []
+    for ev in events:
+        if "ts" in ev:
+            ev = {**ev, "ts": max(0.0, ev["ts"] + delta_us)}
+        out.append(ev)
+    return out
 
 
 class _NullTracer(Tracer):

@@ -46,7 +46,7 @@ from typing import Any, Callable
 import numpy as np
 
 from ..core.ir import PairwiseCopy, ScalarCollective, BarrierStmt, walk
-from ..obs import PID_SPMD
+from ..obs import NULL_METRICS, PID_SPMD, clock_anchor, rebase_events
 from ..regions.region import reduction_identity
 from .collectives import SCALAR_REDUCTIONS
 
@@ -277,14 +277,16 @@ class _SyncBoard:
 # Shard child process
 # ---------------------------------------------------------------------------
 
-def _wait_event(shard: int, ev, cancel, timeout_s: float, tracer) -> None:
+def _wait_event(shard: int, ev, cancel, timeout_s: float, tracer,
+                metrics=NULL_METRICS) -> None:
     """Block on one yielded event, honouring cancellation and the
     deadlock timeout; mirrors the threaded driver's wait loop."""
-    from .spmd import DeadlockError
+    from .spmd import DeadlockError, wait_kind
 
     if ev.is_set():
         return
-    start = tracer.now_us() if tracer.enabled else 0.0
+    instrumented = tracer.enabled or metrics.enabled
+    start = tracer.now_us() if instrumented else 0.0
     deadline = time.monotonic() + timeout_s
     while not ev.wait_blocking(timeout=0.02):
         if cancel.is_set():
@@ -293,10 +295,15 @@ def _wait_event(shard: int, ev, cancel, timeout_s: float, tracer) -> None:
             raise DeadlockError(
                 f"shard {shard} blocked on {ev.label or 'event'} "
                 f"for {timeout_s}s")
-    if tracer.enabled:
-        tracer.complete(f"wait:{ev.label or 'event'}", start,
-                        tracer.now_us() - start, cat="wait",
-                        pid=PID_SPMD, tid=shard)
+    if instrumented:
+        label = ev.label or "event"
+        elapsed_us = tracer.now_us() - start
+        if tracer.enabled:
+            tracer.complete(f"wait:{label}", start, elapsed_us, cat="wait",
+                            pid=PID_SPMD, tid=shard)
+        if metrics.enabled:
+            metrics.histogram("spmd_wait_seconds", shard=shard,
+                              kind=wait_kind(label)).observe(elapsed_us / 1e6)
 
 
 def _shard_main(ex, body, state, ctx, cancel, conn) -> None:
@@ -304,7 +311,11 @@ def _shard_main(ex, body, state, ctx, cancel, conn) -> None:
     then ship scalars / counters / trace spans back to the parent."""
     tracer = ex.tracer
     trace_base = tracer.event_count() if tracer.enabled else 0
-    tasks_base = ex.tasks_executed
+    # Anchor this process's tracer clock against the shared wall clock so
+    # the parent can re-base our spans if its perf_counter origin differs
+    # (fork usually preserves it; spawn-like platforms and re-created
+    # tracers do not).
+    anchor = clock_anchor(tracer) if tracer.enabled else None
     # Instances must have been materialized (in shared memory) pre-fork;
     # a lazily created one here would be process-private and silently
     # wrong, so make dist_instance fail loudly instead.
@@ -315,7 +326,8 @@ def _shard_main(ex, body, state, ctx, cancel, conn) -> None:
             if cancel.is_set():
                 raise _Cancelled()
             if ev is not None:
-                _wait_event(state.shard, ev, cancel, ex.deadlock_timeout, tracer)
+                _wait_event(state.shard, ev, cancel, ex.deadlock_timeout,
+                            tracer, state.metrics)
     except _Cancelled:
         pass  # a sibling already recorded the primary error
     except BaseException as exc:
@@ -330,9 +342,13 @@ def _shard_main(ex, body, state, ctx, cancel, conn) -> None:
         "bytes_copied": state.bytes_copied,
         "replay_hits": state.replay_hits,
         "replay_misses": state.replay_misses,
+        "replay_guard_fallbacks": state.replay_guard_fallbacks,
         "capture_points": state.capture_points,
-        "tasks_executed": ex.tasks_executed - tasks_base,
+        "tasks_executed": state.tasks_executed,
+        "metrics": (state.metrics.to_dict()
+                    if state.metrics.enabled else None),
         "trace_events": tracer.events()[trace_base:] if tracer.enabled else [],
+        "clock_anchor": anchor,
         "error": error,
     }
     try:
@@ -354,6 +370,31 @@ def _shard_main(ex, body, state, ctx, cancel, conn) -> None:
 # ---------------------------------------------------------------------------
 # Parent-side driver
 # ---------------------------------------------------------------------------
+
+# Wall-clock anchors carry ~ms jitter; skew below this is fork preserving
+# the perf_counter base, and rebasing on it would only add that jitter.
+_REBASE_THRESHOLD_US = 2000.0
+
+
+def _rebased(payload: dict, parent_anchor: tuple[float, float] | None) -> list:
+    """A child's trace events, shifted onto the parent tracer's clock.
+
+    The skew between the two perf_counter-based tracer clocks is measured
+    through the shared wall clock (see :func:`repro.obs.clock_anchor`);
+    when it exceeds the anchors' own jitter the child's timestamps are
+    re-based so the merged timeline stays monotonic.
+    """
+    events = payload["trace_events"]
+    child_anchor = payload.get("clock_anchor")
+    if parent_anchor is None or child_anchor is None:
+        return events
+    child_wall, child_us = child_anchor
+    parent_wall, parent_us = parent_anchor
+    delta_us = (parent_us + (child_wall - parent_wall) * 1e6) - child_us
+    if abs(delta_us) <= _REBASE_THRESHOLD_US:
+        return events
+    return rebase_events(events, delta_us)
+
 
 def run_shard_launch_procs(ex, stmt, states, ns: int) -> None:
     """Fork ``ns`` shard processes for one ShardLaunch and collect results.
@@ -410,6 +451,7 @@ def run_shard_launch_procs(ex, stmt, states, ns: int) -> None:
     old_lock = ex._copy_lock
     ex._copy_lock = mpctx.Lock()
     cancel = mpctx.Event()
+    parent_anchor = clock_anchor(ex.tracer) if ex.tracer.enabled else None
     procs: list = []
     conns: list = []
     errors: list[BaseException] = []
@@ -459,10 +501,16 @@ def run_shard_launch_procs(ex, stmt, states, ns: int) -> None:
             st.bytes_copied = payload["bytes_copied"]
             st.replay_hits = payload["replay_hits"]
             st.replay_misses = payload["replay_misses"]
+            st.replay_guard_fallbacks = payload["replay_guard_fallbacks"]
             st.capture_points = payload["capture_points"]
-            ex.tasks_executed += payload["tasks_executed"]
+            st.tasks_executed = payload["tasks_executed"]
+            if payload["metrics"] is not None:
+                # The parent's copy of the child registry never saw the
+                # child's increments (they happened post-fork); fold the
+                # shipped snapshot in so _merge_counters sees them.
+                st.metrics.merge(payload["metrics"])
             if ex.tracer.enabled and payload["trace_events"]:
-                ex.tracer.ingest(payload["trace_events"])
+                ex.tracer.ingest(_rebased(payload, parent_anchor))
     finally:
         ex._copy_lock = old_lock
         for conn in conns:

@@ -195,7 +195,7 @@ class _FrozenLaunch:
                 for pos, e in entry.exprs:
                     args[pos] = evaluate(e, env)
             result = task(*entry.args)
-            ex.tasks_executed += 1
+            state.tasks_executed += 1
             if reduce_name is not None and result is not None:
                 partial = (result if partial is None
                            else self.fold(partial, result))

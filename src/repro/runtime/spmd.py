@@ -60,7 +60,7 @@ from ..core.ir import (
     walk,
 )
 from ..core.shards import owner_of_color, shard_owned_colors
-from ..obs import NULL_TRACER, PID_SPMD, Tracer
+from ..obs import NULL_METRICS, NULL_TRACER, PID_SPMD, MetricsRegistry, Tracer
 from ..regions.partition import Partition
 from ..regions.region import PhysicalInstance, reduction_identity
 from ..tasks.views import RegionView
@@ -103,6 +103,19 @@ class _Cancelled(BaseException):
     """Internal: a sibling shard failed; unwind this shard quietly."""
 
 
+def wait_kind(label: str) -> str:
+    """Classify an event label into a wait-histogram ``kind`` bucket."""
+    if label.startswith("barrier:"):
+        return "barrier"
+    if ":ack(" in label:
+        return "copy-ack"
+    if ":ready(" in label:
+        return "copy-ready"
+    if label.endswith(":pre") or label.endswith(":post"):
+        return "copy-barrier"
+    return "collective"
+
+
 @dataclass
 class _Channel:
     ready: Sequence = field(default_factory=Sequence)
@@ -121,9 +134,16 @@ class _ShardState:
     elements_copied: int = 0
     copies_performed: int = 0
     bytes_copied: int = 0
+    tasks_executed: int = 0
+    # Per-shard metrics child; single-owner during the run, so instrument
+    # updates take no lock.  Merged back by the executor after the join.
+    metrics: MetricsRegistry = NULL_METRICS
     # Steady-state trace capture & replay (repro.runtime.replay).
     replay_hits: int = 0
     replay_misses: int = 0
+    # Iterations where a frozen trace existed but a hoisted guard failed,
+    # forcing interpretation (a subset of replay_misses).
+    replay_guard_fallbacks: int = 0
     # loop uid -> iteration index at which this shard froze its trace.
     # Capture decisions are replicated control flow, so all shards must
     # agree; validated after the launch like scalar state.
@@ -142,7 +162,8 @@ class SPMDExecutor(SequentialExecutor):
     def __init__(self, num_shards: int, mode: str = "stepped", seed: int = 0,
                  instances=None, validate_replication: bool = True,
                  tracer: Tracer = NULL_TRACER, deadlock_timeout: float = 60.0,
-                 replay: str = "auto"):
+                 replay: str = "auto",
+                 metrics: MetricsRegistry = NULL_METRICS):
         super().__init__(instances=instances)
         if mode not in ("stepped", "threaded", "procs"):
             raise ValueError(f"unknown mode {mode!r}")
@@ -159,8 +180,10 @@ class SPMDExecutor(SequentialExecutor):
         self.replay = replay
         self.replay_hits = 0
         self.replay_misses = 0
+        self.replay_guard_fallbacks = 0
         self.validate_replication = validate_replication
         self.tracer = tracer
+        self.metrics = metrics
         self.deadlock_timeout = deadlock_timeout
         self.dist: dict[tuple[int, int], PhysicalInstance] = {}
         self.pair_sets: dict[str, IntersectionResult] = {}
@@ -256,6 +279,15 @@ class SPMDExecutor(SequentialExecutor):
                 result = compute_intersections(stmt.src, stmt.dst)
                 self._isect_cache[key] = result
                 self.intersections_computed += 1
+                if self.metrics.enabled:
+                    self.metrics.counter(
+                        "spmd_intersections_computed_total").inc()
+                    self.metrics.gauge(
+                        "spmd_intersection_seconds", pair_set=stmt.name).set(
+                        result.shallow_seconds + result.complete_seconds)
+                    self.metrics.gauge(
+                        "spmd_intersection_nonempty_pairs",
+                        pair_set=stmt.name).set(len(result.nonempty_pairs()))
             self.pair_sets[stmt.name] = result
         elif isinstance(stmt, ShardLaunch):
             self._shard_launch(stmt)
@@ -289,7 +321,9 @@ class SPMDExecutor(SequentialExecutor):
     def _shard_launch(self, stmt: ShardLaunch) -> None:
         ns = stmt.num_shards or self.num_shards
         self._precreate_instances(stmt)
-        states = [_ShardState(shard=x, scalars=dict(self.scalars)) for x in range(ns)]
+        states = [_ShardState(shard=x, scalars=dict(self.scalars),
+                              metrics=self.metrics.child())
+                  for x in range(ns)]
         if self.tracer.enabled:
             self.tracer.name_process(PID_SPMD, "spmd executor")
             for x in range(ns):
@@ -313,7 +347,7 @@ class SPMDExecutor(SequentialExecutor):
                                 barriers=barriers, num_shards=ns)
             gens = [self._shard_body(stmt.body, states[x], ctx) for x in range(ns)]
             if self.mode == "threaded":
-                self._drive_threaded(gens)
+                self._drive_threaded(gens, states)
             else:
                 self._drive_stepped(gens)
         self._merge_scalars(states)
@@ -336,13 +370,36 @@ class SPMDExecutor(SequentialExecutor):
         return [(i, j) for i in stmt.src.colors for j in stmt.dst.colors]
 
     def _merge_counters(self, states: list[_ShardState]) -> None:
+        m = self.metrics
         for st in states:
             self.pair_visits += st.pair_visits
             self.elements_copied += st.elements_copied
             self.copies_performed += st.copies_performed
             self.bytes_copied += st.bytes_copied
+            self.tasks_executed += st.tasks_executed
             self.replay_hits += st.replay_hits
             self.replay_misses += st.replay_misses
+            self.replay_guard_fallbacks += st.replay_guard_fallbacks
+            if not m.enabled:
+                continue
+            # Funnel-back: fold the shard's lock-free child registry (wait
+            # histograms, task timings) and mirror the scalar counters.
+            if st.metrics is not m:
+                m.merge(st.metrics)
+            lab = {"shard": str(st.shard)}
+            m.counter("spmd_tasks_total", **lab).inc(st.tasks_executed)
+            m.counter("spmd_copies_total", **lab).inc(st.copies_performed)
+            m.counter("spmd_elements_copied_total", **lab).inc(
+                st.elements_copied)
+            m.counter("spmd_bytes_copied_total", **lab).inc(st.bytes_copied)
+            m.counter("spmd_pair_visits_total", **lab).inc(st.pair_visits)
+            m.counter("spmd_replay_iterations_total", outcome="hit",
+                      **lab).inc(st.replay_hits)
+            m.counter("spmd_replay_iterations_total", outcome="miss",
+                      **lab).inc(st.replay_misses)
+            m.counter("spmd_replay_iterations_total",
+                      outcome="guard_fallback",
+                      **lab).inc(st.replay_guard_fallbacks)
 
     def _merge_scalars(self, states: list[_ShardState]) -> None:
         if self.validate_replication and len(states) > 1:
@@ -385,18 +442,23 @@ class SPMDExecutor(SequentialExecutor):
                 done[x] = True
                 pending[x] = None
 
-    def _drive_threaded(self, gens: list[Iterator[Event | None]]) -> None:
+    def _drive_threaded(self, gens: list[Iterator[Event | None]],
+                        states: list[_ShardState] | None = None) -> None:
         errors: list[BaseException] = []
         lock = threading.Lock()
         cancel = threading.Event()
         tracer = self.tracer
+        states = states or []
 
         def wait(shard: int, ev: Event) -> None:
             # Poll so a sibling's failure (the cancel token) unblocks this
             # shard promptly instead of after the full deadlock timeout.
             if ev.is_set():
                 return
-            start = tracer.now_us() if tracer.enabled else 0.0
+            metrics = states[shard].metrics if shard < len(states) \
+                else NULL_METRICS
+            instrumented = tracer.enabled or metrics.enabled
+            start = tracer.now_us() if instrumented else 0.0
             deadline = time.monotonic() + self.deadlock_timeout
             while not ev.wait_blocking(timeout=0.02):
                 if cancel.is_set():
@@ -405,10 +467,16 @@ class SPMDExecutor(SequentialExecutor):
                     raise DeadlockError(
                         f"shard {shard} blocked on "
                         f"{ev.label or 'event'} for {self.deadlock_timeout}s")
-            if tracer.enabled:
-                tracer.complete(f"wait:{ev.label or 'event'}", start,
-                                tracer.now_us() - start, cat="wait",
-                                pid=PID_SPMD, tid=shard)
+            if instrumented:
+                label = ev.label or "event"
+                elapsed_us = tracer.now_us() - start
+                if tracer.enabled:
+                    tracer.complete(f"wait:{label}", start, elapsed_us,
+                                    cat="wait", pid=PID_SPMD, tid=shard)
+                if metrics.enabled:
+                    metrics.histogram(
+                        "spmd_wait_seconds", shard=shard,
+                        kind=wait_kind(label)).observe(elapsed_us / 1e6)
 
         def run(shard: int, gen: Iterator[Event | None]) -> None:
             try:
@@ -542,18 +610,22 @@ class SPMDExecutor(SequentialExecutor):
             if var is not None:
                 state.scalars[var] = v
             trace = lr.trace
-            if trace is not None and trace.guards_hold(state.scalars):
-                state.replay_hits += 1
-                if tracer.enabled:
-                    t0 = tracer.now_us()
-                    yield from trace.replay(self, state)
-                    tracer.complete("replay:iteration", t0,
-                                    tracer.now_us() - t0, cat="replay",
-                                    pid=PID_SPMD, tid=state.shard,
-                                    args={"loop": stmt.uid})
-                else:
-                    yield from trace.replay(self, state)
-                continue
+            if trace is not None:
+                if trace.guards_hold(state.scalars):
+                    state.replay_hits += 1
+                    if tracer.enabled:
+                        t0 = tracer.now_us()
+                        yield from trace.replay(self, state)
+                        tracer.complete("replay:iteration", t0,
+                                        tracer.now_us() - t0, cat="replay",
+                                        pid=PID_SPMD, tid=state.shard,
+                                        args={"loop": stmt.uid})
+                    else:
+                        yield from trace.replay(self, state)
+                    continue
+                # A frozen trace exists but a hoisted guard failed: fall
+                # back to interpretation for this iteration only.
+                state.replay_guard_fallbacks += 1
             state.replay_misses += 1
             rec = lr.begin_iteration(state.epochs)
             t0 = tracer.now_us() if tracer.enabled else 0.0
@@ -572,6 +644,10 @@ class SPMDExecutor(SequentialExecutor):
             rec.launch(stmt, owned)
         fold = SCALAR_REDUCTIONS[stmt.reduce[0]] if stmt.reduce else None
         partial = state.pending_reductions.get(stmt.reduce[1]) if stmt.reduce else None
+        task_hist = (state.metrics.histogram("spmd_task_seconds",
+                                             shard=state.shard,
+                                             task=stmt.task.name)
+                     if state.metrics.enabled else None)
         for i in owned:
             views: list[RegionView] = []
             args: list[Any] = []
@@ -585,13 +661,16 @@ class SPMDExecutor(SequentialExecutor):
                     args.append(view)
                 else:
                     args.append(evaluate(arg.expr, {**state.scalars, "i": i}))
+            t0 = time.perf_counter() if task_hist is not None else 0.0
             with self.tracer.span(f"task:{stmt.task.name}", cat="task",
                                   pid=PID_SPMD, tid=state.shard,
-                                  args={"color": i}):
+                                  args={"color": i, "uid": stmt.uid}):
                 result = stmt.task(*args)
+            if task_hist is not None:
+                task_hist.observe(time.perf_counter() - t0)
             for v in views:
                 v.finalize()
-            self.tasks_executed += 1
+            state.tasks_executed += 1
             if stmt.reduce is not None and result is not None:
                 partial = result if partial is None else fold(partial, result)
             yield None  # preemption point: one point task executed
@@ -705,7 +784,7 @@ class SPMDExecutor(SequentialExecutor):
             rec.copy(stmt.uid, i, j, pc)
         with self.tracer.span(f"copy:{stmt.src.name}->{stmt.dst.name}",
                               cat="copy", pid=PID_SPMD, tid=state.shard,
-                              args={"pair": [i, j],
+                              args={"pair": [i, j], "uid": stmt.uid,
                                     "elements": len(pts)}):
             if pc is not None:
                 pc.apply(self._copy_lock)

@@ -105,6 +105,29 @@ class TestTracing:
         assert isinstance(doc["traceEvents"], list)
 
 
+class TestPassMetrics:
+    def test_compiler_passes_emit_metrics(self, fig2):
+        from repro.obs import MetricsRegistry
+        metrics = MetricsRegistry()
+        control_replicate(fig2.build(), num_shards=2, metrics=metrics)
+        flat = metrics.flat()
+        for name in PASS_NAMES:
+            assert flat[f'compiler_pass_runs_total{{pass="{name}"}}'] == 1.0
+            assert flat[f'compiler_pass_seconds_total{{pass="{name}"}}'] >= 0.0
+            assert flat[f'compiler_pass_ir_stmts{{pass="{name}"}}'] > 0
+        # Per-pass rewrite stats mirror the report's stats dicts.
+        assert any(k.startswith("compiler_pass_stat_total") for k in flat)
+
+    def test_ir_size_counts_replicated_fragments(self, fig2):
+        from repro.core.passes import ir_size
+        prog = fig2.build()
+        before = ir_size(prog)
+        replicated, _ = control_replicate(prog, num_shards=2)
+        assert before > 0
+        # Replication adds copies/sync, so the final IR is larger.
+        assert ir_size(replicated) > before
+
+
 GOLDEN_DUMP_AFTER_SYNC = """\
 -- program fig2: 1 fragment(s)
 -- fragment 0: stmts [0, 1)

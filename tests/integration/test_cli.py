@@ -1,8 +1,10 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
-from repro.cli import APP_FACTORIES, build_parser, main
+from repro.cli import APP_FACTORIES, build_parser, main, resolve_trace_path
 
 
 class TestParser:
@@ -58,6 +60,125 @@ class TestCommands:
         rc = main(["verify", "stencil", "--shape", "square", "--steps", "2",
                    "--size", "16"])
         assert rc == 0
+
+
+class TestTracePathResolution:
+    def test_fresh_path_unchanged(self, tmp_path):
+        p = str(tmp_path / "t.json")
+        assert resolve_trace_path(p) == p
+
+    def test_existing_path_gets_run_index(self, tmp_path):
+        p = tmp_path / "t.json"
+        p.write_text("{}")
+        assert resolve_trace_path(str(p)) == str(tmp_path / "t.1.json")
+        (tmp_path / "t.1.json").write_text("{}")
+        assert resolve_trace_path(str(p)) == str(tmp_path / "t.2.json")
+
+    def test_two_traced_runs_keep_both_files(self, tmp_path, capsys):
+        """Regression: a second --trace run must not clobber the first."""
+        p = tmp_path / "trace.json"
+        for _ in range(2):
+            rc = main(["verify", "stencil", "--steps", "2", "--shards", "2",
+                       "--trace", str(p)])
+            assert rc == 0
+        capsys.readouterr()
+        assert p.exists() and (tmp_path / "trace.1.json").exists()
+        first = json.loads(p.read_text())
+        assert first["traceEvents"]
+
+
+class TestMetricsFlag:
+    def test_verify_writes_prometheus(self, tmp_path, capsys):
+        from repro.obs import parse_prometheus_text
+        out = tmp_path / "m.prom"
+        rc = main(["verify", "stencil", "--steps", "2", "--shards", "2",
+                   "--metrics", str(out)])
+        assert rc == 0
+        capsys.readouterr()
+        flat = parse_prometheus_text(out.read_text())
+        assert any(k.startswith("spmd_tasks_total") for k in flat)
+        assert any(k.startswith("compiler_pass_seconds_total") for k in flat)
+
+    def test_run_writes_prometheus(self, tmp_path, capsys):
+        out = tmp_path / "m.prom"
+        rc = main(["run", "stencil", "--steps", "2", "--shards", "2",
+                   "--backend", "stepped", "--metrics", str(out)])
+        assert rc == 0
+        capsys.readouterr()
+        assert "spmd_copies_total" in out.read_text()
+
+
+class TestProfileCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["profile", "--app", "stencil"])
+        assert args.backend == "threaded" and args.shards == 2
+        assert args.top_k == 3
+
+    def test_profile_stencil(self, tmp_path, capsys):
+        from repro.obs import parse_prometheus_text
+        json_out = tmp_path / "p.json"
+        prom_out = tmp_path / "p.prom"
+        rc = main(["profile", "--app", "stencil", "--steps", "4",
+                   "--shards", "2", "--backend", "threaded",
+                   "--json", str(json_out), "--prom", str(prom_out)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "parallel efficiency" in out and "critical path" in out
+
+        rep = json.loads(json_out.read_text())
+        assert rep["app"] == "stencil" and rep["num_shards"] == 2
+        # Acceptance: per-shard buckets sum within 2% of shard wall time.
+        for sh in rep["shards"]:
+            total = sum(sh["buckets"].values())
+            assert total == pytest.approx(sh["wall_s"], rel=0.02)
+        # Acceptance: a critical-path chain of named stmt uids.
+        uids = [s["uid"] for s in rep["critical_path"]["steps"]]
+        assert any(u is not None for u in uids)
+        assert rep["parallel_efficiency"] is not None
+        assert rep["replay"]["hits"] > 0
+
+        # Acceptance: the report round-trips through the text exporter.
+        flat = parse_prometheus_text(prom_out.read_text())
+        assert flat["profile_parallel_efficiency"] == pytest.approx(
+            rep["parallel_efficiency"])
+        for sh in rep["shards"]:
+            key = f'profile_shard_wall_seconds{{shard="{sh["shard"]}"}}'
+            assert flat[key] == pytest.approx(sh["wall_s"])
+
+    def test_profile_with_trace_output(self, tmp_path, capsys):
+        trace = tmp_path / "t.json"
+        rc = main(["profile", "--app", "circuit", "--steps", "3",
+                   "--shards", "2", "--json", str(tmp_path / "p.json"),
+                   "--prom", str(tmp_path / "p.prom"), "--trace", str(trace)])
+        assert rc == 0
+        capsys.readouterr()
+        assert json.loads(trace.read_text())["traceEvents"]
+
+
+class TestBenchReportCommand:
+    def test_merges_bench_files(self, tmp_path, capsys):
+        rows = [{"op": "steady_state_iteration", "shards": 2,
+                 "backend": "threaded", "seconds_per_iteration": 0.004,
+                 "replay_speedup": 2.5}]
+        (tmp_path / "BENCH_fig6_stencil.json").write_text(json.dumps(rows))
+        (tmp_path / "BENCH_broken.json").write_text("{not json")
+        rc = main(["bench-report", "--bench-dir", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "fig6_stencil" in out and "steady_state_iteration" in out
+        assert "replay_speedup=2.5" in out
+        assert "unreadable" in out  # broken file reported, not fatal
+
+    def test_empty_dir(self, tmp_path, capsys):
+        rc = main(["bench-report", "--bench-dir", str(tmp_path)])
+        assert rc == 0
+        assert "no BENCH_" in capsys.readouterr().out
+
+    def test_repo_bench_dir_parses(self, capsys):
+        """The checked-in benchmarks/ directory renders without error."""
+        rc = main(["bench-report"])
+        assert rc == 0
+        assert "bench" in capsys.readouterr().out
 
 
 class TestExplainCommand:

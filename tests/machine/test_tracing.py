@@ -40,6 +40,26 @@ class TestUtilization:
         text = analyze_simulation(sim).format()
         assert "makespan" in text and "core" in text and "nic" in text
 
+    def test_simulation_metrics_export(self):
+        from repro.machine import simulation_metrics
+        from repro.obs import MetricsRegistry, parse_prometheus_text
+        sim = Simulation(1, 2)
+        sim.add(1.0, 0, label="work:phase1")
+        sim.add(0.25, 0, kind="nic", label="halo")
+        sim.run()
+        metrics = MetricsRegistry()
+        simulation_metrics(sim, metrics, name_prefix="toy-cr")
+        flat = metrics.flat()
+        assert flat['sim_makespan_seconds{run="toy-cr"}'] == pytest.approx(1.0)
+        assert flat['sim_busy_seconds_total{kind="core",run="toy-cr"}'] == \
+            pytest.approx(1.0)
+        assert flat['sim_utilization{kind="core",run="toy-cr"}'] == \
+            pytest.approx(0.5)
+        assert flat['sim_virtual_seconds_total{phase="work",run="toy-cr"}'] \
+            == pytest.approx(1.0)
+        # Virtual-time gauges survive the text exposition round-trip.
+        assert parse_prometheus_text(metrics.prometheus_text()) == flat
+
     def test_noncr_model_is_ctrl_bound_at_scale(self):
         """Tie the utilization tool to the paper's claim: at collapse the
         control thread is saturated while the workers idle."""

@@ -1,0 +1,151 @@
+"""The metrics registry: instruments, child/merge, exports, null behavior."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_METRICS,
+    parse_prometheus_text,
+)
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        c = Counter()
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter().inc(-1.0)
+
+    def test_gauge_last_write_wins(self):
+        g = Gauge()
+        g.set(4.0)
+        g.inc(1.0)
+        assert g.value == 5.0
+        other = Gauge()
+        other.set(9.0)
+        g.merge(other)
+        assert g.value == 9.0
+
+    def test_histogram_buckets_and_totals(self):
+        h = Histogram(bounds=(1.0, 10.0))
+        for v in (0.5, 5.0, 50.0):
+            h.observe(v)
+        assert h.counts == [1, 1, 1]  # <=1, <=10, +Inf
+        assert h.count == 3 and h.sum == 55.5
+
+    def test_histogram_observe_on_edge_is_inclusive(self):
+        h = Histogram(bounds=(1.0, 10.0))
+        h.observe(1.0)
+        assert h.counts == [1, 0, 0]
+
+    def test_histogram_merge_requires_matching_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram(bounds=(1.0,)).merge(Histogram(bounds=(2.0,)))
+
+
+class TestRegistry:
+    def test_same_name_and_labels_is_same_instrument(self):
+        m = MetricsRegistry()
+        assert m.counter("x", shard=0) is m.counter("x", shard=0)
+        assert m.counter("x", shard=0) is not m.counter("x", shard=1)
+
+    def test_kind_mismatch_raises(self):
+        m = MetricsRegistry()
+        m.counter("x")
+        with pytest.raises(TypeError):
+            m.gauge("x")
+
+    def test_child_merge_adds_counters_and_histograms(self):
+        m = MetricsRegistry()
+        m.counter("tasks", shard=0).inc(2)
+        child = m.child()
+        child.counter("tasks", shard=0).inc(3)
+        child.histogram("wait", shard=0).observe(1e-3)
+        m.merge(child)
+        assert m.counter("tasks", shard=0).value == 5
+        assert m.histogram("wait", shard=0).count == 1
+
+    def test_merge_accepts_to_dict_payload(self):
+        child = MetricsRegistry()
+        child.counter("copies", shard=1).inc(7)
+        child.histogram("wait", buckets=(0.1, 1.0), shard=1).observe(0.05)
+        payload = json.loads(json.dumps(child.to_dict()))  # pipe round-trip
+        parent = MetricsRegistry()
+        parent.merge(payload)
+        assert parent.counter("copies", shard=1).value == 7
+        h = parent.histogram("wait", buckets=(0.1, 1.0), shard=1)
+        assert h.counts[0] == 1 and h.count == 1
+
+    def test_to_dict_from_dict_round_trip(self):
+        m = MetricsRegistry()
+        m.counter("a").inc(1.5)
+        m.gauge("b", k="v").set(-2.0)
+        m.histogram("c").observe(3.0)
+        back = MetricsRegistry.from_dict(m.to_dict())
+        assert back.flat() == m.flat()
+
+    def test_prometheus_text_round_trips_exactly(self):
+        m = MetricsRegistry()
+        m.counter("spmd_tasks_total", shard=0).inc(12)
+        m.gauge("efficiency").set(0.731234567890123)
+        h = m.histogram("spmd_wait_seconds", shard=0, kind="barrier")
+        for v in (1e-7, 2e-4, 0.5, 20.0):
+            h.observe(v)
+        text = m.prometheus_text()
+        assert "# TYPE spmd_wait_seconds histogram" in text
+        assert parse_prometheus_text(text) == m.flat()
+
+    def test_flat_histogram_buckets_are_cumulative(self):
+        m = MetricsRegistry()
+        h = m.histogram("h", buckets=(1.0, 10.0))
+        h.observe(0.5)
+        h.observe(5.0)
+        flat = m.flat()
+        assert flat['h_bucket{le="1"}'] == 1.0
+        assert flat['h_bucket{le="10"}'] == 2.0
+        assert flat['h_bucket{le="+Inf"}'] == 2.0
+        assert flat["h_count"] == 2.0
+
+    def test_label_values_are_escaped(self):
+        m = MetricsRegistry()
+        m.counter("c", label='with "quotes"\nand newline').inc()
+        text = m.prometheus_text()
+        assert parse_prometheus_text(text) == m.flat()
+
+    def test_write_prometheus(self, tmp_path):
+        m = MetricsRegistry()
+        m.counter("c").inc()
+        path = tmp_path / "m.prom"
+        m.write_prometheus(str(path))
+        assert parse_prometheus_text(path.read_text()) == m.flat()
+
+
+class TestNullMetrics:
+    def test_records_nothing(self):
+        NULL_METRICS.counter("c", shard=0).inc(5)
+        NULL_METRICS.gauge("g").set(2)
+        NULL_METRICS.histogram("h").observe(1.0)
+        assert NULL_METRICS.to_dict() == {"metrics": []}
+        assert not NULL_METRICS.enabled
+
+    def test_child_is_itself(self):
+        assert NULL_METRICS.child() is NULL_METRICS
+
+    def test_merge_is_noop(self):
+        real = MetricsRegistry()
+        real.counter("c").inc()
+        NULL_METRICS.merge(real)
+        assert NULL_METRICS.flat() == {}
+
+    def test_default_buckets_cover_microseconds_to_seconds(self):
+        assert DEFAULT_BUCKETS[0] <= 1e-6 and DEFAULT_BUCKETS[-1] >= 1.0

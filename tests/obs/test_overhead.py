@@ -1,0 +1,95 @@
+"""The null-instrumentation budget: observability off must be near-free.
+
+Every hot-path call site in the SPMD interpreter touches a tracer and a
+metrics registry unconditionally (the null-object pattern keeps the code
+branch-free).  This test pins that design's cost: the per-touch price of
+:data:`NULL_TRACER` / :data:`NULL_METRICS`, multiplied by how many
+touches one steady-state stencil iteration actually performs (counted
+from a real trace of the same workload), must stay under 5% of the
+measured per-iteration wall time on the fig-6 hot loop.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.apps.stencil import StencilProblem
+from repro.core import control_replicate
+from repro.obs import NULL_METRICS, NULL_TRACER, PID_SPMD, Tracer
+from repro.runtime import SPMDExecutor
+
+SHARDS = 2
+STEPS_LO, STEPS_HI = 4, 10
+
+
+def _usable_cpus():
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+def _run(steps: int, tracer=None):
+    p = StencilProblem(n=128, radius=2, tiles=4, steps=steps)
+    prog, _ = control_replicate(p.build_program(), num_shards=SHARDS)
+    kw = {"tracer": tracer} if tracer is not None else {}
+    ex = SPMDExecutor(num_shards=SHARDS, mode="threaded",
+                      instances=p.fresh_instances(), **kw)
+    t0 = time.perf_counter()
+    ex.run(prog)
+    return time.perf_counter() - t0, tracer
+
+
+def _per_iteration_seconds() -> float:
+    """Steady-state slope, nulls in place (the production default)."""
+    best = float("inf")
+    for _ in range(3):
+        lo, _ = _run(STEPS_LO)
+        hi, _ = _run(STEPS_HI)
+        best = min(best, (hi - lo) / (STEPS_HI - STEPS_LO))
+    return max(best, 1e-9)
+
+
+def _touches_per_iteration() -> float:
+    """How many instrumented spans one steady-state iteration emits."""
+    counts = {}
+    for steps in (STEPS_LO, STEPS_HI):
+        _, tracer = _run(steps, tracer=Tracer())
+        counts[steps] = sum(1 for ev in tracer.events()
+                            if ev.get("ph") == "X"
+                            and ev.get("pid") == PID_SPMD)
+    return (counts[STEPS_HI] - counts[STEPS_LO]) / (STEPS_HI - STEPS_LO)
+
+
+def _null_touch_seconds(n: int = 50_000) -> float:
+    """Per-touch cost of one fully-null instrumentation site."""
+    t0 = time.perf_counter()
+    for i in range(n):
+        # The shape of a hot-loop site: a null span plus the registry
+        # enabled-check and a null instrument call.
+        with NULL_TRACER.span("task:stencil", cat="task", args={"uid": i}):
+            if NULL_METRICS.enabled:
+                pass
+            NULL_METRICS.counter("spmd_tasks_total", shard=0).inc()
+    return (time.perf_counter() - t0) / n
+
+
+@pytest.mark.skipif(_usable_cpus() < 2,
+                    reason="needs >= 2 CPUs for a stable threaded measurement")
+def test_null_observability_under_five_percent():
+    per_iter = _per_iteration_seconds()
+    touches = _touches_per_iteration()
+    per_touch = min(_null_touch_seconds() for _ in range(3))
+    # 2x headroom on the touch count: metrics-only sites (wait
+    # histograms, task timers) that emit no span still pay the null fee.
+    overhead = 2.0 * touches * per_touch
+    frac = overhead / per_iter
+    print(f"\nsteady state {per_iter * 1e3:.3f} ms/iter, "
+          f"{touches:.0f} spans/iter, null touch {per_touch * 1e9:.0f} ns "
+          f"-> overhead {frac * 100:.2f}% of iteration")
+    assert touches > 0, "trace shows no steady-state spans"
+    assert frac < 0.05, (
+        f"null observability costs {frac * 100:.2f}% of a steady-state "
+        f"iteration ({overhead * 1e6:.1f} µs of {per_iter * 1e3:.3f} ms); "
+        f"budget is 5%")

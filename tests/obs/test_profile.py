@@ -1,0 +1,168 @@
+"""The shard-time profiler: span flattening, buckets, critical path."""
+
+import pytest
+
+from repro.obs import (
+    BUCKETS,
+    MetricsRegistry,
+    attribute_shards,
+    build_profile,
+    critical_chains,
+    flatten_spans,
+)
+from repro.obs.profile import _span_uid
+from repro.obs.trace import PID_COMPILER, PID_SPMD
+
+
+def span(name, cat, ts, dur, tid=0, pid=PID_SPMD, **args):
+    ev = {"ph": "X", "pid": pid, "tid": tid, "name": name, "cat": cat,
+          "ts": float(ts), "dur": float(dur)}
+    if args:
+        ev["args"] = args
+    return ev
+
+
+class TestFlattenSpans:
+    def test_disjoint_spans_pass_through(self):
+        evs = [span("a", "task", 0, 10), span("b", "copy", 20, 5)]
+        segs = flatten_spans(evs)[0]
+        assert [(s.name, s.start, s.end) for s in segs] == [
+            ("a", 0.0, 10.0), ("b", 20.0, 25.0)]
+
+    def test_nested_span_yields_container_self_time(self):
+        # replay [0,100] containing wait [30,60]: replay self-time splits
+        # into [0,30] and [60,100] around the deeper wait segment.
+        evs = [span("replay:iteration", "replay", 0, 100),
+               span("wait:x", "wait", 30, 30)]
+        segs = flatten_spans(evs)[0]
+        assert [(s.name, s.start, s.end) for s in segs] == [
+            ("replay:iteration", 0.0, 30.0),
+            ("wait:x", 30.0, 60.0),
+            ("replay:iteration", 60.0, 100.0)]
+        # No instant lost, none double-counted.
+        assert sum(s.dur for s in segs) == 100.0
+
+    def test_other_pids_and_phases_ignored(self):
+        evs = [span("compile", "pass", 0, 50, pid=PID_COMPILER),
+               {"ph": "M", "pid": PID_SPMD, "tid": 0, "name": "x"},
+               span("a", "task", 0, 10)]
+        segs = flatten_spans(evs)
+        assert list(segs) == [0] and len(segs[0]) == 1
+
+    def test_shards_keyed_by_tid(self):
+        evs = [span("a", "task", 0, 10, tid=0), span("b", "task", 0, 20, tid=1)]
+        segs = flatten_spans(evs)
+        assert set(segs) == {0, 1}
+
+    def test_bucket_mapping(self):
+        evs = [span("t", "task", 0, 1), span("c", "copy", 1, 1),
+               span("w", "wait", 2, 1), span("r", "replay", 3, 1),
+               span("other", "misc", 4, 1)]
+        buckets = [s.bucket for s in flatten_spans(evs)[0]]
+        assert buckets == ["compute", "copy", "sync_wait", "replay", "launch"]
+
+
+class TestSpanUid:
+    def test_from_args_uid(self):
+        assert _span_uid(span("t", "task", 0, 1, uid=14)) == 14
+
+    def test_from_args_loop(self):
+        assert _span_uid(span("replay:capture", "replay", 0, 1, loop=48)) == 48
+
+    def test_from_copy_label(self):
+        assert _span_uid(span("wait:copy41:ready(0,1)", "wait", 0, 1)) == 41
+
+    def test_absent(self):
+        assert _span_uid(span("t", "task", 0, 1)) is None
+
+
+class TestAttributeShards:
+    def test_buckets_sum_exactly_to_wall(self):
+        evs = [span("t", "task", 10, 30), span("w", "wait", 50, 20),
+               span("c", "copy", 90, 10)]
+        (a,) = attribute_shards(flatten_spans(evs))
+        assert a.wall_s == pytest.approx((100 - 10) / 1e6)
+        assert sum(a.buckets.values()) == pytest.approx(a.wall_s, rel=0, abs=0)
+        # Gaps between spans land in launch.
+        assert a.buckets["launch"] == pytest.approx(30 / 1e6)
+        assert set(a.buckets) == set(BUCKETS)
+
+    def test_empty_shard_skipped(self):
+        assert attribute_shards({0: []}) == []
+
+
+class TestCriticalChains:
+    def test_cross_shard_release_edge(self):
+        # Shard 1 computes [0,80]; shard 0 waits [0,85] then computes
+        # [85,100].  Critical path: shard-1 task -> shard-0 wait -> task.
+        evs = [span("wait:copy7:ready(1,0)", "wait", 0, 85, tid=0),
+               span("t0", "task", 85, 15, tid=0, uid=3),
+               span("t1", "task", 0, 80, tid=1, uid=5)]
+        chains = critical_chains(flatten_spans(evs), top_k=1)
+        (chain,) = chains
+        assert chain.dur_s == pytest.approx(180 / 1e6)
+        assert [(s.name, s.shard, s.uid) for s in chain.steps] == [
+            ("t1", 1, 5), ("wait:copy7:ready(1,0)", 0, 7), ("t0", 0, 3)]
+
+    def test_top_k_chains_are_disjoint(self):
+        evs = [span("a", "task", 0, 50, tid=0), span("b", "task", 0, 40, tid=1)]
+        chains = critical_chains(flatten_spans(evs), top_k=2)
+        assert len(chains) == 2
+        assert chains[0].dur_s >= chains[1].dur_s
+        names = [s.name for c in chains for s in c.steps]
+        assert sorted(names) == ["a", "b"]
+
+    def test_consecutive_identical_steps_collapse(self):
+        evs = [span("t", "task", i * 10, 10, uid=2) for i in range(4)]
+        (chain,) = critical_chains(flatten_spans(evs), top_k=1)
+        (step,) = chain.steps
+        assert step.count == 4 and step.dur_s == pytest.approx(40 / 1e6)
+
+    def test_empty_input(self):
+        assert critical_chains({}) == []
+
+
+class TestBuildProfile:
+    def test_raises_without_shard_spans(self):
+        with pytest.raises(ValueError, match="no shard spans"):
+            build_profile([], num_shards=2)
+
+    def test_report_round_trips_and_exports(self):
+        evs = [span("t", "task", 0, 60, tid=0, uid=1),
+               span("w", "wait", 60, 40, tid=0),
+               span("t", "task", 0, 90, tid=1, uid=1)]
+        rep = build_profile(evs, app="toy", backend="stepped", num_shards=2,
+                            t_seq_s=150 / 1e6)
+        assert rep.t_spmd_s == pytest.approx(100 / 1e6)
+        assert rep.parallel_efficiency == pytest.approx(150 / (2 * 100))
+        doc = rep.to_dict()
+        assert doc["critical_path"]["steps"]
+        for sh in doc["shards"]:
+            assert sum(sh["buckets"].values()) == pytest.approx(sh["wall_s"])
+
+        metrics = MetricsRegistry()
+        rep.export_metrics(metrics)
+        flat = metrics.flat()
+        assert flat["profile_parallel_efficiency"] == rep.parallel_efficiency
+        assert flat['profile_shard_wall_seconds{shard="1"}'] == pytest.approx(
+            90 / 1e6)
+        assert rep.format()  # human table renders
+
+    def test_executor_and_compile_report_fields(self):
+        class Ex:
+            replay_hits, replay_misses, replay_guard_fallbacks = 5, 2, 1
+            pair_sets = {}
+            intersections_computed = 3
+
+        class Timing:
+            name, seconds, stats = "normalize", 0.001, {"rewrites": 4}
+
+        class Report:
+            passes = [Timing()]
+
+        rep = build_profile([span("t", "task", 0, 10)], num_shards=1,
+                            executor=Ex(), compile_report=Report())
+        assert rep.replay == {"hits": 5, "misses": 2, "guard_fallbacks": 1}
+        assert rep.intersections["computed"] == 3
+        assert rep.compiler_passes == [
+            {"name": "normalize", "seconds": 0.001, "rewrites": 4}]

@@ -151,6 +151,97 @@ class TestErrorPropagation:
             assert "bad tile" in str(err)
 
 
+class TestClockRebase:
+    """Child tracer timestamps are re-based onto the parent's clock when
+    the two perf_counter bases differ (fork preserves the base; re-created
+    tracers and spawn-like platforms do not)."""
+
+    def test_rebase_events_shifts_and_clamps(self):
+        from repro.obs import rebase_events
+        events = [{"ph": "X", "ts": 100.0, "dur": 50.0, "name": "a"},
+                  {"ph": "X", "ts": 2.0, "dur": 1.0, "name": "b"},
+                  {"ph": "M", "name": "process_name"}]
+        out = rebase_events(events, -10.0)
+        assert out[0]["ts"] == 90.0 and out[0]["dur"] == 50.0
+        assert out[1]["ts"] == 0.0  # clamped, never negative
+        assert out[2] == {"ph": "M", "name": "process_name"}  # untouched
+        # Input list is not mutated.
+        assert events[0]["ts"] == 100.0
+
+    def test_rebased_ignores_fork_preserved_skew(self):
+        from repro.runtime.procs import _rebased
+        # Same wall instant, near-identical tracer clocks: fork preserved
+        # the base, so the events must pass through unshifted.
+        payload = {"trace_events": [{"ph": "X", "ts": 5.0, "dur": 1.0}],
+                   "clock_anchor": (1000.0, 500.0)}
+        out = _rebased(payload, parent_anchor=(1000.0, 499.0))
+        assert out[0]["ts"] == 5.0
+
+    def test_rebased_shifts_large_skew(self):
+        from repro.runtime.procs import _rebased
+        # The child's tracer clock reads 1s behind the parent's at the
+        # same wall instant: shift its spans forward by that second.
+        payload = {"trace_events": [{"ph": "X", "ts": 5.0, "dur": 1.0}],
+                   "clock_anchor": (1000.0, 500.0)}
+        out = _rebased(payload, parent_anchor=(1000.0, 500.0 + 1e6))
+        assert out[0]["ts"] == pytest.approx(5.0 + 1e6)
+
+    def test_rebased_without_anchor_is_identity(self):
+        from repro.runtime.procs import _rebased
+        payload = {"trace_events": [{"ph": "X", "ts": 5.0, "dur": 1.0}],
+                   "clock_anchor": None}
+        assert _rebased(payload, None) == payload["trace_events"]
+        assert _rebased(payload, (0.0, 0.0)) == payload["trace_events"]
+
+    def test_funneled_trace_has_no_negative_times(self, fig2):
+        from repro.obs import PID_SPMD, Tracer
+        tracer = Tracer()
+        prog, _ = control_replicate(fig2.build(), num_shards=2, tracer=tracer)
+        spmd = SPMDExecutor(num_shards=2, mode="procs",
+                            instances=fig2.fresh_instances(), tracer=tracer)
+        spmd.run(prog)
+        shard_spans = [e for e in tracer.events()
+                       if e.get("ph") == "X" and e.get("pid") == PID_SPMD]
+        assert shard_spans
+        for ev in shard_spans:
+            assert ev["ts"] >= 0.0, ev
+            assert ev["dur"] >= 0.0, ev
+
+
+class TestMetricsFunnel:
+    def test_child_metrics_merge_to_parent(self, fig2):
+        from repro.obs import MetricsRegistry
+        metrics = MetricsRegistry()
+        prog, _ = control_replicate(fig2.build(), num_shards=2)
+        spmd = SPMDExecutor(num_shards=2, mode="procs",
+                            instances=fig2.fresh_instances(), metrics=metrics)
+        spmd.run(prog)
+        flat = metrics.flat()
+        # Per-shard counters recorded inside the forked children arrive
+        # in the parent registry via the result pipe.
+        for shard in (0, 1):
+            assert flat[f'spmd_tasks_total{{shard="{shard}"}}'] > 0
+            assert flat[f'spmd_copies_total{{shard="{shard}"}}'] > 0
+        total = sum(flat[f'spmd_tasks_total{{shard="{s}"}}'] for s in (0, 1))
+        assert total == spmd.tasks_executed
+
+    def test_procs_counters_match_threaded_metrics(self, fig2):
+        from repro.obs import MetricsRegistry
+        results = {}
+        for mode in ("threaded", "procs"):
+            metrics = MetricsRegistry()
+            prog, _ = control_replicate(fig2.build(), num_shards=2)
+            spmd = SPMDExecutor(num_shards=2, mode=mode,
+                                instances=fig2.fresh_instances(),
+                                metrics=metrics)
+            spmd.run(prog)
+            results[mode] = {k: v for k, v in metrics.flat().items()
+                             if k.startswith(("spmd_tasks_total",
+                                              "spmd_copies_total",
+                                              "spmd_bytes_copied_total"))}
+        assert results["procs"] == results["threaded"]
+
+
 class TestIntersectionCache:
     def test_repeated_pairs_computed_once(self, fig2):
         """Two fragments emit two ComputeIntersections over the same
