@@ -1,0 +1,143 @@
+"""Fused copy engine: steady-state copy-bucket cost, fused vs unfused.
+
+The paper's §3.2-§3.3 argument is that intersection-restricted data
+movement is dominated by how the copies are *issued*, not how much data
+moves.  ``repro.runtime.copy_engine`` batches each statement's pair
+copies per destination instance at trace-freeze time; this benchmark
+measures what that buys on the fig-6 stencil halo exchange: the
+profiler's ``copy`` bucket (the time shards spend issuing pairwise
+copies) per steady-state iteration, replayed fused vs replayed unfused.
+The geometry oversubscribes tiles over shards (64 tiles on 8 shards) so
+each shard issues many small halo pairs per statement — the many-nodes
+regime of fig-6, where issue overhead, not bandwidth, dominates.
+
+Timing two runs that differ only in step count and taking the slope
+cancels compile, instance creation, channel setup, and the interpreted
+capture iterations, which occur identically in both runs.
+"""
+
+import os
+import time
+
+import pytest
+from conftest import record_bench
+
+from repro.apps.circuit import CircuitProblem
+from repro.apps.stencil import StencilProblem
+from repro.core import control_replicate
+from repro.obs import Tracer
+from repro.obs.profile import build_profile
+from repro.runtime import SPMDExecutor
+
+
+def _usable_cpus():
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+def _stencil_run(mode, fuse, shards, steps, n=256, tiles=64):
+    p = StencilProblem(n=n, radius=2, tiles=tiles, steps=steps)
+    tracer = Tracer()
+    prog, _ = control_replicate(p.build_program(), num_shards=shards)
+    ex = SPMDExecutor(num_shards=shards, mode=mode, replay="auto",
+                      fuse_copies=fuse, tracer=tracer,
+                      instances=p.fresh_instances())
+    t0 = time.perf_counter()
+    ex.run(prog)
+    wall = time.perf_counter() - t0
+    assert ex.replay_hits == (steps - 2) * shards
+    if fuse == "auto":
+        assert ex.fused_copies > 0
+    else:
+        assert ex.fused_copies == 0
+    report = build_profile(tracer.events(), app="stencil", backend=mode,
+                           num_shards=shards, executor=ex)
+    copy_s = sum(a.buckets["copy"] for a in report.shards)
+    return copy_s, wall
+
+
+def _copy_bucket_slope(mode, fuse, shards, steps_lo=6, steps_hi=14):
+    """Copy-bucket seconds per steady-state iteration (summed over
+    shards), isolated as the slope between two step counts."""
+    lo, _ = _stencil_run(mode, fuse, shards, steps_lo)
+    hi, _ = _stencil_run(mode, fuse, shards, steps_hi)
+    return (hi - lo) / (steps_hi - steps_lo)
+
+
+def test_copy_bucket_speedup_stepped():
+    """Acceptance: fused replay spends >= 1.3x less time in the copy
+    bucket per steady-state stencil iteration than unfused replay."""
+    shards = 8
+    unfused = min(_copy_bucket_slope("stepped", "off", shards)
+                  for _ in range(3))
+    fused = min(_copy_bucket_slope("stepped", "auto", shards)
+                for _ in range(3))
+    speedup = unfused / fused
+    record_bench("copy_engine", op="stencil_copy_bucket_iteration",
+                 shards=shards, backend="stepped",
+                 seconds_per_iteration=fused,
+                 unfused_seconds_per_iteration=unfused,
+                 fused_speedup=speedup)
+    print(f"\nstepped copy bucket: unfused {unfused * 1e3:.3f} ms/iter, "
+          f"fused {fused * 1e3:.3f} ms/iter -> {speedup:.2f}x")
+    assert speedup >= 1.3, (
+        f"fused copy-bucket speedup {speedup:.2f}x below the 1.3x "
+        f"acceptance bar (unfused {unfused * 1e3:.3f} ms/iter, fused "
+        f"{fused * 1e3:.3f} ms/iter)")
+
+
+@pytest.mark.skipif(_usable_cpus() < 2,
+                    reason="needs >= 2 CPUs for a stable threaded measurement")
+def test_threaded_wall_clock_not_slower():
+    """Sanity: fusion must not slow down end-to-end threaded runs (the
+    copy bucket is a fraction of the wall clock, so the bar is 'no
+    regression', with slack for scheduler noise)."""
+    shards = min(8, _usable_cpus())
+    steps = 14
+    unfused = min(_stencil_run("threaded", "off", shards, steps)[1]
+                  for _ in range(3))
+    fused = min(_stencil_run("threaded", "auto", shards, steps)[1]
+                for _ in range(3))
+    record_bench("copy_engine", op="stencil_threaded_wall", shards=shards,
+                 backend="threaded", seconds_per_iteration=fused / steps,
+                 unfused_seconds_per_iteration=unfused / steps)
+    print(f"\nthreaded wall: unfused {unfused * 1e3:.1f} ms, "
+          f"fused {fused * 1e3:.1f} ms")
+    assert fused <= unfused * 1.15, (
+        f"fused threaded run {fused * 1e3:.1f} ms regressed past unfused "
+        f"{unfused * 1e3:.1f} ms + 15%")
+
+
+def test_reduction_workload_informational():
+    """Informational: the circuit reduction workload's copy bucket and
+    lock-path split under fusion (no acceptance bar; the interesting
+    number is the lock-free fold fraction)."""
+    shards = 4
+    p = CircuitProblem(pieces=8, nodes_per_piece=60, wires_per_piece=90,
+                       steps=10)
+    tracer = Tracer()
+    prog, _ = control_replicate(p.build_program(), num_shards=shards)
+    ex = SPMDExecutor(num_shards=shards, mode="stepped", replay="auto",
+                      fuse_copies="auto", tracer=tracer,
+                      instances=p.fresh_instances())
+    t0 = time.perf_counter()
+    ex.run(prog)
+    wall = time.perf_counter() - t0
+    report = build_profile(tracer.events(), app="circuit", backend="stepped",
+                           num_shards=shards, executor=ex)
+    copy_s = sum(a.buckets["copy"] for a in report.shards)
+    folds = ex.lockfree_folds + ex.locked_folds
+    record_bench("copy_engine", op="circuit_reduction_copy_bucket",
+                 shards=shards, backend="stepped",
+                 seconds_per_iteration=copy_s / p.steps,
+                 fused_copies=ex.fused_copies, fused_pairs=ex.fused_pairs,
+                 lockfree_folds=ex.lockfree_folds,
+                 locked_folds=ex.locked_folds, wall_seconds=wall)
+    print(f"\ncircuit: copy bucket {copy_s * 1e3:.2f} ms over {p.steps} "
+          f"steps, {ex.fused_copies} fused batches "
+          f"({ex.fused_pairs} pairs), "
+          f"{ex.lockfree_folds}/{folds} folds lock-free")
+    assert ex.fused_copies > 0
+    assert folds > 0

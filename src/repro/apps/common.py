@@ -52,6 +52,7 @@ class AppProblem:
                                seed: int = 0, sync: str = "p2p",
                                tracer=None, metrics=None,
                                replay: str = "auto",
+                               fuse_copies: str = "auto",
                                **compile_kw):
         from ..core.compiler import control_replicate
         from ..obs import NULL_METRICS, NULL_TRACER
@@ -64,7 +65,8 @@ class AppProblem:
                                          **compile_kw)
         ex = SPMDExecutor(num_shards=num_shards, mode=mode, seed=seed,
                           instances=self.fresh_instances(), tracer=tracer,
-                          metrics=metrics, replay=replay)
+                          metrics=metrics, replay=replay,
+                          fuse_copies=fuse_copies)
         scalars = ex.run(prog)
         return self.extract_state(ex.instances), scalars, ex, report
 

@@ -145,6 +145,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="steady-state trace capture & replay: auto freezes "
                         "after two identical iterations, off always "
                         "interprets, force freezes after the first")
+    v.add_argument("--fuse-copies", dest="fuse_copies", choices=["auto", "off"],
+                   default="auto",
+                   help="fused copy engine: auto fuses each copy "
+                        "statement's pair copies at trace-freeze "
+                        "time, off keeps per-pair replay")
     v.add_argument("--trace", metavar="OUT.json", default=None,
                    help="write a Chrome-trace timeline of the compile + run")
     v.add_argument("--metrics", metavar="OUT.prom", default=None,
@@ -162,6 +167,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="steady-state trace capture & replay: auto freezes "
                         "after two identical iterations, off always "
                         "interprets, force freezes after the first")
+    r.add_argument("--fuse-copies", dest="fuse_copies", choices=["auto", "off"],
+                   default="auto",
+                   help="fused copy engine: auto fuses each copy "
+                        "statement's pair copies at trace-freeze "
+                        "time, off keeps per-pair replay")
     r.add_argument("--no-check", action="store_true",
                    help="skip the region-state comparison against the "
                         "sequential executor")
@@ -221,6 +231,8 @@ def build_parser() -> argparse.ArgumentParser:
     pr.add_argument("--sync", choices=["p2p", "barrier"], default="p2p")
     pr.add_argument("--replay", choices=["auto", "off", "force"],
                     default="auto")
+    pr.add_argument("--fuse-copies", dest="fuse_copies",
+                    choices=["auto", "off"], default="auto")
     pr.add_argument("--top-k", dest="top_k", type=int, default=3,
                     help="number of longest chains to extract (default 3)")
     pr.add_argument("--json", metavar="OUT.json", default=None,
@@ -264,7 +276,8 @@ def cmd_verify(args) -> int:
     seq, seq_scalars, _ = problem.run_sequential()
     cr, cr_scalars, ex, report = problem.run_control_replicated(
         args.shards, mode=args.mode, seed=args.seed, sync=args.sync,
-        tracer=tracer, metrics=metrics, replay=args.replay)
+        tracer=tracer, metrics=metrics, replay=args.replay,
+        fuse_copies=args.fuse_copies)
     elapsed = time.perf_counter() - t0
 
     ok = True
@@ -304,7 +317,8 @@ def cmd_run(args) -> int:
         return 0
     state, _, ex, report = problem.run_control_replicated(
         args.shards, mode=args.backend, seed=args.seed, sync=args.sync,
-        tracer=tracer, metrics=metrics, replay=args.replay)
+        tracer=tracer, metrics=metrics, replay=args.replay,
+        fuse_copies=args.fuse_copies)
     elapsed = time.perf_counter() - t0
 
     ok = True
@@ -327,11 +341,12 @@ def cmd_run(args) -> int:
                     print(f"FAIL {args.backend} != sequential on {k} "
                           f"(max diff {np.abs(state[k] - seq[k]).max():.3e})")
     print(f"{args.app}: backend={args.backend} shards={args.shards} "
-          f"replay={args.replay} "
+          f"replay={args.replay} fuse-copies={args.fuse_copies} "
           f"[{ex.tasks_executed} tasks, {ex.copies_performed} copies, "
           f"{ex.bytes_copied} bytes exchanged, "
           f"{ex.replay_hits} replayed / {ex.replay_misses} interpreted "
-          f"iterations, {elapsed:.3f}s] -- {check}")
+          f"iterations, {ex.fused_copies} fused batches "
+          f"({ex.fused_pairs} pairs), {elapsed:.3f}s] -- {check}")
     if args.trace:
         out = resolve_trace_path(args.trace)
         tracer.write(out)
@@ -469,7 +484,8 @@ def cmd_profile(args) -> int:
     metrics = MetricsRegistry()
     _, _, ex, report = problem.run_control_replicated(
         args.shards, mode=args.backend, seed=args.seed, sync=args.sync,
-        tracer=tracer, metrics=metrics, replay=args.replay)
+        tracer=tracer, metrics=metrics, replay=args.replay,
+        fuse_copies=args.fuse_copies)
 
     prof = build_profile(tracer.events(), app=args.app, backend=args.backend,
                          num_shards=args.shards, t_seq_s=t_seq, executor=ex,

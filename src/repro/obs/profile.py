@@ -301,6 +301,7 @@ class ProfileReport:
     t_seq_s: float | None = None
     t_spmd_s: float | None = None
     replay: dict[str, int] = field(default_factory=dict)
+    copy_engine: dict[str, int] = field(default_factory=dict)
     copy_table: list[dict[str, Any]] = field(default_factory=list)
     intersections: dict[str, Any] = field(default_factory=dict)
     compiler_passes: list[dict[str, Any]] = field(default_factory=list)
@@ -329,6 +330,7 @@ class ProfileReport:
                               if self.critical_path else None),
             "chains": [c.to_dict() for c in self.chains],
             "replay": dict(self.replay),
+            "copy_engine": dict(self.copy_engine),
             "copy_table": list(self.copy_table),
             "intersections": dict(self.intersections),
             "compiler": {"passes": list(self.compiler_passes)},
@@ -354,6 +356,8 @@ class ProfileReport:
                 self.critical_path.dur_s)
         for key, n in self.replay.items():
             metrics.gauge("profile_replay_iterations", outcome=key).set(n)
+        for key, n in self.copy_engine.items():
+            metrics.gauge("profile_copy_engine", stat=key).set(n)
 
     def format(self) -> str:
         lines = [f"profile: {self.app} on {self.backend} "
@@ -381,6 +385,13 @@ class ProfileReport:
             lines.append("  replay: "
                          + ", ".join(f"{v} {k}" for k, v in
                                      sorted(self.replay.items())))
+        if self.copy_engine:
+            ce = self.copy_engine
+            lines.append(
+                f"  copy engine: {ce.get('fused_copies', 0)} fused batches "
+                f"({ce.get('fused_pairs', 0)} pairs), reduction folds "
+                f"{ce.get('lockfree_folds', 0)} lock-free / "
+                f"{ce.get('locked_folds', 0)} locked")
         if self.copy_table:
             lines.append(f"  {'shard':>5} {'copies':>8} {'elements':>10} "
                          f"{'bytes':>12}")
@@ -447,6 +458,12 @@ def build_profile(events: Iterable[dict[str, Any]], *,
             "misses": int(getattr(executor, "replay_misses", 0)),
             "guard_fallbacks": int(getattr(executor,
                                            "replay_guard_fallbacks", 0)),
+        }
+        report.copy_engine = {
+            "fused_copies": int(getattr(executor, "fused_copies", 0)),
+            "fused_pairs": int(getattr(executor, "fused_pairs", 0)),
+            "lockfree_folds": int(getattr(executor, "lockfree_folds", 0)),
+            "locked_folds": int(getattr(executor, "locked_folds", 0)),
         }
         pair_sets = [{"name": name,
                       "nonempty_pairs": len(res.nonempty_pairs()),

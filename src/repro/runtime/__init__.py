@@ -1,6 +1,8 @@
 """Executors and runtime services (Legion/Realm substrate analogues)."""
 
 from .collectives import SCALAR_REDUCTIONS, DynamicCollective
+from .copy_engine import (FusedBatch, FusedCopy, disjoint_dst_colors,
+                          fuse_group)
 from .dependence import DependenceAnalyzer, DependenceGraph, OpNode
 from .events import Event, GlobalBarrier, PhaseBarrier, Sequence
 from .intersection_exec import (IntersectionResult, compute_intersections,
@@ -19,6 +21,8 @@ __all__ = [
     "OpNode",
     "DynamicCollective",
     "Event",
+    "FusedBatch",
+    "FusedCopy",
     "GlobalBarrier",
     "IntersectionResult",
     "BlockMapper",
@@ -36,5 +40,7 @@ __all__ = [
     "SequentialExecutor",
     "compute_intersections",
     "compute_intersections_sharded",
+    "disjoint_dst_colors",
+    "fuse_group",
     "procs_available",
 ]

@@ -42,6 +42,8 @@ class IntersectionResult:
     candidate_pairs: int = 0
     _nonempty: list | None = dataclass_field(default=None, repr=False,
                                              compare=False)
+    _src_pairs: dict = dataclass_field(default_factory=dict, repr=False,
+                                       compare=False)
 
     def nonempty_pairs(self) -> list[tuple[int, int]]:
         # Called once per copy execution per shard per iteration; the pair
@@ -51,9 +53,20 @@ class IntersectionResult:
         return self._nonempty
 
     def src_pairs(self, colors) -> list[tuple[int, int]]:
-        """Pairs whose source color is in ``colors`` (a shard's slice)."""
-        cs = set(colors)
-        return [(i, j) for (i, j) in sorted(self.pairs) if i in cs]
+        """Pairs whose source color is in ``colors`` (a shard's slice).
+
+        Cached per colors-tuple: the shard slices are a small fixed set
+        per run, while this is called every copy execution per shard per
+        iteration — re-filtering (let alone re-sorting) the pair dict on
+        every call showed up in shard-time profiles.
+        """
+        key = tuple(colors)
+        cached = self._src_pairs.get(key)
+        if cached is None:
+            cs = set(key)
+            cached = [(i, j) for (i, j) in self.nonempty_pairs() if i in cs]
+            self._src_pairs[key] = cached
+        return cached
 
 
 def compute_intersections(src: Partition, dst: Partition) -> IntersectionResult:

@@ -343,6 +343,10 @@ def _shard_main(ex, body, state, ctx, cancel, conn) -> None:
         "replay_hits": state.replay_hits,
         "replay_misses": state.replay_misses,
         "replay_guard_fallbacks": state.replay_guard_fallbacks,
+        "fused_copies": state.fused_copies,
+        "fused_pairs": state.fused_pairs,
+        "lockfree_folds": state.lockfree_folds,
+        "locked_folds": state.locked_folds,
         "capture_points": state.capture_points,
         "tasks_executed": state.tasks_executed,
         "metrics": (state.metrics.to_dict()
@@ -446,10 +450,14 @@ def run_shard_launch_procs(ex, stmt, states, ns: int) -> None:
         num_shards=ns)
 
     # Reduction copies from different producer processes may fold into the
-    # same destination elements; the executor's copy lock must therefore
-    # span processes for the duration of this launch.
+    # same destination elements; the copy locks must therefore span
+    # processes for the duration of this launch.  Both the legacy global
+    # lock and the per-(stmt, dst color) table are rebuilt with mp locks
+    # before forking so every child inherits the same lock objects.
     old_lock = ex._copy_lock
+    old_locks = ex._copy_locks
     ex._copy_lock = mpctx.Lock()
+    ex._copy_locks = ex._build_reduction_locks(stmt, mpctx.Lock)
     cancel = mpctx.Event()
     parent_anchor = clock_anchor(ex.tracer) if ex.tracer.enabled else None
     procs: list = []
@@ -502,6 +510,10 @@ def run_shard_launch_procs(ex, stmt, states, ns: int) -> None:
             st.replay_hits = payload["replay_hits"]
             st.replay_misses = payload["replay_misses"]
             st.replay_guard_fallbacks = payload["replay_guard_fallbacks"]
+            st.fused_copies = payload["fused_copies"]
+            st.fused_pairs = payload["fused_pairs"]
+            st.lockfree_folds = payload["lockfree_folds"]
+            st.locked_folds = payload["locked_folds"]
             st.capture_points = payload["capture_points"]
             st.tasks_executed = payload["tasks_executed"]
             if payload["metrics"] is not None:
@@ -513,6 +525,7 @@ def run_shard_launch_procs(ex, stmt, states, ns: int) -> None:
                 ex.tracer.ingest(_rebased(payload, parent_anchor))
     finally:
         ex._copy_lock = old_lock
+        ex._copy_locks = old_locks
         for conn in conns:
             conn.close()
         for p in procs:

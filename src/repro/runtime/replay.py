@@ -47,9 +47,11 @@ from typing import Any, Iterator
 import numpy as np
 
 from ..core.ir import Expr, IndexLaunch, evaluate
+from ..obs.trace import PID_SPMD
 from ..regions.region import _REDUCTION_UFUNCS, apply_reduction
 from ..tasks.views import RegionView
 from .collectives import SCALAR_REDUCTIONS
+from .copy_engine import FusedBatch, FusedCopy, fuse_group
 
 __all__ = ["ReplayError", "ReplayTrace", "LoopReplay", "IterationRecorder",
            "FrozenView", "PairCopy"]
@@ -59,13 +61,15 @@ OP_ASSIGN = 0    # (k, name, expr)                   scalars[name] = eval(expr)
 OP_SETVAR = 1    # (k, name, value)                  nested loop variable
 OP_TASK = 2      # (k, frozen_launch)                point tasks of one launch
 OP_FILL = 3      # (k, fills)                        reduction-buffer fills
-OP_ADV = 4       # (k, seq, uid, stride)             advance channel sequence
-OP_WAIT = 5      # (k, seq, uid, stride, label)      yield channel event
+OP_ADV = 4       # (k, seq, uid, stride, kind)       advance channel sequence
+OP_WAIT = 5      # (k, seq, uid, stride, label, kind) yield channel event
 OP_COPY = 6      # (k, paircopy)                     precompiled pairwise copy
 OP_BARRIER = 7   # (k, barrier, uid, stride, label)  arrive-and-wait
 OP_COLL = 8      # (k, coll, uid, stride, name)      dynamic collective
 OP_VISIT = 9     # (k,)                              empty-pair visit counter
 OP_YIELD = 10    # (k,)                              interpreter preemption pt
+OP_FUSED = 11    # (k, fusedbatch)                   one statement's fused copies
+OP_VISITS = 12   # (k, n)                            batched empty-pair visits
 
 _EMPTY_ENV: dict[str, Any] = {}
 
@@ -122,41 +126,58 @@ class PairCopy:
 
     ``localize`` (two searchsorted passes over materialized point arrays)
     runs once at capture; every replay is a plain numpy fancy-indexed
-    assignment — or ``ufunc.at`` under the executor's copy lock for
-    reduction copies — between the pre-resolved instance buffers.
+    assignment — or ``ufunc.at`` under the pair's reduction lock for
+    reduction copies — between the pre-resolved instance buffers.  The
+    lock is resolved at build time from the executor's per-destination
+    lock table; ``None`` means the destination's inbound contributions
+    are provably disjoint across producer shards and the fold is applied
+    lock-free.
     """
 
-    __slots__ = ("arrays", "src_ix", "dst_ix", "ufunc", "count", "nbytes")
+    __slots__ = ("arrays", "src_ix", "dst_ix", "ufunc", "count", "nbytes",
+                 "uid", "group_key", "lock")
 
-    def __init__(self, arrays, src_ix, dst_ix, ufunc, count, nbytes):
+    def __init__(self, arrays, src_ix, dst_ix, ufunc, count, nbytes,
+                 uid=0, group_key=0, lock=None):
         self.arrays = arrays
         self.src_ix = src_ix
         self.dst_ix = dst_ix
         self.ufunc = ufunc
         self.count = count
         self.nbytes = nbytes
+        self.uid = uid
+        self.group_key = group_key
+        self.lock = lock
 
     @classmethod
-    def build(cls, stmt, src_inst, dst_inst, pts) -> "PairCopy":
+    def build(cls, stmt, src_inst, dst_inst, pts, lock=None,
+              width=None) -> "PairCopy":
         src_ix = _as_index(src_inst.localize(pts))
         dst_ix = _as_index(dst_inst.localize(pts))
         arrays = tuple((dst_inst.fields[f], src_inst.fields[f])
                        for f in stmt.fields)
         count = int(pts.count)
-        nbytes = count * sum(dst_inst.fields[f].dtype.itemsize
-                             for f in stmt.fields)
+        if width is None:
+            width = sum(dst_inst.fields[f].dtype.itemsize
+                        for f in stmt.fields)
         ufunc = None if stmt.redop is None else _REDUCTION_UFUNCS[stmt.redop]
-        return cls(arrays, src_ix, dst_ix, ufunc, count, nbytes)
+        return cls(arrays, src_ix, dst_ix, ufunc, count, count * width,
+                   uid=stmt.uid, group_key=id(dst_inst), lock=lock)
 
-    def apply(self, lock) -> None:
+    def apply(self) -> None:
         src_ix, dst_ix = self.src_ix, self.dst_ix
         if self.ufunc is None:
             for dst, src in self.arrays:
                 dst[dst_ix] = src[src_ix]
+        elif self.lock is None:
+            # Disjoint-producer destination: no other shard can fold into
+            # these elements concurrently.
+            for dst, src in self.arrays:
+                self.ufunc.at(dst, dst_ix, src[src_ix])
         else:
             # Reduction folds from different producers may target the same
             # destination elements; ufunc.at is not atomic across threads.
-            with lock:
+            with self.lock:
                 for dst, src in self.arrays:
                     self.ufunc.at(dst, dst_ix, src[src_ix])
 
@@ -244,7 +265,7 @@ class IterationRecorder:
     """
 
     __slots__ = ("epoch_base", "ops", "keys", "guards", "written",
-                 "unfreezable")
+                 "unfreezable", "copy_ranges")
 
     def __init__(self, epochs: dict[int, int]):
         self.epoch_base = dict(epochs)
@@ -253,6 +274,9 @@ class IterationRecorder:
         self.guards: list[tuple[Expr, Any, bool]] = []
         self.written: set[str] = set()
         self.unfreezable = False
+        # [stmt, first_op_index, one_past_last] per PairwiseCopy execution;
+        # freeze-time fusion rewrites exactly these op windows.
+        self.copy_ranges: list[list] = []
 
     def _stride(self, uid: int, g: int) -> int:
         return g - self.epoch_base.get(uid, 0)
@@ -293,6 +317,13 @@ class IterationRecorder:
         self.ops.append((OP_COPY, pc))
         self.keys.append(("c", uid, i, j, pc.count))
 
+    def copy_begin(self, stmt) -> None:
+        """Open a copy-statement window (closed by :meth:`copy_end`)."""
+        self.copy_ranges.append([stmt, len(self.ops), -1])
+
+    def copy_end(self) -> None:
+        self.copy_ranges[-1][2] = len(self.ops)
+
     def visit(self, uid: int, i: int, j: int) -> None:
         self.ops.append((OP_VISIT,))
         self.keys.append(("pv", uid, i, j))
@@ -300,12 +331,12 @@ class IterationRecorder:
     # -- synchronization ----------------------------------------------------
     def advance(self, uid: int, tag, seq, g: int) -> None:
         stride = self._stride(uid, g)
-        self.ops.append((OP_ADV, seq, uid, stride))
+        self.ops.append((OP_ADV, seq, uid, stride, tag[0]))
         self.keys.append(("adv", uid, tag, stride))
 
     def wait(self, uid: int, tag, seq, g: int, label: str) -> None:
         stride = self._stride(uid, g)
-        self.ops.append((OP_WAIT, seq, uid, stride, label))
+        self.ops.append((OP_WAIT, seq, uid, stride, label, tag[0]))
         self.keys.append(("w", uid, tag, stride))
 
     def barrier(self, uid: int, tag: str, bar, g: int, label: str) -> None:
@@ -328,6 +359,76 @@ class IterationRecorder:
                 tuple((id(e), v, b) for e, v, b in self.guards))
 
 
+def _fuse_segment(seg):
+    """Rewrite one copy-statement op window into its fused form.
+
+    The interpreted window interleaves the p2p handshake with the pair
+    copies (wait ack → copy → advance ready, per pair).  The fused window
+    regroups it conservatively into phases — all ack advances, all ack
+    waits, the fused applies, all ready advances, one preemption yield,
+    all ready waits — which is deadlock-free because every shard (fused
+    or interpreted) performs *all* of its ack advances unconditionally at
+    statement entry, before its first wait.  Returns ``None`` to leave
+    the window unfused (no copies, or an unrecognized op shape).
+    """
+    pre, post = [], []
+    ack_advs, ack_waits, rdy_advs, rdy_waits = [], [], [], []
+    pcs, nvisits, nyields = [], 0, 0
+    for op in seg:
+        k = op[0]
+        if k == OP_COPY:
+            pcs.append(op[1])
+        elif k == OP_YIELD:
+            nyields += 1
+        elif k == OP_VISIT:
+            nvisits += 1
+        elif k == OP_ADV and len(op) == 5:
+            (ack_advs if op[4] == "ack" else rdy_advs).append(op)
+        elif k == OP_WAIT and len(op) == 6:
+            (ack_waits if op[5] == "ack" else rdy_waits).append(op)
+        elif k == OP_BARRIER:
+            (pre if op[4].endswith(":pre") else post).append(op)
+        else:
+            return None  # unexpected op inside a copy window: keep as-is
+    if not pcs:
+        return None
+    groups: dict[int, list] = {}
+    for pc in pcs:
+        groups.setdefault(pc.group_key, []).append(pc)
+    items = [item for group in groups.values() for item in fuse_group(group)]
+    out = pre + ack_advs + ack_waits
+    out.append((OP_FUSED, FusedBatch(items)))
+    if nvisits:
+        out.append((OP_VISITS, nvisits))
+    out.extend(rdy_advs)
+    if nyields:
+        out.append((OP_YIELD,))
+    out.extend(rdy_waits)
+    out.extend(post)
+    return out
+
+
+def _fuse_ranges(ops: list, ranges, state=None) -> list:
+    """Apply :func:`_fuse_segment` to every recorded copy window."""
+    hist = (state.metrics.histogram("spmd_fused_batch_pairs",
+                                    shard=state.shard)
+            if state is not None and state.metrics.enabled else None)
+    for stmt, a, b in reversed(ranges):
+        if b <= a:
+            continue
+        seg = _fuse_segment(ops[a:b])
+        if seg is None:
+            continue
+        ops[a:b] = seg
+        if hist is not None:
+            for op in seg:
+                if op[0] == OP_FUSED:
+                    for item in op[1].items:
+                        if isinstance(item, FusedCopy):
+                            hist.observe(item.pair_count)
+    return ops
+
+
 class ReplayTrace:
     """A frozen steady-state iteration: flat precompiled ops + guards."""
 
@@ -346,6 +447,8 @@ class ReplayTrace:
                 ops.append((OP_TASK, _freeze_launch(ex, op[1], op[2])))
             else:
                 ops.append(op)
+        if getattr(ex, "fuse_copies", "off") != "off":
+            ops = _fuse_ranges(ops, rec.copy_ranges, state)
         deltas = []
         for uid, g in state.epochs.items():
             d = g - rec.epoch_base.get(uid, 0)
@@ -364,19 +467,57 @@ class ReplayTrace:
         return True
 
     def replay(self, ex, state) -> Iterator[Any]:
-        """One replayed iteration: yields exactly what interpretation would."""
+        """One replayed iteration: yields what interpretation would (copy
+        windows regrouped into fused batches when fusion is on)."""
         scalars = state.scalars
         epochs = state.epochs
-        lock = ex._copy_lock
+        tracer = ex.tracer
+        traced = tracer.enabled
         for op in self.ops:
             k = op[0]
             if k == OP_COPY:
+                # The span covers the whole op — apply plus per-pair
+                # accounting — so the copy bucket measures the true cost
+                # of *issuing* the pair, symmetrically with OP_FUSED.
                 pc = op[1]
+                t0 = tracer.now_us() if traced else 0
+                pc.apply()
                 state.pair_visits += 1
-                pc.apply(lock)
                 state.elements_copied += pc.count
                 state.copies_performed += 1
                 state.bytes_copied += pc.nbytes
+                if pc.ufunc is not None:
+                    if pc.lock is None:
+                        state.lockfree_folds += 1
+                    else:
+                        state.locked_folds += 1
+                if traced:
+                    tracer.complete("copy:pair", t0, tracer.now_us() - t0,
+                                    cat="copy", pid=PID_SPMD,
+                                    tid=state.shard, args={"uid": pc.uid})
+            elif k == OP_FUSED:
+                fb = op[1]
+                t0 = tracer.now_us() if traced else 0
+                fb.apply()
+                state.pair_visits += fb.pair_count
+                state.copies_performed += fb.pair_count
+                state.elements_copied += fb.count
+                state.bytes_copied += fb.nbytes
+                state.fused_copies += fb.n_fused
+                state.fused_pairs += fb.fused_pairs
+                state.lockfree_folds += fb.lockfree_folds
+                state.locked_folds += fb.locked_folds
+                if traced:
+                    tracer.complete("copy:fused", t0, tracer.now_us() - t0,
+                                    cat="copy", pid=PID_SPMD,
+                                    tid=state.shard,
+                                    args={"uid": fb.uid,
+                                          "pairs": fb.pair_count,
+                                          "groups": len(fb.items)})
+                    tracer.counter("bytes copied", float(state.bytes_copied),
+                                   pid=PID_SPMD, tid=state.shard)
+            elif k == OP_VISITS:
+                state.pair_visits += op[1]
             elif k == OP_WAIT:
                 yield op[1].event_for(epochs[op[2]] + op[3], op[4])
             elif k == OP_ADV:

@@ -65,6 +65,7 @@ from ..regions.partition import Partition
 from ..regions.region import PhysicalInstance, reduction_identity
 from ..tasks.views import RegionView
 from .collectives import SCALAR_REDUCTIONS, DynamicCollective
+from .copy_engine import disjoint_dst_colors
 from .events import Event, GlobalBarrier, Sequence
 from .intersection_exec import IntersectionResult, compute_intersections
 from .replay import LoopReplay, PairCopy, ReplayError
@@ -135,6 +136,12 @@ class _ShardState:
     copies_performed: int = 0
     bytes_copied: int = 0
     tasks_executed: int = 0
+    # Fused copy engine (repro.runtime.copy_engine): batches applied under
+    # replay, pairs folded into them, and reduction-fold lock accounting.
+    fused_copies: int = 0
+    fused_pairs: int = 0
+    lockfree_folds: int = 0
+    locked_folds: int = 0
     # Per-shard metrics child; single-owner during the run, so instrument
     # updates take no lock.  Merged back by the executor after the join.
     metrics: MetricsRegistry = NULL_METRICS
@@ -163,12 +170,15 @@ class SPMDExecutor(SequentialExecutor):
                  instances=None, validate_replication: bool = True,
                  tracer: Tracer = NULL_TRACER, deadlock_timeout: float = 60.0,
                  replay: str = "auto",
-                 metrics: MetricsRegistry = NULL_METRICS):
+                 metrics: MetricsRegistry = NULL_METRICS,
+                 fuse_copies: str = "auto"):
         super().__init__(instances=instances)
         if mode not in ("stepped", "threaded", "procs"):
             raise ValueError(f"unknown mode {mode!r}")
         if replay not in ("auto", "off", "force"):
             raise ValueError(f"unknown replay mode {replay!r}")
+        if fuse_copies not in ("auto", "off"):
+            raise ValueError(f"unknown fuse_copies mode {fuse_copies!r}")
         if num_shards <= 0:
             raise ValueError("need at least one shard")
         if mode == "procs":
@@ -178,9 +188,14 @@ class SPMDExecutor(SequentialExecutor):
         self.mode = mode
         self.seed = seed
         self.replay = replay
+        self.fuse_copies = fuse_copies
         self.replay_hits = 0
         self.replay_misses = 0
         self.replay_guard_fallbacks = 0
+        self.fused_copies = 0
+        self.fused_pairs = 0
+        self.lockfree_folds = 0
+        self.locked_folds = 0
         self.validate_replication = validate_replication
         self.tracer = tracer
         self.metrics = metrics
@@ -196,10 +211,21 @@ class SPMDExecutor(SequentialExecutor):
         self.copies_performed = 0
         self.pair_visits = 0  # copy pairs visited, including empty ones
         self.bytes_copied = 0
-        # Only reduction-operator copies still need this: ufunc.at on a
+        # Only reduction-operator copies still need locking: ufunc.at on a
         # shared destination is not atomic across threads (the procs driver
-        # swaps in a cross-process lock for the span of a shard launch).
+        # swaps in cross-process locks for the span of a shard launch).
+        # _copy_locks holds one lock per (copy stmt uid, dst color), built
+        # per shard launch; _copy_lock is the legacy global fallback for
+        # copies that never went through a launch.  Destinations whose
+        # inbound contributions are provably disjoint across producer
+        # shards (_disjoint_cache, computed from the evaluated pair sets)
+        # skip locking entirely unless _force_locked_reductions is set
+        # (test hook for the lock-free-vs-locked equivalence check).
         self._copy_lock = threading.Lock()
+        self._copy_locks: dict[tuple[int, int], Any] = {}
+        self._disjoint_cache: dict[tuple[int, int], frozenset] = {}
+        self._field_widths: dict[int, int] = {}
+        self._force_locked_reductions = False
         # procs mode: instances live in shared memory so forked shard
         # processes all map them; created lazily on first allocation.
         self._arena = None
@@ -213,6 +239,9 @@ class SPMDExecutor(SequentialExecutor):
         self.dist.clear()
         self.pair_sets.clear()
         self._isect_cache.clear()
+        self._copy_locks.clear()
+        self._disjoint_cache.clear()
+        self._field_widths.clear()
         self._arena = None
         self._dist_frozen = False
         try:
@@ -321,6 +350,10 @@ class SPMDExecutor(SequentialExecutor):
     def _shard_launch(self, stmt: ShardLaunch) -> None:
         ns = stmt.num_shards or self.num_shards
         self._precreate_instances(stmt)
+        # One lock per (reduction copy stmt, dst color): folds into
+        # different destination instances never contend.  The procs driver
+        # rebuilds this table with cross-process locks before forking.
+        self._copy_locks = self._build_reduction_locks(stmt, threading.Lock)
         states = [_ShardState(shard=x, scalars=dict(self.scalars),
                               metrics=self.metrics.child())
                   for x in range(ns)]
@@ -369,6 +402,51 @@ class SPMDExecutor(SequentialExecutor):
             return self.pair_sets[stmt.pairs_name].nonempty_pairs()
         return [(i, j) for i in stmt.src.colors for j in stmt.dst.colors]
 
+    @staticmethod
+    def _build_reduction_locks(stmt: ShardLaunch, factory):
+        locks: dict[tuple[int, int], Any] = {}
+        for s in walk(stmt):
+            if isinstance(s, PairwiseCopy) and s.redop is not None:
+                for j in s.dst.colors:
+                    locks[(s.uid, j)] = factory()
+        return locks
+
+    def _disjoint_dst(self, stmt: PairwiseCopy, ns: int) -> frozenset:
+        """Dst colors of ``stmt`` whose inbound reduction contributions are
+        disjoint across producer shards (pure function of the evaluated
+        pair sets, so identical on every shard/process)."""
+        key = (stmt.uid, ns)
+        cached = self._disjoint_cache.get(key)
+        if cached is None:
+            if stmt.pairs_name is not None:
+                pairs_of = self.pair_sets[stmt.pairs_name].pairs
+
+                def pts_of(i, j):
+                    return pairs_of[(i, j)]
+            else:
+                def pts_of(i, j):
+                    return stmt.src.subset(i) & stmt.dst.subset(j)
+            cached = disjoint_dst_colors(self._copy_pairs(stmt), pts_of,
+                                         stmt.src.num_colors, ns)
+            self._disjoint_cache[key] = cached
+        return cached
+
+    def _reduction_lock(self, stmt: PairwiseCopy, j: int, ns: int):
+        """The lock a fold into ``(stmt, dst color j)`` must hold, or
+        ``None`` for the contention-free fast path."""
+        if (not self._force_locked_reductions
+                and j in self._disjoint_dst(stmt, ns)):
+            return None
+        return self._copy_locks.get((stmt.uid, j), self._copy_lock)
+
+    def _field_width(self, stmt: PairwiseCopy) -> int:
+        width = self._field_widths.get(stmt.uid)
+        if width is None:
+            inst = self.dist_instance(stmt.dst, next(iter(stmt.dst.colors)))
+            width = sum(inst.fields[f].dtype.itemsize for f in stmt.fields)
+            self._field_widths[stmt.uid] = width
+        return width
+
     def _merge_counters(self, states: list[_ShardState]) -> None:
         m = self.metrics
         for st in states:
@@ -380,6 +458,10 @@ class SPMDExecutor(SequentialExecutor):
             self.replay_hits += st.replay_hits
             self.replay_misses += st.replay_misses
             self.replay_guard_fallbacks += st.replay_guard_fallbacks
+            self.fused_copies += st.fused_copies
+            self.fused_pairs += st.fused_pairs
+            self.lockfree_folds += st.lockfree_folds
+            self.locked_folds += st.locked_folds
             if not m.enabled:
                 continue
             # Funnel-back: fold the shard's lock-free child registry (wait
@@ -400,6 +482,12 @@ class SPMDExecutor(SequentialExecutor):
             m.counter("spmd_replay_iterations_total",
                       outcome="guard_fallback",
                       **lab).inc(st.replay_guard_fallbacks)
+            m.counter("spmd_fused_copies_total", **lab).inc(st.fused_copies)
+            m.counter("spmd_fused_pairs_total", **lab).inc(st.fused_pairs)
+            m.counter("spmd_reduction_folds_total", path="lockfree",
+                      **lab).inc(st.lockfree_folds)
+            m.counter("spmd_reduction_folds_total", path="locked",
+                      **lab).inc(st.locked_folds)
 
     def _merge_scalars(self, states: list[_ShardState]) -> None:
         if self.validate_replication and len(states) > 1:
@@ -706,6 +794,9 @@ class SPMDExecutor(SequentialExecutor):
         chans = ctx.channels[stmt.uid] if ctx is not None else {}
         g = state.next_epoch(stmt.uid)
         sync = stmt.sync_mode if not every_pair else "none"
+        bytes_before = state.bytes_copied
+        if rec is not None:
+            rec.copy_begin(stmt)
 
         if sync == "barrier":
             bar = ctx.barriers[f"pre:{stmt.uid}"]
@@ -726,9 +817,17 @@ class SPMDExecutor(SequentialExecutor):
                     seq.advance_to(g)
 
         # Producer side: perform owned copies.
-        for (i, j) in pairs:
-            if not every_pair and owner_of_color(src_n, ns, i) != me:
-                continue
+        if every_pair:
+            my_pairs = pairs
+        elif stmt.pairs_name is not None:
+            # Cached per shard slice inside the pair set — avoids
+            # re-filtering the full pair list every iteration.
+            my_pairs = self.pair_sets[stmt.pairs_name].src_pairs(
+                tuple(shard_owned_colors(src_n, ns, me)))
+        else:
+            my_pairs = [(i, j) for (i, j) in pairs
+                        if owner_of_color(src_n, ns, i) == me]
+        for (i, j) in my_pairs:
             if sync == "p2p":
                 # WAR: wait for the consumer to have arrived at epoch g
                 # before overwriting its instance with epoch g data.
@@ -737,7 +836,7 @@ class SPMDExecutor(SequentialExecutor):
                 if rec is not None:
                     rec.wait(stmt.uid, ("ack", i, j), seq, g, label)
                 yield seq.event_for(g, label=label)
-            self._do_pair_copy(stmt, i, j, state, rec)
+            self._do_pair_copy(stmt, i, j, state, rec, ns)
             if sync == "p2p":
                 seq = chans[(i, j)].ready
                 if rec is not None:
@@ -746,6 +845,14 @@ class SPMDExecutor(SequentialExecutor):
             if rec is not None:
                 rec.yield_none()
             yield None
+
+        # One cumulative "bytes copied" sample per statement execution (not
+        # per pair) keeps Chrome counter tracks readable at large pair
+        # counts; the running value — and hence the final total — is the
+        # same either way.
+        if self.tracer.enabled and state.bytes_copied != bytes_before:
+            self.tracer.counter("bytes copied", float(state.bytes_copied),
+                                pid=PID_SPMD, tid=state.shard)
 
         if sync == "p2p":
             for (i, j) in pairs:
@@ -762,8 +869,11 @@ class SPMDExecutor(SequentialExecutor):
                 rec.barrier(stmt.uid, "post", bar, g, label)
             yield bar.arrive_and_wait_event(g, label=label)
 
+        if rec is not None:
+            rec.copy_end()
+
     def _do_pair_copy(self, stmt: PairwiseCopy, i: int, j: int,
-                      state: _ShardState, rec=None) -> None:
+                      state: _ShardState, rec=None, ns: int = 1) -> None:
         state.pair_visits += 1
         if stmt.pairs_name is not None:
             pts = self.pair_sets[stmt.pairs_name].pairs[(i, j)]
@@ -775,36 +885,44 @@ class SPMDExecutor(SequentialExecutor):
             return
         dst_inst = self.dist_instance(stmt.dst, j)
         src_inst = self.dist_instance(stmt.src, i)
+        lock = (self._reduction_lock(stmt, j, ns)
+                if stmt.redop is not None else None)
         pc = None
         if rec is not None:
             # Lower once against resolved instances; the capture iteration
             # itself runs the lowered copy, so the frozen form is exercised
             # (and its localization validated) before any replay.
-            pc = PairCopy.build(stmt, src_inst, dst_inst, pts)
+            pc = PairCopy.build(stmt, src_inst, dst_inst, pts, lock=lock,
+                                width=self._field_width(stmt))
             rec.copy(stmt.uid, i, j, pc)
         with self.tracer.span(f"copy:{stmt.src.name}->{stmt.dst.name}",
                               cat="copy", pid=PID_SPMD, tid=state.shard,
                               args={"pair": [i, j], "uid": stmt.uid,
                                     "elements": len(pts)}):
             if pc is not None:
-                pc.apply(self._copy_lock)
+                pc.apply()
                 n = pc.count
-            elif stmt.redop is not None:
+            elif stmt.redop is None:
+                n = dst_inst.copy_from(src_inst, pts, stmt.fields)
+            elif lock is None:
+                # Disjoint-producer destination: contention-free fold.
+                n = dst_inst.copy_from(src_inst, pts, stmt.fields,
+                                       redop=stmt.redop)
+            else:
                 # Reduction applies from different producers may touch the
                 # same destination elements; ufunc.at is not atomic across
                 # threads.
-                with self._copy_lock:
+                with lock:
                     n = dst_inst.copy_from(src_inst, pts, stmt.fields,
                                            redop=stmt.redop)
-            else:
-                n = dst_inst.copy_from(src_inst, pts, stmt.fields)
-        nbytes = n * sum(dst_inst.fields[f].dtype.itemsize for f in stmt.fields)
         state.elements_copied += n
         state.copies_performed += 1
-        state.bytes_copied += nbytes
-        if self.tracer.enabled:
-            self.tracer.counter("bytes copied", float(state.bytes_copied),
-                                pid=PID_SPMD, tid=state.shard)
+        state.bytes_copied += n * self._field_width(stmt)
+        if stmt.redop is not None:
+            if lock is None:
+                state.lockfree_folds += 1
+            else:
+                state.locked_folds += 1
 
 
 @dataclass
