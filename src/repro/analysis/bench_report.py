@@ -42,9 +42,31 @@ def load_bench_records(bench_dir: str | Path) -> list[dict[str, Any]]:
     return records
 
 
+def _speedup(row: dict[str, Any]) -> float | None:
+    """The row's baseline-over-measured ratio, however it was recorded.
+
+    Benchmarks either record an explicit ``*_speedup`` extra or a
+    ``*_seconds_per_iteration`` baseline next to the measured
+    ``seconds_per_iteration``; both render in one ``speedup`` column.
+    """
+    for k, v in sorted(row.items()):
+        if k.endswith("_speedup") and isinstance(v, (int, float)):
+            return float(v)
+    measured = row.get("seconds_per_iteration")
+    if not isinstance(measured, (int, float)) or not measured:
+        return None
+    for k, v in sorted(row.items()):
+        if (k != "seconds_per_iteration"
+                and k.endswith("_seconds_per_iteration")
+                and isinstance(v, (int, float))):
+            return float(v) / measured
+    return None
+
+
 def _fmt_extra(row: dict[str, Any]) -> str:
     extras = {k: v for k, v in row.items()
-              if k not in _CORE_KEYS and k != "bench"}
+              if k not in _CORE_KEYS and k != "bench"
+              and not k.endswith("_speedup")}
     return " ".join(f"{k}={v:g}" if isinstance(v, float) else f"{k}={v}"
                     for k, v in sorted(extras.items()))
 
@@ -54,16 +76,18 @@ def format_bench_table(records: list[dict[str, Any]]) -> str:
     if not records:
         return "no BENCH_*.json records found"
     lines = [f"{'bench':<22} {'op':<28} {'backend':<10} {'shards':>6} "
-             f"{'s/iter':>12}  extras"]
+             f"{'s/iter':>12} {'speedup':>8}  extras"]
     for row in records:
         if "error" in row:
             lines.append(f"{row['bench']:<22} !! unreadable: {row['error']}")
             continue
+        speedup = _speedup(row)
         lines.append(
             f"{row['bench']:<22} {str(row.get('op', '?')):<28} "
             f"{str(row.get('backend', '?')):<10} "
             f"{row.get('shards', 0):>6} "
-            f"{row.get('seconds_per_iteration', float('nan')):>12.6f}  "
+            f"{row.get('seconds_per_iteration', float('nan')):>12.6f} "
+            f"{f'{speedup:.2f}x' if speedup is not None else '-':>8}  "
             f"{_fmt_extra(row)}".rstrip())
     lines.append(f"-- {sum(1 for r in records if 'error' not in r)} rows "
                  f"from {len({r['bench'] for r in records})} benchmark "

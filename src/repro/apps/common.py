@@ -53,6 +53,7 @@ class AppProblem:
                                tracer=None, metrics=None,
                                replay: str = "auto",
                                fuse_copies: str = "auto",
+                               jit: str = "auto",
                                **compile_kw):
         from ..core.compiler import control_replicate
         from ..obs import NULL_METRICS, NULL_TRACER
@@ -66,7 +67,7 @@ class AppProblem:
         ex = SPMDExecutor(num_shards=num_shards, mode=mode, seed=seed,
                           instances=self.fresh_instances(), tracer=tracer,
                           metrics=metrics, replay=replay,
-                          fuse_copies=fuse_copies)
+                          fuse_copies=fuse_copies, jit=jit)
         scalars = ex.run(prog)
         return self.extract_state(ex.instances), scalars, ex, report
 

@@ -150,6 +150,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="fused copy engine: auto fuses each copy "
                         "statement's pair copies at trace-freeze "
                         "time, off keeps per-pair replay")
+    v.add_argument("--jit", choices=["auto", "off", "force"],
+                   default="auto",
+                   help="whole-window JIT: auto lowers frozen iterations "
+                        "to compiled closures (falling back to "
+                        "interpretation if a pass fails verification), "
+                        "off interprets the frozen trace, force errors "
+                        "if the window cannot be compiled")
     v.add_argument("--trace", metavar="OUT.json", default=None,
                    help="write a Chrome-trace timeline of the compile + run")
     v.add_argument("--metrics", metavar="OUT.prom", default=None,
@@ -172,6 +179,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="fused copy engine: auto fuses each copy "
                         "statement's pair copies at trace-freeze "
                         "time, off keeps per-pair replay")
+    r.add_argument("--jit", choices=["auto", "off", "force"],
+                   default="auto",
+                   help="whole-window JIT: auto lowers frozen iterations "
+                        "to compiled closures (falling back to "
+                        "interpretation if a pass fails verification), "
+                        "off interprets the frozen trace, force errors "
+                        "if the window cannot be compiled")
     r.add_argument("--no-check", action="store_true",
                    help="skip the region-state comparison against the "
                         "sequential executor")
@@ -233,6 +247,8 @@ def build_parser() -> argparse.ArgumentParser:
                     default="auto")
     pr.add_argument("--fuse-copies", dest="fuse_copies",
                     choices=["auto", "off"], default="auto")
+    pr.add_argument("--jit", choices=["auto", "off", "force"],
+                    default="auto")
     pr.add_argument("--top-k", dest="top_k", type=int, default=3,
                     help="number of longest chains to extract (default 3)")
     pr.add_argument("--json", metavar="OUT.json", default=None,
@@ -277,7 +293,7 @@ def cmd_verify(args) -> int:
     cr, cr_scalars, ex, report = problem.run_control_replicated(
         args.shards, mode=args.mode, seed=args.seed, sync=args.sync,
         tracer=tracer, metrics=metrics, replay=args.replay,
-        fuse_copies=args.fuse_copies)
+        fuse_copies=args.fuse_copies, jit=args.jit)
     elapsed = time.perf_counter() - t0
 
     ok = True
@@ -318,7 +334,7 @@ def cmd_run(args) -> int:
     state, _, ex, report = problem.run_control_replicated(
         args.shards, mode=args.backend, seed=args.seed, sync=args.sync,
         tracer=tracer, metrics=metrics, replay=args.replay,
-        fuse_copies=args.fuse_copies)
+        fuse_copies=args.fuse_copies, jit=args.jit)
     elapsed = time.perf_counter() - t0
 
     ok = True
@@ -342,11 +358,23 @@ def cmd_run(args) -> int:
                           f"(max diff {np.abs(state[k] - seq[k]).max():.3e})")
     print(f"{args.app}: backend={args.backend} shards={args.shards} "
           f"replay={args.replay} fuse-copies={args.fuse_copies} "
+          f"jit={args.jit} "
           f"[{ex.tasks_executed} tasks, {ex.copies_performed} copies, "
           f"{ex.bytes_copied} bytes exchanged, "
           f"{ex.replay_hits} replayed / {ex.replay_misses} interpreted "
           f"iterations, {ex.fused_copies} fused batches "
           f"({ex.fused_pairs} pairs), {elapsed:.3f}s] -- {check}")
+    if ex.window_compiles:
+        # Per-window lowering summary: how many recorded interpreter ops
+        # the JIT saw, how many survived lowering, and how many fused
+        # closures the compiled windows actually execute per replay.
+        n = ex.window_compiles
+        print(f"-- window jit: {n} window(s) compiled, "
+              f"{ex.window_ops_recorded // n} ops recorded -> "
+              f"{ex.window_ops_lowered // n} lowered -> "
+              f"{ex.window_closures // n} closures per window "
+              f"({ex.window_ops_recorded} ops interpreted -> "
+              f"{ex.window_closures} closures executed in total)")
     if args.trace:
         out = resolve_trace_path(args.trace)
         tracer.write(out)
@@ -485,7 +513,7 @@ def cmd_profile(args) -> int:
     _, _, ex, report = problem.run_control_replicated(
         args.shards, mode=args.backend, seed=args.seed, sync=args.sync,
         tracer=tracer, metrics=metrics, replay=args.replay,
-        fuse_copies=args.fuse_copies)
+        fuse_copies=args.fuse_copies, jit=args.jit)
 
     prof = build_profile(tracer.events(), app=args.app, backend=args.backend,
                          num_shards=args.shards, t_seq_s=t_seq, executor=ex,

@@ -42,7 +42,7 @@ from .verify import verify_ir
 __all__ = [
     "CompilationReport", "FragmentReport", "FragmentIR", "PipelineIR",
     "Pass", "PassContext", "PassManager", "PassTiming",
-    "PASS_NAMES", "default_passes", "ir_size",
+    "PASS_NAMES", "default_passes", "ir_size", "run_pass_pipeline",
 ]
 
 
@@ -357,6 +357,57 @@ def default_passes(optimize_placement: bool = True,
 # The pass manager
 # ---------------------------------------------------------------------------
 
+def run_pass_pipeline(ir, passes: Sequence[Pass], ctx: PassContext, *,
+                      span_prefix: str = "pass", cat: str = "compiler",
+                      pid: int = PID_COMPILER, tid: int = 0,
+                      metric_prefix: str = "compiler_pass",
+                      size_fn: Callable | None = None,
+                      verify_fn: Callable | None = None,
+                      dump_fn: Callable | None = None):
+    """Run ``passes`` over any IR with the shared pass-manager protocol.
+
+    This is the pass-running loop factored out of :class:`PassManager` so
+    other pipelines (the runtime window compiler in
+    :mod:`repro.runtime.window`) get the same per-pass timing, spans,
+    metrics, verifier hooks, and ``dump-after`` rendering over their own
+    IR type.  ``verify_fn(ir, stage)`` runs after each pass when
+    ``ctx.verify``; ``dump_fn(ir) -> str`` renders the IR for dumps;
+    ``size_fn(ir) -> int`` feeds the ``<metric_prefix>_ir_stmts`` gauge.
+    """
+    for p in passes:
+        with ctx.tracer.span(f"{span_prefix}:{p.name}", cat=cat,
+                             pid=pid, tid=tid):
+            t0 = time.perf_counter()
+            ir = p.run(ir, ctx)
+            elapsed = time.perf_counter() - t0
+        invariants = getattr(ir, "invariants", None)
+        if invariants is not None:
+            invariants.update(p.establishes)
+        stats = p.stats(ir)
+        ctx.timings.append(PassTiming(p.name, elapsed, stats))
+        if ctx.metrics.enabled:
+            m = ctx.metrics
+            m.counter(f"{metric_prefix}_seconds_total",
+                      **{"pass": p.name}).inc(elapsed)
+            m.counter(f"{metric_prefix}_runs_total",
+                      **{"pass": p.name}).inc()
+            if size_fn is not None:
+                m.gauge(f"{metric_prefix}_ir_stmts",
+                        **{"pass": p.name}).set(size_fn(ir))
+            for key, value in stats.items():
+                m.counter(f"{metric_prefix}_stat_total",
+                          **{"pass": p.name, "stat": key}).inc(value)
+        if ctx.verify and verify_fn is not None:
+            verify_fn(ir, p.name)
+        if p.name in ctx.dump_after:
+            text = dump_fn(ir) if dump_fn is not None else repr(ir)
+            if ctx.dump_sink is not None:
+                ctx.dump_sink(p.name, text)
+            else:
+                print(f"== IR after pass {p.name} ==\n{text}")
+    return ir
+
+
 def ir_size(ir: "PipelineIR | Program") -> int:
     """Statement count of the in-flight IR (or a bare :class:`Program`).
 
@@ -385,36 +436,17 @@ class PassManager:
     def run(self, program: Program,
             ctx: PassContext | None = None) -> tuple[Program, CompilationReport]:
         ctx = ctx or PassContext()
-        ir = PipelineIR(program=program)
-        for p in self.passes:
-            with ctx.tracer.span(f"pass:{p.name}", cat="compiler",
-                                 pid=PID_COMPILER, tid=0):
-                t0 = time.perf_counter()
-                ir = p.run(ir, ctx)
-                elapsed = time.perf_counter() - t0
-            ir.invariants.update(p.establishes)
-            stats = p.stats(ir)
-            ctx.timings.append(PassTiming(p.name, elapsed, stats))
-            if ctx.metrics.enabled:
-                m = ctx.metrics
-                m.counter("compiler_pass_seconds_total",
-                          **{"pass": p.name}).inc(elapsed)
-                m.counter("compiler_pass_runs_total",
-                          **{"pass": p.name}).inc()
-                m.gauge("compiler_pass_ir_stmts",
-                        **{"pass": p.name}).set(ir_size(ir))
-                for key, value in stats.items():
-                    m.counter("compiler_pass_stat_total",
-                              **{"pass": p.name, "stat": key}).inc(value)
-            if ctx.verify:
-                verify_ir(ir, stage=p.name)
-            if p.name in ctx.dump_after:
-                from .explain import format_pipeline_ir
-                text = format_pipeline_ir(ir)
-                if ctx.dump_sink is not None:
-                    ctx.dump_sink(p.name, text)
-                else:
-                    print(f"== IR after pass {p.name} ==\n{text}")
+
+        def dump_fn(ir):
+            from .explain import format_pipeline_ir
+            return format_pipeline_ir(ir)
+
+        ir = run_pass_pipeline(
+            PipelineIR(program=program), self.passes, ctx,
+            span_prefix="pass", cat="compiler", pid=PID_COMPILER, tid=0,
+            metric_prefix="compiler_pass", size_fn=ir_size,
+            verify_fn=lambda ir, stage: verify_ir(ir, stage=stage),
+            dump_fn=dump_fn)
         report = CompilationReport(
             fragments=[f.report() for f in ir.fragments],
             passes=list(ctx.timings))

@@ -10,11 +10,13 @@ attribution the paper's evaluation argues from:
   span contains the tasks it records), so spans are first flattened into
   non-overlapping *segments* — each instant of a shard's timeline is
   attributed to the deepest active span.  Segment self-times then sum
-  into five buckets: ``compute`` (point tasks), ``copy`` (pairwise
+  into six buckets: ``compute`` (point tasks), ``copy`` (pairwise
   copies), ``sync_wait`` (blocked on channels / barriers / collectives),
-  ``replay`` (replay-engine dispatch and capture overhead), and
-  ``launch`` (everything between spans: the interpreter walking the IR,
-  resolving instances, issuing work — the per-statement overhead control
+  ``replay`` (replay-engine dispatch and capture overhead), ``jit``
+  (compiled-window closure dispatch — the self-time of ``replay:jit``
+  spans around the compute/copy work they drive), and ``launch``
+  (everything between spans: the interpreter walking the IR, resolving
+  instances, issuing work — the per-statement overhead control
   replication exists to amortize).  By construction the buckets sum
   exactly to the shard's wall time.
 
@@ -49,10 +51,10 @@ __all__ = ["Segment", "ShardAttribution", "ChainStep", "Chain",
            "ProfileReport", "flatten_spans", "attribute_shards",
            "critical_chains", "build_profile", "BUCKETS"]
 
-BUCKETS = ("compute", "copy", "sync_wait", "launch", "replay")
+BUCKETS = ("compute", "copy", "sync_wait", "launch", "replay", "jit")
 
 _CAT_TO_BUCKET = {"task": "compute", "copy": "copy", "wait": "sync_wait",
-                  "replay": "replay"}
+                  "replay": "replay", "jit": "jit"}
 
 # Span timestamps are float µs; jitter below a nanosecond is noise.
 _EPS = 1e-3
@@ -82,7 +84,7 @@ class Segment:
 
 @dataclass
 class ShardAttribution:
-    """One shard's wall time split into the five buckets (sums exactly)."""
+    """One shard's wall time split into the six buckets (sums exactly)."""
 
     shard: int
     wall_s: float
@@ -301,6 +303,7 @@ class ProfileReport:
     t_seq_s: float | None = None
     t_spmd_s: float | None = None
     replay: dict[str, int] = field(default_factory=dict)
+    window: dict[str, int] = field(default_factory=dict)
     copy_engine: dict[str, int] = field(default_factory=dict)
     copy_table: list[dict[str, Any]] = field(default_factory=list)
     intersections: dict[str, Any] = field(default_factory=dict)
@@ -330,6 +333,7 @@ class ProfileReport:
                               if self.critical_path else None),
             "chains": [c.to_dict() for c in self.chains],
             "replay": dict(self.replay),
+            "window": dict(self.window),
             "copy_engine": dict(self.copy_engine),
             "copy_table": list(self.copy_table),
             "intersections": dict(self.intersections),
@@ -356,6 +360,8 @@ class ProfileReport:
                 self.critical_path.dur_s)
         for key, n in self.replay.items():
             metrics.gauge("profile_replay_iterations", outcome=key).set(n)
+        for key, n in self.window.items():
+            metrics.gauge("profile_window_jit", stat=key).set(n)
         for key, n in self.copy_engine.items():
             metrics.gauge("profile_copy_engine", stat=key).set(n)
 
@@ -385,6 +391,12 @@ class ProfileReport:
             lines.append("  replay: "
                          + ", ".join(f"{v} {k}" for k, v in
                                      sorted(self.replay.items())))
+        if self.window.get("compiles"):
+            w = self.window
+            lines.append(
+                f"  window jit: {w['compiles']} window(s) compiled, "
+                f"{w['ops_recorded']} ops recorded -> {w['ops_lowered']} "
+                f"lowered -> {w['closures']} closures")
         if self.copy_engine:
             ce = self.copy_engine
             lines.append(
@@ -458,6 +470,13 @@ def build_profile(events: Iterable[dict[str, Any]], *,
             "misses": int(getattr(executor, "replay_misses", 0)),
             "guard_fallbacks": int(getattr(executor,
                                            "replay_guard_fallbacks", 0)),
+        }
+        report.window = {
+            "ops_recorded": int(getattr(executor,
+                                        "window_ops_recorded", 0)),
+            "ops_lowered": int(getattr(executor, "window_ops_lowered", 0)),
+            "closures": int(getattr(executor, "window_closures", 0)),
+            "compiles": int(getattr(executor, "window_compiles", 0)),
         }
         report.copy_engine = {
             "fused_copies": int(getattr(executor, "fused_copies", 0)),

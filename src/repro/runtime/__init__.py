@@ -4,12 +4,14 @@ from .collectives import SCALAR_REDUCTIONS, DynamicCollective
 from .copy_engine import (FusedBatch, FusedCopy, disjoint_dst_colors,
                           fuse_group)
 from .dependence import DependenceAnalyzer, DependenceGraph, OpNode
-from .events import Event, GlobalBarrier, PhaseBarrier, Sequence
+from .events import (Event, GlobalBarrier, PhaseBarrier, Sequence,
+                     advance_group)
 from .intersection_exec import (IntersectionResult, compute_intersections,
                                 compute_intersections_sharded)
 from .mapping import BlockMapper, Mapper
 from .procs import ProcsUnavailableError, procs_available
 from .replay import LoopReplay, ReplayError, ReplayTrace
+from .window import CompiledWindow, compile_window
 from .sequential import SequentialExecutor
 from .spmd import (DeadlockError, ReplicationDivergence, SPMDExecutor,
                    ShardExceptionGroup)
@@ -29,6 +31,7 @@ __all__ = [
     "Mapper",
     "PhaseBarrier",
     "ProcsUnavailableError",
+    "CompiledWindow",
     "LoopReplay",
     "ReplayError",
     "ReplayTrace",
@@ -38,6 +41,8 @@ __all__ = [
     "Sequence",
     "ShardExceptionGroup",
     "SequentialExecutor",
+    "advance_group",
+    "compile_window",
     "compute_intersections",
     "compute_intersections_sharded",
     "disjoint_dst_colors",

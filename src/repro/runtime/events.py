@@ -18,7 +18,8 @@ from __future__ import annotations
 
 import threading
 
-__all__ = ["Event", "Sequence", "PhaseBarrier", "GlobalBarrier"]
+__all__ = ["Event", "Sequence", "PhaseBarrier", "GlobalBarrier",
+           "advance_group"]
 
 
 class Event:
@@ -75,6 +76,10 @@ class Sequence:
             return self._value
 
     def advance_to(self, n: int) -> None:
+        # Lock-free fast path, mirroring event_for: _value is monotone, so
+        # a stale read can only under-report and fall through to the lock.
+        if n <= self._value:
+            return
         with self._lock:
             if n <= self._value:
                 return
@@ -96,6 +101,26 @@ class Sequence:
             if n not in self._waiters:
                 self._waiters[n] = Event(label=label)
             return self._waiters[n]
+
+
+def advance_group(seqs, n: int) -> None:
+    """Advance a batch of sequences to generation ``n`` in one bump.
+
+    The replay layer records one ack advance per inbound pair at a copy
+    statement's entry; batching the run turns that into one call — and,
+    for sequence types that share a synchronization domain (the procs
+    backend's sync board, where every channel slot hangs off one shared
+    Condition), into a single lock acquisition and broadcast via their
+    ``advance_group_shared`` hook.
+    """
+    if not seqs:
+        return
+    shared = getattr(seqs[0], "advance_group_shared", None)
+    if shared is not None:
+        shared(seqs, n)
+        return
+    for seq in seqs:
+        seq.advance_to(n)
 
 
 class PhaseBarrier:

@@ -135,6 +135,29 @@ class _BoardSequence:
         arr, idx = self._arr, self._idx
         return _BoardEvent(self._cond, lambda: arr[idx] >= n, label)
 
+    @staticmethod
+    def advance_group_shared(seqs, n: int) -> None:
+        """Advance a batch of board sequences in one generation bump.
+
+        Every slot of one launch's sync board hangs off the same shared
+        Condition, so a batched ack release is a single lock round and a
+        single ``notify_all`` instead of one per channel.  Falls back to
+        per-sequence advances if the batch ever spans boards.
+        """
+        cond = seqs[0]._cond
+        if any(seq._cond is not cond for seq in seqs):
+            for seq in seqs:
+                seq.advance_to(n)
+            return
+        with cond:
+            changed = False
+            for seq in seqs:
+                if n > seq._arr[seq._idx]:
+                    seq._arr[seq._idx] = n
+                    changed = True
+            if changed:
+                cond.notify_all()
+
 
 class _BoardBarrier:
     """Cross-process :class:`~repro.runtime.events.GlobalBarrier`.
@@ -349,6 +372,10 @@ def _shard_main(ex, body, state, ctx, cancel, conn) -> None:
         "locked_folds": state.locked_folds,
         "capture_points": state.capture_points,
         "tasks_executed": state.tasks_executed,
+        "window_ops_recorded": state.window_ops_recorded,
+        "window_ops_lowered": state.window_ops_lowered,
+        "window_closures": state.window_closures,
+        "window_compiles": state.window_compiles,
         "metrics": (state.metrics.to_dict()
                     if state.metrics.enabled else None),
         "trace_events": tracer.events()[trace_base:] if tracer.enabled else [],
@@ -516,6 +543,10 @@ def run_shard_launch_procs(ex, stmt, states, ns: int) -> None:
             st.locked_folds = payload["locked_folds"]
             st.capture_points = payload["capture_points"]
             st.tasks_executed = payload["tasks_executed"]
+            st.window_ops_recorded = payload["window_ops_recorded"]
+            st.window_ops_lowered = payload["window_ops_lowered"]
+            st.window_closures = payload["window_closures"]
+            st.window_compiles = payload["window_compiles"]
             if payload["metrics"] is not None:
                 # The parent's copy of the child registry never saw the
                 # child's increments (they happened post-fork); fold the

@@ -1,603 +1,44 @@
-"""Steady-state trace capture & replay for the shard interpreter.
+"""Steady-state trace capture & replay — compatibility shim.
 
-The shard interpreter re-runs the full analysis stack — privilege-checked
-view construction, instance resolution, intersection slicing, channel
-epoch bookkeeping — on every iteration of the replicated control loop,
-even though in steady state the loop body produces an identical schedule
-each time step.  This module amortizes that cost the way Legion's dynamic
-tracing (and a JIT's trace-then-replay) does:
-
-* While a loop interprets, an :class:`IterationRecorder` shadows the event
-  stream, keying every statement execution (stmt uid, channel epoch
-  deltas, copy pairs and sizes).
-* When two consecutive iterations produce an identical key sequence
-  (``--replay auto``; ``force`` freezes after the first), the window is
-  frozen into a :class:`ReplayTrace`: a flat op list where each pairwise
-  copy is lowered to cached numpy index arrays / slice tuples against the
-  pre-resolved :class:`~repro.regions.region.PhysicalInstance` buffers
-  (:class:`PairCopy`), each sync op carries its channel object and a
-  precomputed generation *stride* (the offset from the loop-entry epoch,
-  so traces compose with interpreted iterations on either side), and point
-  tasks run over :class:`FrozenView` accessors whose privileges were
-  validated once at capture and are skipped thereafter.
-* Before replaying an iteration, the loop re-checks its *guards* — every
-  branch condition and nested-loop bound the captured iteration evaluated
-  — against the current scalar environment.  If any guard changed, the
-  iteration falls back to interpretation (a replay miss) and the trace is
-  kept for the next iteration.  A guard whose expression depends on a
-  scalar written *earlier in the same iteration* cannot be hoisted to the
-  iteration start, so such a window is never frozen.
-
-Replay yields exactly the events (and ``None`` preemption points)
-interpretation would, so the stepped driver's adversarial interleavings —
-and therefore the failure-injection tests — are unchanged; only the
-per-iteration analysis work disappears.
-
-Divergence policy: capture decisions are a pure function of the
-replicated control flow, so every shard must freeze each loop at the same
-iteration; the executor raises
-:class:`~repro.runtime.spmd.ReplicationDivergence` after the launch if
-shards disagree on capture boundaries (``_ShardState.capture_points``).
+The capture-and-replay layer grew into the staged window compiler in
+:mod:`repro.runtime.window` (recorder → IR → lowering passes → phase
+schedule → compiled window).  This module re-exports the public surface
+so existing imports keep working; see the package docs for the pass
+pipeline and the ``--jit {auto,off,force}`` execution modes.
 """
 
 from __future__ import annotations
 
-from typing import Any, Iterator
-
-import numpy as np
-
-from ..core.ir import Expr, IndexLaunch, evaluate
-from ..obs.trace import PID_SPMD
-from ..regions.region import _REDUCTION_UFUNCS, apply_reduction
-from ..tasks.views import RegionView
-from .collectives import SCALAR_REDUCTIONS
-from .copy_engine import FusedBatch, FusedCopy, fuse_group
+from .window import (
+    CompiledWindow,
+    FrozenView,
+    IterationRecorder,
+    LoopReplay,
+    PairCopy,
+    ReplayError,
+    ReplayTrace,
+    compile_window,
+)
+from .window.ir import _freeze_launch, _FrozenLaunch, _TaskEntry, _Unfreezable
+from .window.lower import _fuse_segment
+from .window.recorder import (
+    OP_ADV,
+    OP_ADVN,
+    OP_ASSIGN,
+    OP_BARRIER,
+    OP_COLL,
+    OP_CONST,
+    OP_COPY,
+    OP_FILL,
+    OP_FUSED,
+    OP_MEGA,
+    OP_SETVAR,
+    OP_TASK,
+    OP_VISIT,
+    OP_VISITS,
+    OP_WAIT,
+    OP_YIELD,
+)
 
 __all__ = ["ReplayError", "ReplayTrace", "LoopReplay", "IterationRecorder",
-           "FrozenView", "PairCopy"]
-
-# Op kinds of a frozen trace (first element of every op tuple).
-OP_ASSIGN = 0    # (k, name, expr)                   scalars[name] = eval(expr)
-OP_SETVAR = 1    # (k, name, value)                  nested loop variable
-OP_TASK = 2      # (k, frozen_launch)                point tasks of one launch
-OP_FILL = 3      # (k, fills)                        reduction-buffer fills
-OP_ADV = 4       # (k, seq, uid, stride, kind)       advance channel sequence
-OP_WAIT = 5      # (k, seq, uid, stride, label, kind) yield channel event
-OP_COPY = 6      # (k, paircopy)                     precompiled pairwise copy
-OP_BARRIER = 7   # (k, barrier, uid, stride, label)  arrive-and-wait
-OP_COLL = 8      # (k, coll, uid, stride, name)      dynamic collective
-OP_VISIT = 9     # (k,)                              empty-pair visit counter
-OP_YIELD = 10    # (k,)                              interpreter preemption pt
-OP_FUSED = 11    # (k, fusedbatch)                   one statement's fused copies
-OP_VISITS = 12   # (k, n)                            batched empty-pair visits
-
-_EMPTY_ENV: dict[str, Any] = {}
-
-
-class ReplayError(RuntimeError):
-    """``--replay force`` was requested on a loop that cannot be frozen."""
-
-
-class _Unfreezable(Exception):
-    """Internal: this iteration's schedule cannot be frozen into a trace."""
-
-
-class FrozenView(RegionView):
-    """A :class:`RegionView` whose privilege checks ran at capture time.
-
-    Only constructed for instances that cover their region exactly (the
-    distributed-memory storage invariant), so every field access is the
-    whole instance array: zero-copy, no gather/writeback, and stable
-    across replays — the arrays are pinned once at freeze time.
-    """
-
-    def __init__(self, region, instance, privilege):
-        super().__init__(region, instance, privilege)
-        if instance.index_set != region.index_set:
-            raise _Unfreezable(
-                f"instance for {region.name} does not cover it exactly")
-        self._cache = {f: (arr, None) for f, arr in instance.fields.items()}
-
-    def read(self, field: str) -> np.ndarray:
-        return self._cache[field][0]
-
-    def write(self, field: str) -> np.ndarray:
-        return self._cache[field][0]
-
-    def reduce(self, field: str, slots, values, redop: str) -> None:
-        apply_reduction(self._cache[field][0], slots, values, redop)
-
-    def finalize(self) -> None:
-        pass  # direct views: nothing to write back, keep the cache
-
-    def __repr__(self) -> str:
-        return f"FrozenView({self.region.name}, {self.privilege})"
-
-
-def _as_index(slots: np.ndarray):
-    """Lower a sorted slot array to a slice when it is contiguous."""
-    if slots.size and int(slots[-1]) - int(slots[0]) == slots.size - 1:
-        return slice(int(slots[0]), int(slots[-1]) + 1)
-    return slots
-
-
-class PairCopy:
-    """One pairwise copy lowered to cached index arrays / slice tuples.
-
-    ``localize`` (two searchsorted passes over materialized point arrays)
-    runs once at capture; every replay is a plain numpy fancy-indexed
-    assignment — or ``ufunc.at`` under the pair's reduction lock for
-    reduction copies — between the pre-resolved instance buffers.  The
-    lock is resolved at build time from the executor's per-destination
-    lock table; ``None`` means the destination's inbound contributions
-    are provably disjoint across producer shards and the fold is applied
-    lock-free.
-    """
-
-    __slots__ = ("arrays", "src_ix", "dst_ix", "ufunc", "count", "nbytes",
-                 "uid", "group_key", "lock")
-
-    def __init__(self, arrays, src_ix, dst_ix, ufunc, count, nbytes,
-                 uid=0, group_key=0, lock=None):
-        self.arrays = arrays
-        self.src_ix = src_ix
-        self.dst_ix = dst_ix
-        self.ufunc = ufunc
-        self.count = count
-        self.nbytes = nbytes
-        self.uid = uid
-        self.group_key = group_key
-        self.lock = lock
-
-    @classmethod
-    def build(cls, stmt, src_inst, dst_inst, pts, lock=None,
-              width=None) -> "PairCopy":
-        src_ix = _as_index(src_inst.localize(pts))
-        dst_ix = _as_index(dst_inst.localize(pts))
-        arrays = tuple((dst_inst.fields[f], src_inst.fields[f])
-                       for f in stmt.fields)
-        count = int(pts.count)
-        if width is None:
-            width = sum(dst_inst.fields[f].dtype.itemsize
-                        for f in stmt.fields)
-        ufunc = None if stmt.redop is None else _REDUCTION_UFUNCS[stmt.redop]
-        return cls(arrays, src_ix, dst_ix, ufunc, count, count * width,
-                   uid=stmt.uid, group_key=id(dst_inst), lock=lock)
-
-    def apply(self) -> None:
-        src_ix, dst_ix = self.src_ix, self.dst_ix
-        if self.ufunc is None:
-            for dst, src in self.arrays:
-                dst[dst_ix] = src[src_ix]
-        elif self.lock is None:
-            # Disjoint-producer destination: no other shard can fold into
-            # these elements concurrently.
-            for dst, src in self.arrays:
-                self.ufunc.at(dst, dst_ix, src[src_ix])
-        else:
-            # Reduction folds from different producers may target the same
-            # destination elements; ufunc.at is not atomic across threads.
-            with self.lock:
-                for dst, src in self.arrays:
-                    self.ufunc.at(dst, dst_ix, src[src_ix])
-
-
-class _TaskEntry:
-    """One point task: prebuilt argument vector + dynamic scalar positions."""
-
-    __slots__ = ("index", "args", "exprs")
-
-    def __init__(self, index: int, args: list, exprs: tuple):
-        self.index = index
-        self.args = args
-        self.exprs = exprs  # ((position, expr), ...) re-evaluated per replay
-
-
-class _FrozenLaunch:
-    """An IndexLaunch precompiled to frozen views and argument vectors."""
-
-    __slots__ = ("task", "entries", "reduce_name", "fold")
-
-    def __init__(self, task, entries, reduce_name, fold):
-        self.task = task
-        self.entries = entries
-        self.reduce_name = reduce_name
-        self.fold = fold
-
-    def run(self, ex, state) -> Iterator[None]:
-        task = self.task
-        reduce_name = self.reduce_name
-        partial = (state.pending_reductions.get(reduce_name)
-                   if reduce_name is not None else None)
-        for entry in self.entries:
-            if entry.exprs:
-                env = {**state.scalars, "i": entry.index}
-                args = entry.args
-                for pos, e in entry.exprs:
-                    args[pos] = evaluate(e, env)
-            result = task(*entry.args)
-            state.tasks_executed += 1
-            if reduce_name is not None and result is not None:
-                partial = (result if partial is None
-                           else self.fold(partial, result))
-            yield None  # preemption point: one point task executed
-        if reduce_name is not None and partial is not None:
-            state.pending_reductions[reduce_name] = partial
-
-
-def _freeze_launch(ex, stmt: IndexLaunch, owned) -> _FrozenLaunch:
-    privileges = stmt.task.privileges
-    entries = []
-    for i in owned:
-        args: list[Any] = []
-        exprs: list[tuple[int, Expr]] = []
-        nviews = 0
-        for arg in stmt.args:
-            if hasattr(arg, "proj"):
-                part = arg.proj.partition
-                color = arg.proj.color_for(i)
-                view = FrozenView(part[color], ex.dist_instance(part, color),
-                                  privileges[nviews])
-                nviews += 1
-                args.append(view)
-            else:
-                e = arg.expr
-                if e.refs():
-                    exprs.append((len(args), e))
-                    args.append(None)
-                else:
-                    args.append(evaluate(e, _EMPTY_ENV))
-        entries.append(_TaskEntry(i, args, tuple(exprs)))
-    reduce_name = fold = None
-    if stmt.reduce is not None:
-        fold = SCALAR_REDUCTIONS[stmt.reduce[0]]
-        reduce_name = stmt.reduce[1]
-    return _FrozenLaunch(stmt.task, tuple(entries), reduce_name, fold)
-
-
-class IterationRecorder:
-    """Shadows one interpreted loop iteration: ops, schedule keys, guards.
-
-    Generation-bearing ops store a *stride* (recorded generation minus the
-    loop-entry epoch of that statement uid) instead of the absolute
-    generation, so the frozen trace replays correctly at any later epoch
-    and composes with interpreted fallback iterations in between.
-    """
-
-    __slots__ = ("epoch_base", "ops", "keys", "guards", "written",
-                 "unfreezable", "copy_ranges")
-
-    def __init__(self, epochs: dict[int, int]):
-        self.epoch_base = dict(epochs)
-        self.ops: list = []
-        self.keys: list = []
-        self.guards: list[tuple[Expr, Any, bool]] = []
-        self.written: set[str] = set()
-        self.unfreezable = False
-        # [stmt, first_op_index, one_past_last] per PairwiseCopy execution;
-        # freeze-time fusion rewrites exactly these op windows.
-        self.copy_ranges: list[list] = []
-
-    def _stride(self, uid: int, g: int) -> int:
-        return g - self.epoch_base.get(uid, 0)
-
-    # -- control flow -------------------------------------------------------
-    def guard(self, expr: Expr, value: Any, as_bool: bool) -> None:
-        """A condition the replayed iteration must re-establish.
-
-        Guards are re-evaluated at the *start* of a replayed iteration, so
-        one that reads a scalar written earlier in this same iteration
-        cannot be hoisted — the window becomes unfreezable.
-        """
-        if expr.refs() & self.written:
-            self.unfreezable = True
-        self.guards.append((expr, bool(value) if as_bool else value, as_bool))
-
-    def assign(self, uid: int, name: str, expr: Expr) -> None:
-        self.written.add(name)
-        self.ops.append((OP_ASSIGN, name, expr))
-        self.keys.append(("a", uid))
-
-    def setvar(self, name: str, value: int) -> None:
-        self.written.add(name)
-        self.ops.append((OP_SETVAR, name, value))
-        self.keys.append(("v", name, value))
-
-    # -- work ---------------------------------------------------------------
-    def launch(self, stmt: IndexLaunch, owned) -> None:
-        # Frozen lazily (views, argument vectors) if the window freezes.
-        self.ops.append((OP_TASK, stmt, tuple(owned)))
-        self.keys.append(("t", stmt.uid, tuple(owned)))
-
-    def fill(self, uid: int, fills: list) -> None:
-        self.ops.append((OP_FILL, tuple(fills)))
-        self.keys.append(("f", uid))
-
-    def copy(self, uid: int, i: int, j: int, pc: PairCopy) -> None:
-        self.ops.append((OP_COPY, pc))
-        self.keys.append(("c", uid, i, j, pc.count))
-
-    def copy_begin(self, stmt) -> None:
-        """Open a copy-statement window (closed by :meth:`copy_end`)."""
-        self.copy_ranges.append([stmt, len(self.ops), -1])
-
-    def copy_end(self) -> None:
-        self.copy_ranges[-1][2] = len(self.ops)
-
-    def visit(self, uid: int, i: int, j: int) -> None:
-        self.ops.append((OP_VISIT,))
-        self.keys.append(("pv", uid, i, j))
-
-    # -- synchronization ----------------------------------------------------
-    def advance(self, uid: int, tag, seq, g: int) -> None:
-        stride = self._stride(uid, g)
-        self.ops.append((OP_ADV, seq, uid, stride, tag[0]))
-        self.keys.append(("adv", uid, tag, stride))
-
-    def wait(self, uid: int, tag, seq, g: int, label: str) -> None:
-        stride = self._stride(uid, g)
-        self.ops.append((OP_WAIT, seq, uid, stride, label, tag[0]))
-        self.keys.append(("w", uid, tag, stride))
-
-    def barrier(self, uid: int, tag: str, bar, g: int, label: str) -> None:
-        stride = self._stride(uid, g)
-        self.ops.append((OP_BARRIER, bar, uid, stride, label))
-        self.keys.append(("b", uid, tag, stride))
-
-    def collective(self, uid: int, coll, g: int, name: str) -> None:
-        self.written.add(name)
-        stride = self._stride(uid, g)
-        self.ops.append((OP_COLL, coll, uid, stride, name))
-        self.keys.append(("coll", uid, stride))
-
-    def yield_none(self) -> None:
-        self.ops.append((OP_YIELD,))
-
-    # -- capture decision ---------------------------------------------------
-    def fingerprint(self):
-        return (tuple(self.keys),
-                tuple((id(e), v, b) for e, v, b in self.guards))
-
-
-def _fuse_segment(seg):
-    """Rewrite one copy-statement op window into its fused form.
-
-    The interpreted window interleaves the p2p handshake with the pair
-    copies (wait ack → copy → advance ready, per pair).  The fused window
-    regroups it conservatively into phases — all ack advances, all ack
-    waits, the fused applies, all ready advances, one preemption yield,
-    all ready waits — which is deadlock-free because every shard (fused
-    or interpreted) performs *all* of its ack advances unconditionally at
-    statement entry, before its first wait.  Returns ``None`` to leave
-    the window unfused (no copies, or an unrecognized op shape).
-    """
-    pre, post = [], []
-    ack_advs, ack_waits, rdy_advs, rdy_waits = [], [], [], []
-    pcs, nvisits, nyields = [], 0, 0
-    for op in seg:
-        k = op[0]
-        if k == OP_COPY:
-            pcs.append(op[1])
-        elif k == OP_YIELD:
-            nyields += 1
-        elif k == OP_VISIT:
-            nvisits += 1
-        elif k == OP_ADV and len(op) == 5:
-            (ack_advs if op[4] == "ack" else rdy_advs).append(op)
-        elif k == OP_WAIT and len(op) == 6:
-            (ack_waits if op[5] == "ack" else rdy_waits).append(op)
-        elif k == OP_BARRIER:
-            (pre if op[4].endswith(":pre") else post).append(op)
-        else:
-            return None  # unexpected op inside a copy window: keep as-is
-    if not pcs:
-        return None
-    groups: dict[int, list] = {}
-    for pc in pcs:
-        groups.setdefault(pc.group_key, []).append(pc)
-    items = [item for group in groups.values() for item in fuse_group(group)]
-    out = pre + ack_advs + ack_waits
-    out.append((OP_FUSED, FusedBatch(items)))
-    if nvisits:
-        out.append((OP_VISITS, nvisits))
-    out.extend(rdy_advs)
-    if nyields:
-        out.append((OP_YIELD,))
-    out.extend(rdy_waits)
-    out.extend(post)
-    return out
-
-
-def _fuse_ranges(ops: list, ranges, state=None) -> list:
-    """Apply :func:`_fuse_segment` to every recorded copy window."""
-    hist = (state.metrics.histogram("spmd_fused_batch_pairs",
-                                    shard=state.shard)
-            if state is not None and state.metrics.enabled else None)
-    for stmt, a, b in reversed(ranges):
-        if b <= a:
-            continue
-        seg = _fuse_segment(ops[a:b])
-        if seg is None:
-            continue
-        ops[a:b] = seg
-        if hist is not None:
-            for op in seg:
-                if op[0] == OP_FUSED:
-                    for item in op[1].items:
-                        if isinstance(item, FusedCopy):
-                            hist.observe(item.pair_count)
-    return ops
-
-
-class ReplayTrace:
-    """A frozen steady-state iteration: flat precompiled ops + guards."""
-
-    __slots__ = ("ops", "guards", "epoch_deltas")
-
-    def __init__(self, ops, guards, epoch_deltas):
-        self.ops = ops
-        self.guards = guards
-        self.epoch_deltas = epoch_deltas
-
-    @classmethod
-    def freeze(cls, ex, rec: IterationRecorder, state) -> "ReplayTrace":
-        ops = []
-        for op in rec.ops:
-            if op[0] == OP_TASK:
-                ops.append((OP_TASK, _freeze_launch(ex, op[1], op[2])))
-            else:
-                ops.append(op)
-        if getattr(ex, "fuse_copies", "off") != "off":
-            ops = _fuse_ranges(ops, rec.copy_ranges, state)
-        deltas = []
-        for uid, g in state.epochs.items():
-            d = g - rec.epoch_base.get(uid, 0)
-            if d:
-                deltas.append((uid, d))
-        return cls(tuple(ops), tuple(rec.guards), tuple(deltas))
-
-    def guards_hold(self, scalars: dict[str, Any]) -> bool:
-        for expr, expected, as_bool in self.guards:
-            v = evaluate(expr, scalars)
-            if as_bool:
-                if bool(v) is not expected:
-                    return False
-            elif v != expected:
-                return False
-        return True
-
-    def replay(self, ex, state) -> Iterator[Any]:
-        """One replayed iteration: yields what interpretation would (copy
-        windows regrouped into fused batches when fusion is on)."""
-        scalars = state.scalars
-        epochs = state.epochs
-        tracer = ex.tracer
-        traced = tracer.enabled
-        for op in self.ops:
-            k = op[0]
-            if k == OP_COPY:
-                # The span covers the whole op — apply plus per-pair
-                # accounting — so the copy bucket measures the true cost
-                # of *issuing* the pair, symmetrically with OP_FUSED.
-                pc = op[1]
-                t0 = tracer.now_us() if traced else 0
-                pc.apply()
-                state.pair_visits += 1
-                state.elements_copied += pc.count
-                state.copies_performed += 1
-                state.bytes_copied += pc.nbytes
-                if pc.ufunc is not None:
-                    if pc.lock is None:
-                        state.lockfree_folds += 1
-                    else:
-                        state.locked_folds += 1
-                if traced:
-                    tracer.complete("copy:pair", t0, tracer.now_us() - t0,
-                                    cat="copy", pid=PID_SPMD,
-                                    tid=state.shard, args={"uid": pc.uid})
-            elif k == OP_FUSED:
-                fb = op[1]
-                t0 = tracer.now_us() if traced else 0
-                fb.apply()
-                state.pair_visits += fb.pair_count
-                state.copies_performed += fb.pair_count
-                state.elements_copied += fb.count
-                state.bytes_copied += fb.nbytes
-                state.fused_copies += fb.n_fused
-                state.fused_pairs += fb.fused_pairs
-                state.lockfree_folds += fb.lockfree_folds
-                state.locked_folds += fb.locked_folds
-                if traced:
-                    tracer.complete("copy:fused", t0, tracer.now_us() - t0,
-                                    cat="copy", pid=PID_SPMD,
-                                    tid=state.shard,
-                                    args={"uid": fb.uid,
-                                          "pairs": fb.pair_count,
-                                          "groups": len(fb.items)})
-                    tracer.counter("bytes copied", float(state.bytes_copied),
-                                   pid=PID_SPMD, tid=state.shard)
-            elif k == OP_VISITS:
-                state.pair_visits += op[1]
-            elif k == OP_WAIT:
-                yield op[1].event_for(epochs[op[2]] + op[3], op[4])
-            elif k == OP_ADV:
-                op[1].advance_to(epochs[op[2]] + op[3])
-            elif k == OP_YIELD:
-                yield None
-            elif k == OP_TASK:
-                yield from op[1].run(ex, state)
-            elif k == OP_ASSIGN:
-                scalars[op[1]] = evaluate(op[2], scalars)
-            elif k == OP_SETVAR:
-                scalars[op[1]] = op[2]
-            elif k == OP_FILL:
-                for arr, value in op[1]:
-                    arr[...] = value
-            elif k == OP_BARRIER:
-                yield op[1].arrive_and_wait_event(epochs[op[2]] + op[3],
-                                                  label=op[4])
-            elif k == OP_COLL:
-                coll, uid, stride, name = op[1], op[2], op[3], op[4]
-                g = epochs[uid] + stride
-                ev = coll.contribute(g,
-                                     state.pending_reductions.pop(name, None))
-                yield ev
-                scalars[name] = coll.result(g)
-            else:  # OP_VISIT
-                state.pair_visits += 1
-        for uid, d in self.epoch_deltas:
-            epochs[uid] = epochs.get(uid, 0) + d
-
-
-class LoopReplay:
-    """Capture state machine for one loop statement on one shard.
-
-    ``auto``  — freeze once two consecutive interpreted iterations produce
-    identical fingerprints; ``force`` — freeze after the first iteration
-    and raise :class:`ReplayError` if it cannot be frozen.  Once frozen,
-    the trace is permanent: a guard miss falls back to interpretation for
-    that iteration only.
-    """
-
-    __slots__ = ("uid", "mode", "trace", "iterations_recorded", "_prev",
-                 "_rec")
-
-    def __init__(self, uid: int, mode: str):
-        self.uid = uid
-        self.mode = mode
-        self.trace: ReplayTrace | None = None
-        self.iterations_recorded = 0
-        self._prev = None
-        self._rec: IterationRecorder | None = None
-
-    def begin_iteration(self, epochs: dict[int, int]) -> IterationRecorder:
-        self._rec = IterationRecorder(epochs)
-        return self._rec
-
-    def end_iteration(self, ex, state) -> bool:
-        """Returns True if this iteration was frozen into a trace."""
-        rec, self._rec = self._rec, None
-        self.iterations_recorded += 1
-        if self.trace is not None:
-            return False  # guard-fallback iteration: keep the frozen trace
-        if rec.unfreezable:
-            if self.mode == "force":
-                raise ReplayError(
-                    f"--replay force: loop {self.uid} cannot be frozen — a "
-                    f"branch condition depends on a scalar written earlier "
-                    f"in the same iteration")
-            self._prev = None
-            return False
-        fp = rec.fingerprint()
-        if self.mode == "force" or fp == self._prev:
-            try:
-                self.trace = ReplayTrace.freeze(ex, rec, state)
-            except _Unfreezable as exc:
-                if self.mode == "force":
-                    raise ReplayError(f"--replay force: {exc}") from None
-                self._prev = None
-                return False
-            state.capture_points[self.uid] = self.iterations_recorded
-            return True
-        self._prev = fp
-        return False
+           "FrozenView", "PairCopy", "CompiledWindow", "compile_window"]

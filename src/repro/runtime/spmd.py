@@ -156,6 +156,13 @@ class _ShardState:
     # agree; validated after the launch like scalar state.
     capture_points: dict[int, int] = field(default_factory=dict)
     loop_replays: dict[int, LoopReplay] = field(default_factory=dict)
+    # Window compiler (repro.runtime.window): raw ops recorded per frozen
+    # window, ops left after lowering, closures in compiled windows, and
+    # windows compiled to closures (0 with --jit off).
+    window_ops_recorded: int = 0
+    window_ops_lowered: int = 0
+    window_closures: int = 0
+    window_compiles: int = 0
 
     def next_epoch(self, uid: int) -> int:
         g = self.epochs.get(uid, 0) + 1
@@ -171,7 +178,9 @@ class SPMDExecutor(SequentialExecutor):
                  tracer: Tracer = NULL_TRACER, deadlock_timeout: float = 60.0,
                  replay: str = "auto",
                  metrics: MetricsRegistry = NULL_METRICS,
-                 fuse_copies: str = "auto"):
+                 fuse_copies: str = "auto", jit: str = "auto",
+                 window_dump_after: frozenset = frozenset(),
+                 window_dump_sink=None):
         super().__init__(instances=instances)
         if mode not in ("stepped", "threaded", "procs"):
             raise ValueError(f"unknown mode {mode!r}")
@@ -179,6 +188,8 @@ class SPMDExecutor(SequentialExecutor):
             raise ValueError(f"unknown replay mode {replay!r}")
         if fuse_copies not in ("auto", "off"):
             raise ValueError(f"unknown fuse_copies mode {fuse_copies!r}")
+        if jit not in ("auto", "off", "force"):
+            raise ValueError(f"unknown jit mode {jit!r}")
         if num_shards <= 0:
             raise ValueError("need at least one shard")
         if mode == "procs":
@@ -189,6 +200,13 @@ class SPMDExecutor(SequentialExecutor):
         self.seed = seed
         self.replay = replay
         self.fuse_copies = fuse_copies
+        self.jit = jit
+        self.window_dump_after = frozenset(window_dump_after)
+        self.window_dump_sink = window_dump_sink
+        self.window_ops_recorded = 0
+        self.window_ops_lowered = 0
+        self.window_closures = 0
+        self.window_compiles = 0
         self.replay_hits = 0
         self.replay_misses = 0
         self.replay_guard_fallbacks = 0
@@ -462,6 +480,10 @@ class SPMDExecutor(SequentialExecutor):
             self.fused_pairs += st.fused_pairs
             self.lockfree_folds += st.lockfree_folds
             self.locked_folds += st.locked_folds
+            self.window_ops_recorded += st.window_ops_recorded
+            self.window_ops_lowered += st.window_ops_lowered
+            self.window_closures += st.window_closures
+            self.window_compiles += st.window_compiles
             if not m.enabled:
                 continue
             # Funnel-back: fold the shard's lock-free child registry (wait
@@ -488,6 +510,14 @@ class SPMDExecutor(SequentialExecutor):
                       **lab).inc(st.lockfree_folds)
             m.counter("spmd_reduction_folds_total", path="locked",
                       **lab).inc(st.locked_folds)
+            m.counter("spmd_window_ops_total", stage="recorded",
+                      **lab).inc(st.window_ops_recorded)
+            m.counter("spmd_window_ops_total", stage="lowered",
+                      **lab).inc(st.window_ops_lowered)
+            m.counter("spmd_window_closures_total", **lab).inc(
+                st.window_closures)
+            m.counter("spmd_window_compiles_total", **lab).inc(
+                st.window_compiles)
 
     def _merge_scalars(self, states: list[_ShardState]) -> None:
         if self.validate_replication and len(states) > 1:
@@ -691,8 +721,9 @@ class SPMDExecutor(SequentialExecutor):
         """
         lr = state.loop_replays.get(stmt.uid)
         if lr is None:
-            lr = state.loop_replays[stmt.uid] = LoopReplay(stmt.uid,
-                                                           self.replay)
+            lr = state.loop_replays[stmt.uid] = LoopReplay(
+                stmt.uid, self.replay, jit=self.jit, var=var,
+                num_shards=ctx.num_shards)
         tracer = self.tracer
         for v in values:
             if var is not None:

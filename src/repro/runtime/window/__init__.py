@@ -1,0 +1,41 @@
+"""The whole-window JIT: compile frozen loop iterations to closures.
+
+This package is the staged successor of the monolithic
+``repro.runtime.replay`` module (which remains as a re-exporting shim):
+
+* :mod:`~repro.runtime.window.recorder` — op vocabulary and the
+  iteration shadow recorder.
+* :mod:`~repro.runtime.window.ir` — the window IR: frozen views and
+  launches, pair copies, footprints, and the cross-pass verifier.
+* :mod:`~repro.runtime.window.lower` — lowering passes (freeze, fuse
+  copies, batch sync, constant fold, fuse tasks).
+* :mod:`~repro.runtime.window.schedule` — phase fission: overlap compute
+  with the p2p handshake.
+* :mod:`~repro.runtime.window.exec` — the compile driver, the
+  interpreted :class:`ReplayTrace`, the :class:`CompiledWindow`, and the
+  per-loop capture state machine.
+"""
+
+from .exec import (
+    CompiledWindow,
+    LoopReplay,
+    ReplayTrace,
+    WindowContext,
+    compile_window,
+)
+from .ir import (
+    FrozenView,
+    PairCopy,
+    WindowIR,
+    WindowVerifyError,
+    format_window,
+    window_summary,
+)
+from .recorder import IterationRecorder, ReplayError
+
+__all__ = [
+    "CompiledWindow", "FrozenView", "IterationRecorder", "LoopReplay",
+    "PairCopy", "ReplayError", "ReplayTrace", "WindowContext", "WindowIR",
+    "WindowVerifyError", "compile_window", "format_window",
+    "window_summary",
+]

@@ -1,0 +1,699 @@
+"""The window IR: frozen views, launches, pair copies, and the verifier.
+
+A :class:`WindowIR` is one recorded loop iteration in flight through the
+window-compiler passes (:mod:`repro.runtime.window.lower` and
+:mod:`repro.runtime.window.schedule`): a flat op list (see
+:mod:`repro.runtime.window.recorder` for the vocabulary) plus the guard
+set, epoch bases, and per-pass side tables (folded scalar names, per-uid
+protected-array footprints).
+
+The structural verifier (:func:`window_summary` / :func:`verify_window`)
+runs after every pass: it recomputes the window's externally visible
+effects — counter deltas, per-channel advance targets and wait strides,
+the barrier/collective sequence — and checks them against the recorded
+baseline, so a lowering bug fails at compile time instead of corrupting a
+steady-state run.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+import numpy as np
+
+from ...core.ir import Expr, IndexLaunch, evaluate
+from ...regions.region import _REDUCTION_UFUNCS, apply_reduction
+from ...tasks.privileges import PrivilegeError
+from ...tasks.views import RegionView
+from ..collectives import SCALAR_REDUCTIONS
+from ..copy_engine import FusedCopy
+from .recorder import (
+    OP_ADV,
+    OP_ADVN,
+    OP_ASSIGN,
+    OP_BARRIER,
+    OP_COLL,
+    OP_CONST,
+    OP_COPY,
+    OP_FILL,
+    OP_FUSED,
+    OP_MEGA,
+    OP_NAMES,
+    OP_SETVAR,
+    OP_TASK,
+    OP_VISIT,
+    OP_VISITS,
+    OP_WAIT,
+)
+
+__all__ = [
+    "FrozenView", "PairCopy", "WindowIR", "WindowVerifyError",
+    "counter_deltas", "format_window", "guards_hold", "op_arrays",
+    "verify_window", "window_summary",
+]
+
+_EMPTY_ENV: dict[str, Any] = {}
+
+
+class _Unfreezable(Exception):
+    """Internal: this iteration's schedule cannot be frozen into a trace."""
+
+
+class FrozenView(RegionView):
+    """A :class:`RegionView` whose privilege checks ran at capture time.
+
+    Only constructed for instances that cover their region exactly (the
+    distributed-memory storage invariant), so every field access is the
+    whole instance array: zero-copy, no gather/writeback, and stable
+    across replays — the arrays are pinned once at freeze time.
+    """
+
+    def __init__(self, region, instance, privilege):
+        super().__init__(region, instance, privilege)
+        if instance.index_set != region.index_set:
+            raise _Unfreezable(
+                f"instance for {region.name} does not cover it exactly")
+        self._cache = {f: (arr, None) for f, arr in instance.fields.items()}
+
+    def read(self, field: str) -> np.ndarray:
+        return self._cache[field][0]
+
+    def write(self, field: str) -> np.ndarray:
+        return self._cache[field][0]
+
+    def reduce(self, field: str, slots, values, redop: str) -> None:
+        apply_reduction(self._cache[field][0], slots, values, redop)
+
+    def finalize(self) -> None:
+        pass  # direct views: nothing to write back, keep the cache
+
+    def __repr__(self) -> str:
+        return f"FrozenView({self.region.name}, {self.privilege})"
+
+
+def _as_index(slots: np.ndarray):
+    """Lower a sorted slot array to a slice when it is contiguous."""
+    if slots.size and int(slots[-1]) - int(slots[0]) == slots.size - 1:
+        return slice(int(slots[0]), int(slots[-1]) + 1)
+    return slots
+
+
+class PairCopy:
+    """One pairwise copy lowered to cached index arrays / slice tuples.
+
+    ``localize`` (two searchsorted passes over materialized point arrays)
+    runs once at capture; every replay is a plain numpy fancy-indexed
+    assignment — or ``ufunc.at`` under the pair's reduction lock for
+    reduction copies — between the pre-resolved instance buffers.  The
+    lock is resolved at build time from the executor's per-destination
+    lock table; ``None`` means the destination's inbound contributions
+    are provably disjoint across producer shards and the fold is applied
+    lock-free.
+    """
+
+    __slots__ = ("arrays", "src_ix", "dst_ix", "ufunc", "count", "nbytes",
+                 "uid", "group_key", "lock")
+
+    def __init__(self, arrays, src_ix, dst_ix, ufunc, count, nbytes,
+                 uid=0, group_key=0, lock=None):
+        self.arrays = arrays
+        self.src_ix = src_ix
+        self.dst_ix = dst_ix
+        self.ufunc = ufunc
+        self.count = count
+        self.nbytes = nbytes
+        self.uid = uid
+        self.group_key = group_key
+        self.lock = lock
+
+    @classmethod
+    def build(cls, stmt, src_inst, dst_inst, pts, lock=None,
+              width=None) -> "PairCopy":
+        src_ix = _as_index(src_inst.localize(pts))
+        dst_ix = _as_index(dst_inst.localize(pts))
+        arrays = tuple((dst_inst.fields[f], src_inst.fields[f])
+                       for f in stmt.fields)
+        count = int(pts.count)
+        if width is None:
+            width = sum(dst_inst.fields[f].dtype.itemsize
+                        for f in stmt.fields)
+        ufunc = None if stmt.redop is None else _REDUCTION_UFUNCS[stmt.redop]
+        return cls(arrays, src_ix, dst_ix, ufunc, count, count * width,
+                   uid=stmt.uid, group_key=id(dst_inst), lock=lock)
+
+    def apply(self) -> None:
+        src_ix, dst_ix = self.src_ix, self.dst_ix
+        if self.ufunc is None:
+            for dst, src in self.arrays:
+                dst[dst_ix] = src[src_ix]
+        elif self.lock is None:
+            # Disjoint-producer destination: no other shard can fold into
+            # these elements concurrently.
+            for dst, src in self.arrays:
+                self.ufunc.at(dst, dst_ix, src[src_ix])
+        else:
+            # Reduction folds from different producers may target the same
+            # destination elements; ufunc.at is not atomic across threads.
+            with self.lock:
+                for dst, src in self.arrays:
+                    self.ufunc.at(dst, dst_ix, src[src_ix])
+
+
+class _TaskEntry:
+    """One point task: prebuilt argument vector + dynamic scalar positions."""
+
+    __slots__ = ("index", "args", "exprs")
+
+    def __init__(self, index: int, args: list, exprs: tuple):
+        self.index = index
+        self.args = args
+        self.exprs = exprs  # ((position, expr), ...) re-evaluated per replay
+
+
+class _FrozenLaunch:
+    """An IndexLaunch precompiled to frozen views and argument vectors."""
+
+    __slots__ = ("task", "entries", "reduce_name", "fold")
+
+    def __init__(self, task, entries, reduce_name, fold):
+        self.task = task
+        self.entries = entries
+        self.reduce_name = reduce_name
+        self.fold = fold
+
+    def run(self, ex, state) -> Iterator[None]:
+        task = self.task
+        reduce_name = self.reduce_name
+        partial = (state.pending_reductions.get(reduce_name)
+                   if reduce_name is not None else None)
+        for entry in self.entries:
+            if entry.exprs:
+                env = {**state.scalars, "i": entry.index}
+                args = entry.args
+                for pos, e in entry.exprs:
+                    args[pos] = evaluate(e, env)
+            result = task(*entry.args)
+            state.tasks_executed += 1
+            if reduce_name is not None and result is not None:
+                partial = (result if partial is None
+                           else self.fold(partial, result))
+            yield None  # preemption point: one point task executed
+        if reduce_name is not None and partial is not None:
+            state.pending_reductions[reduce_name] = partial
+
+    def run_compiled(self, state) -> None:
+        """Non-generator variant for a compute phase: no preemption points,
+        no per-task counter bumps (the compiled window applies its counter
+        deltas once per replay)."""
+        task = self.task
+        reduce_name = self.reduce_name
+        scalars = state.scalars
+        partial = (state.pending_reductions.get(reduce_name)
+                   if reduce_name is not None else None)
+        for entry in self.entries:
+            if entry.exprs:
+                env = {**scalars, "i": entry.index}
+                args = entry.args
+                for pos, e in entry.exprs:
+                    args[pos] = evaluate(e, env)
+            result = task(*entry.args)
+            if reduce_name is not None and result is not None:
+                partial = (result if partial is None
+                           else self.fold(partial, result))
+        if reduce_name is not None and partial is not None:
+            state.pending_reductions[reduce_name] = partial
+
+    def entry_arrays(self, k: int) -> set[int]:
+        """ids of the instance arrays point task ``k`` can touch."""
+        ids: set[int] = set()
+        for a in self.entries[k].args:
+            if isinstance(a, FrozenView):
+                for arr, _ in a._cache.values():
+                    ids.add(id(arr))
+        return ids
+
+    def arrays(self) -> set[int]:
+        ids: set[int] = set()
+        for k in range(len(self.entries)):
+            ids |= self.entry_arrays(k)
+        return ids
+
+
+class _MegaLaunch:
+    """Adjacent index launches fused into one per-index sweep.
+
+    Legal only when the launches share the same owned index tuple and the
+    fuse-tasks pass proved their per-index array footprints pairwise
+    disjoint across distinct indices, so running ``l1(i), l2(i), l1(j),
+    l2(j), ...`` observes the same values as ``l1(*) then l2(*)``.  Per
+    index, launch order (and each launch's scalar-reduction fold order)
+    is preserved bit-exactly; the win is cache locality — a tile's
+    arrays stay hot across every fused kernel body.
+    """
+
+    __slots__ = ("launches", "n_points")
+
+    def __init__(self, launches):
+        self.launches = tuple(launches)
+        self.n_points = len(self.launches[0].entries)
+
+    def run_compiled(self, state) -> None:
+        scalars = state.scalars
+        pending = state.pending_reductions
+        partials = [pending.get(fl.reduce_name)
+                    if fl.reduce_name is not None else None
+                    for fl in self.launches]
+        for k in range(self.n_points):
+            for li, fl in enumerate(self.launches):
+                entry = fl.entries[k]
+                if entry.exprs:
+                    env = {**scalars, "i": entry.index}
+                    args = entry.args
+                    for pos, e in entry.exprs:
+                        args[pos] = evaluate(e, env)
+                result = fl.task(*entry.args)
+                if fl.reduce_name is not None and result is not None:
+                    p = partials[li]
+                    partials[li] = (result if p is None
+                                    else fl.fold(p, result))
+        for li, fl in enumerate(self.launches):
+            if fl.reduce_name is not None and partials[li] is not None:
+                pending[fl.reduce_name] = partials[li]
+
+    def tasks(self) -> int:
+        return sum(len(fl.entries) for fl in self.launches)
+
+    def arrays(self) -> set[int]:
+        ids: set[int] = set()
+        for fl in self.launches:
+            ids |= fl.arrays()
+        return ids
+
+
+class _BatchedView:
+    """The union of several point tasks' :class:`FrozenView` arguments.
+
+    Presents one argument position of a *batchable* task (see
+    ``Task.batchable``) as a single view over the concatenation of the
+    per-point view point sets.  Field data is staged into a reusable
+    scratch buffer before each kernel-body call and scattered back to
+    the per-tile instance arrays for written fields afterwards — the
+    per-point tasks' separate backing arrays are the only reason a copy
+    is needed at all.  The point order is the entry order, so slots are
+    *not* globally sorted: a batchable body must treat ``points`` as an
+    unordered set (coordinate-based access only, no ``localize``).
+    """
+
+    __slots__ = ("privilege", "region", "views", "points", "_parts",
+                 "_scratch", "_loaded", "_written")
+
+    def __init__(self, views, privilege):
+        self.views = tuple(views)
+        self.privilege = privilege
+        self.region = views[0].region  # representative, for error messages
+        pts = [v.points for v in views]
+        self.points = np.concatenate(pts) if pts else np.empty(0, np.int64)
+        offs = np.cumsum([0] + [p.shape[0] for p in pts])
+        self._parts = tuple((int(offs[i]), int(offs[i + 1]))
+                            for i in range(len(views)))
+        self._scratch: dict[str, np.ndarray] = {}
+        self._loaded: set[str] = set()
+        self._written: set[str] = set()
+
+    @property
+    def n(self) -> int:
+        return self.points.shape[0]
+
+    def _buf(self, field: str) -> np.ndarray:
+        if field not in self._loaded:
+            buf = self._scratch.get(field)
+            if buf is None:
+                ref = self.views[0]._cache[field][0]
+                buf = np.empty((self.n,) + ref.shape[1:], dtype=ref.dtype)
+                self._scratch[field] = buf
+            for (a, b), v in zip(self._parts, self.views):
+                buf[a:b] = v._cache[field][0]
+            self._loaded.add(field)
+        return self._scratch[field]
+
+    def read(self, field: str) -> np.ndarray:
+        if not self.privilege.allows_read(field):
+            raise PrivilegeError(
+                f"task holds {self.privilege} on {self.region.name}; "
+                f"cannot read field {field!r}")
+        return self._buf(field)
+
+    def write(self, field: str) -> np.ndarray:
+        if not self.privilege.allows_write(field):
+            raise PrivilegeError(
+                f"task holds {self.privilege} on {self.region.name}; "
+                f"cannot write field {field!r}")
+        self._written.add(field)
+        return self._buf(field)
+
+    def reduce(self, field: str, slots, values, redop: str) -> None:
+        if not self.privilege.allows_reduce(field, redop):
+            raise PrivilegeError(
+                f"task holds {self.privilege} on {self.region.name}; "
+                f"cannot reduce({redop}) field {field!r}")
+        self._written.add(field)
+        apply_reduction(self._buf(field), slots, values, redop)
+
+    def finalize(self) -> None:
+        pass  # writeback is driven by the batched launch, not the task
+
+    def _reset(self) -> None:
+        self._loaded.clear()
+        self._written.clear()
+
+    def _writeback(self) -> None:
+        for field in self._written:
+            buf = self._scratch[field]
+            for (a, b), v in zip(self._parts, self.views):
+                v._cache[field][0][...] = buf[a:b]
+
+    def __repr__(self) -> str:
+        return (f"_BatchedView({self.region.name} x{len(self.views)}, "
+                f"{self.privilege})")
+
+
+class _BatchedLaunch:
+    """A frozen index launch lowered to ONE kernel-body call.
+
+    Only built for launches of ``batchable`` tasks with no scalar
+    reduction and no per-point dynamic arguments: every view argument
+    position becomes a :class:`_BatchedView` over the owned points, so a
+    steady-state iteration pays the task body's fixed numpy cost once
+    per shard instead of once per tile.  ``entries`` keeps the original
+    per-point entries for counter deltas and footprint queries.
+    """
+
+    __slots__ = ("task", "entries", "inner", "batched_args")
+
+    def __init__(self, fl: _FrozenLaunch):
+        self.task = fl.task
+        self.entries = fl.entries
+        self.inner = fl
+        nargs = len(fl.entries[0].args)
+        args: list[Any] = []
+        for pos in range(nargs):
+            col = [e.args[pos] for e in fl.entries]
+            if isinstance(col[0], FrozenView):
+                args.append(_BatchedView(col, col[0].privilege))
+            else:
+                args.append(col[0])  # static scalar, equal across entries
+        self.batched_args = tuple(args)
+
+    @classmethod
+    def lower(cls, fl: _FrozenLaunch) -> "_BatchedLaunch | None":
+        """The batched form of ``fl``, or None when batching is illegal:
+        the task did not opt in, the launch folds a scalar reduction
+        (batching would regroup the fold), a point carries dynamic
+        arguments, or static scalars differ across points."""
+        if (not fl.task.batchable or fl.reduce_name is not None
+                or len(fl.entries) < 2):
+            return None
+        nargs = len(fl.entries[0].args)
+        for e in fl.entries:
+            if e.exprs or len(e.args) != nargs:
+                return None
+        for pos in range(nargs):
+            col = [e.args[pos] for e in fl.entries]
+            if isinstance(col[0], FrozenView):
+                if not all(isinstance(a, FrozenView) for a in col):
+                    return None
+            elif any(a != col[0] for a in col[1:]):
+                return None
+        return cls(fl)
+
+    def run_compiled(self, state) -> None:
+        for arg in self.batched_args:
+            if isinstance(arg, _BatchedView):
+                arg._reset()
+        self.task(*self.batched_args)
+        for arg in self.batched_args:
+            if isinstance(arg, _BatchedView):
+                arg._writeback()
+
+    def run(self, ex, state) -> Iterator[None]:
+        # Interpreted fallback: batched ops only appear in compiled
+        # windows, but keep the trace-interpreter contract anyway.
+        self.run_compiled(state)
+        state.tasks_executed += len(self.entries)
+        yield None
+
+    def entry_arrays(self, k: int) -> set[int]:
+        return self.inner.entry_arrays(k)
+
+    def arrays(self) -> set[int]:
+        return self.inner.arrays()
+
+
+def _freeze_launch(ex, stmt: IndexLaunch, owned) -> _FrozenLaunch:
+    privileges = stmt.task.privileges
+    entries = []
+    for i in owned:
+        args: list[Any] = []
+        exprs: list[tuple[int, Expr]] = []
+        nviews = 0
+        for arg in stmt.args:
+            if hasattr(arg, "proj"):
+                part = arg.proj.partition
+                color = arg.proj.color_for(i)
+                view = FrozenView(part[color], ex.dist_instance(part, color),
+                                  privileges[nviews])
+                nviews += 1
+                args.append(view)
+            else:
+                e = arg.expr
+                if e.refs():
+                    exprs.append((len(args), e))
+                    args.append(None)
+                else:
+                    args.append(evaluate(e, _EMPTY_ENV))
+        entries.append(_TaskEntry(i, args, tuple(exprs)))
+    reduce_name = fold = None
+    if stmt.reduce is not None:
+        fold = SCALAR_REDUCTIONS[stmt.reduce[0]]
+        reduce_name = stmt.reduce[1]
+    return _FrozenLaunch(stmt.task, tuple(entries), reduce_name, fold)
+
+
+def guards_hold(guards, scalars: dict[str, Any]) -> bool:
+    """Re-evaluate a window's hoisted guards against the current scalars."""
+    for expr, expected, as_bool in guards:
+        v = evaluate(expr, scalars)
+        if as_bool:
+            if bool(v) is not expected:
+                return False
+        elif v != expected:
+            return False
+    return True
+
+
+class WindowIR:
+    """One recorded loop iteration in flight through the window passes."""
+
+    __slots__ = ("ops", "guards", "epoch_base", "written", "copy_ranges",
+                 "loop_var", "folded", "copy_protect", "epoch_deltas",
+                 "invariants")
+
+    def __init__(self, ops, guards, epoch_base, written, copy_ranges,
+                 loop_var=None):
+        self.ops: list = ops
+        self.guards: list = guards
+        self.epoch_base: dict[int, int] = epoch_base
+        self.written: set[str] = written
+        self.copy_ranges = copy_ranges
+        self.loop_var = loop_var
+        # Names constant-folded out of the op stream; writing one of them
+        # on a fallback iteration invalidates the compiled window.
+        self.folded: frozenset[str] = frozenset()
+        # uid -> frozenset of array ids the uid's inbound copies protect
+        # (this shard's owned destination instances); the fission pass
+        # uses it to move handshake ops past unrelated compute.
+        self.copy_protect: dict[int, frozenset[int]] = {}
+        self.epoch_deltas: tuple = ()
+        self.invariants: set[str] = set()
+
+
+# ---------------------------------------------------------------------------
+# Footprints, counter deltas, and the structural verifier
+# ---------------------------------------------------------------------------
+
+def op_arrays(op) -> frozenset[int]:
+    """ids of every instance array the op may read or write.
+
+    Scalar, sync, and bookkeeping ops have empty footprints; the fission
+    pass treats an unknown footprint as a scheduling fence, so this only
+    needs to be exact for the op kinds it moves things across.
+    """
+    k = op[0]
+    if k == OP_TASK and len(op) == 2:
+        return frozenset(op[1].arrays())
+    if k == OP_MEGA:
+        return frozenset(op[1].arrays())
+    if k == OP_COPY:
+        pc = op[1]
+        return frozenset(i for pair in pc.arrays for i in
+                         (id(pair[0]), id(pair[1])))
+    if k == OP_FUSED:
+        ids: set[int] = set()
+        for item in op[1].items:
+            if isinstance(item, FusedCopy):
+                for arr in item.dst_arrays or ():
+                    ids.add(id(arr))
+                for arr in item.src_arrays or ():
+                    ids.add(id(arr))
+                for gather in item.gathers or ():
+                    for arr in gather[3]:
+                        ids.add(id(arr))
+            else:  # PairCopy
+                for dst, src in item.arrays:
+                    ids.add(id(dst))
+                    ids.add(id(src))
+        return frozenset(ids)
+    if k == OP_FILL:
+        return frozenset(id(arr) for arr, _ in op[1])
+    return frozenset()
+
+
+def counter_deltas(ops) -> dict[str, int]:
+    """Shard-counter deltas one execution of ``ops`` produces.
+
+    Computed once at compile time and applied per replayed iteration, so
+    compiled windows stay counter-identical to interpretation by
+    construction; the verifier also diffs this across passes.
+    """
+    d = {"pair_visits": 0, "elements_copied": 0, "copies_performed": 0,
+         "bytes_copied": 0, "tasks_executed": 0, "fused_copies": 0,
+         "fused_pairs": 0, "lockfree_folds": 0, "locked_folds": 0}
+    for op in ops:
+        k = op[0]
+        if k == OP_COPY:
+            pc = op[1]
+            d["pair_visits"] += 1
+            d["elements_copied"] += pc.count
+            d["copies_performed"] += 1
+            d["bytes_copied"] += pc.nbytes
+            if pc.ufunc is not None:
+                key = "lockfree_folds" if pc.lock is None else "locked_folds"
+                d[key] += 1
+        elif k == OP_FUSED:
+            fb = op[1]
+            d["pair_visits"] += fb.pair_count
+            d["copies_performed"] += fb.pair_count
+            d["elements_copied"] += fb.count
+            d["bytes_copied"] += fb.nbytes
+            d["fused_copies"] += fb.n_fused
+            d["fused_pairs"] += fb.fused_pairs
+            d["lockfree_folds"] += fb.lockfree_folds
+            d["locked_folds"] += fb.locked_folds
+        elif k == OP_VISIT:
+            d["pair_visits"] += 1
+        elif k == OP_VISITS:
+            d["pair_visits"] += op[1]
+        elif k == OP_TASK:
+            # Pre-freeze shape is (k, stmt, owned); frozen is (k, launch).
+            d["tasks_executed"] += (len(op[2]) if len(op) == 3
+                                    else len(op[1].entries))
+        elif k == OP_MEGA:
+            d["tasks_executed"] += op[1].tasks()
+    return d
+
+
+def window_summary(wir: WindowIR):
+    """The window's externally visible effects, for cross-pass diffing:
+    counter deltas, per-channel max advance target and ordered wait
+    strides, and the ordered barrier/collective sequence."""
+    advs: dict[int, int] = {}
+    waits: dict[int, list[int]] = {}
+    syncs: list[tuple] = []
+    for op in wir.ops:
+        k = op[0]
+        if k == OP_ADV:
+            key = id(op[1])
+            advs[key] = max(advs.get(key, op[3]), op[3])
+        elif k == OP_ADVN:
+            for seq in op[1]:
+                key = id(seq)
+                advs[key] = max(advs.get(key, op[3]), op[3])
+        elif k == OP_WAIT:
+            waits.setdefault(id(op[1]), []).append(op[3])
+        elif k == OP_BARRIER:
+            syncs.append(("barrier", id(op[1]), op[2], op[3]))
+        elif k == OP_COLL:
+            syncs.append(("coll", id(op[1]), op[2], op[3], op[4]))
+    return (counter_deltas(wir.ops), advs,
+            {k: tuple(v) for k, v in waits.items()}, tuple(syncs))
+
+
+class WindowVerifyError(RuntimeError):
+    """A window pass changed the window's externally visible effects."""
+
+
+# Counters every lowering must preserve exactly.  The fused-copy-engine
+# counters (fused_copies/fused_pairs and the fold-path split) are
+# representation-dependent by design — interpretation of unfused pairs
+# reports zero fused batches — so the cross-pass diff excludes them; the
+# app-equivalence tests pin them per execution mode instead.
+_INVARIANT_COUNTERS = ("pair_visits", "elements_copied", "copies_performed",
+                       "bytes_copied", "tasks_executed")
+
+
+def verify_window(wir: WindowIR, baseline, stage: str) -> None:
+    counters, advs, waits, syncs = window_summary(wir)
+    base_counters, base_advs, base_waits, base_syncs = baseline
+    diff = {k: (base_counters[k], counters[k]) for k in _INVARIANT_COUNTERS
+            if counters[k] != base_counters[k]}
+    if diff:
+        raise WindowVerifyError(
+            f"window pass {stage!r} changed counter deltas: {diff}")
+    if advs != base_advs:
+        raise WindowVerifyError(
+            f"window pass {stage!r} changed channel advance targets")
+    if waits != base_waits:
+        raise WindowVerifyError(
+            f"window pass {stage!r} changed per-channel wait strides")
+    if syncs != base_syncs:
+        raise WindowVerifyError(
+            f"window pass {stage!r} changed the barrier/collective sequence")
+
+
+def format_window(wir: WindowIR) -> str:
+    """Render the window op list for ``--dump-after``-style inspection."""
+    lines = [f"window: {len(wir.ops)} ops, {len(wir.guards)} guards, "
+             f"folded={sorted(wir.folded)}"]
+    for n, op in enumerate(wir.ops):
+        k = op[0]
+        name = OP_NAMES[k] if k < len(OP_NAMES) else f"op{k}"
+        if k == OP_TASK:
+            detail = (f"stmt uid={op[1].uid} owned={op[2]}" if len(op) == 3
+                      else f"{op[1].task.name} x{len(op[1].entries)}")
+        elif k == OP_MEGA:
+            detail = ("+".join(fl.task.name for fl in op[1].launches)
+                      + f" x{op[1].n_points}")
+        elif k in (OP_ADV, OP_WAIT):
+            detail = f"uid={op[2]} stride={op[3]} kind={op[-1]}"
+        elif k == OP_ADVN:
+            detail = (f"uid={op[2]} stride={op[3]} kind={op[4]} "
+                      f"n={len(op[1])}")
+        elif k == OP_COPY:
+            detail = f"uid={op[1].uid} count={op[1].count}"
+        elif k == OP_FUSED:
+            fb = op[1]
+            detail = f"uid={fb.uid} pairs={fb.pair_count} groups={len(fb.items)}"
+        elif k == OP_CONST:
+            detail = " ".join(f"{n}={v!r}" for n, v in op[1])
+        elif k in (OP_ASSIGN, OP_SETVAR):
+            detail = f"{op[1]} = {op[2]!r}"
+        elif k == OP_BARRIER:
+            detail = f"uid={op[2]} stride={op[3]} label={op[4]}"
+        elif k == OP_COLL:
+            detail = f"uid={op[2]} stride={op[3]} name={op[4]}"
+        elif k == OP_VISITS:
+            detail = f"n={op[1]}"
+        else:
+            detail = ""
+        lines.append(f"  [{n:3d}] {name:<8} {detail}".rstrip())
+    return "\n".join(lines)

@@ -1,0 +1,90 @@
+"""Window phase scheduling: fission compute from the p2p handshake.
+
+The fused copy layout (``fuse-copies``) already groups one statement's
+handshake into phases; this pass moves those phases across *statement*
+boundaries so local compute overlaps the neighbor handshake:
+
+* **ack advances** (write-after-read releases) bubble *backward* past any
+  op whose array footprint does not touch the channel's protected
+  destination instances — releasing producers as early as the last local
+  read allows.
+* **ready waits** (read-after-write acquires) bubble *forward* past any
+  op that does not touch the arrays being delivered — deferring the wait
+  until just before the first consumer, so the intervening compute and
+  unrelated copies run while neighbors catch up.
+
+Both motions are deadlock-monotone: advances only move earlier and waits
+only move later, so any schedule the original (deadlock-free) window
+admitted is still admitted.  Barriers and collectives are scheduling
+fences; footprints come from :func:`repro.runtime.window.ir.op_arrays`,
+with the per-uid protected sets recorded by the fuse-copies pass.
+"""
+
+from __future__ import annotations
+
+from ...core.passes import Pass
+from .ir import WindowIR, op_arrays
+from .recorder import OP_ADV, OP_ADVN, OP_BARRIER, OP_COLL, OP_WAIT
+
+__all__ = ["FissionPass"]
+
+_FENCES = frozenset({OP_BARRIER, OP_COLL})
+
+
+class FissionPass(Pass):
+    """Overlap compute with the p2p handshake by hoisting acks / sinking
+    ready waits across footprint-disjoint ops."""
+
+    name = "fission"
+    establishes = ("fissioned",)
+
+    def run(self, wir: WindowIR, ctx) -> WindowIR:
+        ops = wir.ops
+        protect = wir.copy_protect
+        self._hoisted = 0
+        self._sunk = 0
+
+        # Hoist ack advances backward (left-to-right scan keeps already
+        # hoisted ops stable; crossing another advance/wait is always
+        # safe — advances commute and only release other shards sooner).
+        for i in range(len(ops)):
+            op = ops[i]
+            k = op[0]
+            if k not in (OP_ADV, OP_ADVN) or op[-1] != "ack":
+                continue
+            prot = protect.get(op[2])
+            if not prot:
+                continue
+            j = i
+            while j > 0:
+                prev = ops[j - 1]
+                if prev[0] in _FENCES or op_arrays(prev) & prot:
+                    break
+                ops[j], ops[j - 1] = ops[j - 1], ops[j]
+                j -= 1
+            if j != i:
+                self._hoisted += 1
+
+        # Sink ready waits forward (right-to-left scan so a run of waits
+        # sinks without re-examining already-moved ops).
+        for i in range(len(ops) - 1, -1, -1):
+            op = ops[i]
+            if op[0] != OP_WAIT or op[5] != "rdy":
+                continue
+            prot = protect.get(op[2])
+            if not prot:
+                continue
+            j = i
+            while j + 1 < len(ops):
+                nxt = ops[j + 1]
+                if nxt[0] in _FENCES or op_arrays(nxt) & prot:
+                    break
+                ops[j], ops[j + 1] = ops[j + 1], ops[j]
+                j += 1
+            if j != i:
+                self._sunk += 1
+        return wir
+
+    def stats(self, wir: WindowIR) -> dict[str, float]:
+        return {"hoisted_acks": getattr(self, "_hoisted", 0),
+                "sunk_ready_waits": getattr(self, "_sunk", 0)}

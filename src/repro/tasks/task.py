@@ -29,6 +29,14 @@ class Task:
     name: str
     uid: int = field(default_factory=lambda: next(_counter))
     leaf: bool = True  # leaf tasks launch no subtasks; informational
+    # The app author's promise that the body is *point-batchable*: it
+    # computes each point's result from coordinates and field values
+    # alone (treating ``view.points`` as an unordered set, never calling
+    # ``localize``), so running one call over the union of several point
+    # tasks' view points produces the same per-point results as running
+    # the tasks one by one.  The window compiler uses this to lower a
+    # frozen index launch to a single kernel-body call per shard.
+    batchable: bool = False
 
     @property
     def num_region_args(self) -> int:
@@ -50,7 +58,8 @@ class Task:
 
 
 def task(privileges: Sequence[Privilege], name: str | None = None,
-         leaf: bool = True) -> Callable[[Callable[..., Any]], Task]:
+         leaf: bool = True,
+         batchable: bool = False) -> Callable[[Callable[..., Any]], Task]:
     """Decorator declaring a task.
 
     Example::
@@ -62,6 +71,7 @@ def task(privileges: Sequence[Privilege], name: str | None = None,
     privs = tuple(privileges)
 
     def decorate(fn: Callable[..., Any]) -> Task:
-        return Task(fn=fn, privileges=privs, name=name or fn.__name__, leaf=leaf)
+        return Task(fn=fn, privileges=privs, name=name or fn.__name__,
+                    leaf=leaf, batchable=batchable)
 
     return decorate

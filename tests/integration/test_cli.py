@@ -166,7 +166,9 @@ class TestBenchReportCommand:
         out = capsys.readouterr().out
         assert rc == 0
         assert "fig6_stencil" in out and "steady_state_iteration" in out
-        assert "replay_speedup=2.5" in out
+        # *_speedup extras render in the dedicated speedup column.
+        assert "2.50x" in out
+        assert "replay_speedup" not in out
         assert "unreadable" in out  # broken file reported, not fatal
 
     def test_empty_dir(self, tmp_path, capsys):

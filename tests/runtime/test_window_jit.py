@@ -1,0 +1,373 @@
+"""Whole-window JIT: compiled windows must be invisible except for speed.
+
+Covers the window-compiler pipeline end to end: sequential equivalence
+and counter parity across all four apps and all three backends with the
+JIT on/off, constant folding of stable scalars (and its refusal to
+freeze evolving ones), invalidation when a guard-fallback iteration
+rewrites a folded scalar, the batched advance path, and the
+observability surface (``spmd_window_*`` metrics, ``replay:jit`` spans,
+pass dumps).
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.circuit import CircuitProblem
+from repro.apps.miniaero import MiniAeroProblem
+from repro.apps.pennant import PennantProblem
+from repro.apps.stencil import StencilProblem
+from repro.core import ProgramBuilder, control_replicate
+from repro.core.ir import BinOp, Const, ScalarRef
+from repro.obs import MetricsRegistry, Tracer
+from repro.regions import ispace, partition_block, region
+from repro.tasks import R, task
+from repro.runtime import (
+    ReplayError,
+    SequentialExecutor,
+    SPMDExecutor,
+    procs_available,
+)
+from repro.runtime.events import Sequence, advance_group
+
+from tests.conftest import Fig2
+
+ALL_MODES = ["stepped", "threaded"] + (["procs"] if procs_available() else [])
+
+APPS = {
+    "stencil": lambda: StencilProblem(n=24, radius=2, tiles=4, steps=5),
+    "circuit": lambda: CircuitProblem(pieces=4, nodes_per_piece=25,
+                                      wires_per_piece=40, steps=5),
+    "pennant": lambda: PennantProblem(nx=8, ny=8, pieces=4, steps=5),
+    "miniaero": lambda: MiniAeroProblem(shape=(6, 6, 6), tiles=4, steps=5),
+}
+
+COUNTER_5 = ("tasks_executed", "pair_visits", "copies_performed",
+             "elements_copied", "bytes_copied")
+
+
+def counters(ex):
+    return tuple(getattr(ex, k) for k in COUNTER_5)
+
+
+class TestAppEquivalence:
+    """The acceptance matrix: 4 apps x 3 backends, jit on vs off."""
+
+    @pytest.mark.parametrize("mode", ALL_MODES)
+    @pytest.mark.parametrize("app", sorted(APPS))
+    def test_jit_matches_off_and_sequential(self, app, mode):
+        p = APPS[app]()
+        seq_state, _, _ = p.run_sequential()
+        runs = {}
+        for jit in ("off", "auto"):
+            st, _, ex, _ = p.run_control_replicated(4, mode=mode, jit=jit)
+            runs[jit] = (st, ex)
+            for k in seq_state:
+                assert np.allclose(st[k], seq_state[k],
+                                   rtol=1e-11, atol=1e-13), (app, mode, jit, k)
+        # Exact counter parity: the compiled window applies precomputed
+        # deltas, so the data-movement counters match interpretation
+        # bit-for-bit — not just approximately.
+        assert counters(runs["off"][1]) == counters(runs["auto"][1])
+        assert runs["auto"][1].window_compiles > 0
+        assert runs["off"][1].window_compiles == 0
+
+    def test_force_compiles_every_window(self):
+        p = APPS["stencil"]()
+        st, _, ex, _ = p.run_control_replicated(4, jit="force")
+        seq_state, _, _ = p.run_sequential()
+        for k in seq_state:
+            assert np.allclose(st[k], seq_state[k], rtol=1e-11, atol=1e-13)
+        assert ex.window_compiles == 4  # one compiled window per shard
+
+    def test_lowering_shrinks_the_window(self):
+        p = APPS["stencil"]()
+        _, _, ex, _ = p.run_control_replicated(4, jit="auto")
+        assert 0 < ex.window_ops_lowered < ex.window_ops_recorded
+        assert 0 < ex.window_closures < ex.window_ops_lowered
+
+    def test_invalid_jit_mode_rejected(self, fig2):
+        with pytest.raises(ValueError, match="jit"):
+            SPMDExecutor(num_shards=2, jit="always")
+
+
+class TestGuardFallback:
+    """A guard miss interprets one iteration, bit-identically, jit or not."""
+
+    def _program_with_branch(self, fig2, steps, special):
+        b = ProgramBuilder("fig2_branch")
+        b.let("T", steps)
+        with b.for_range("t", 0, "T"):
+            b.launch(fig2.TF, fig2.I, fig2.PB, fig2.PA)
+            with b.if_stmt(BinOp("==", ScalarRef("t"), Const(special))):
+                b.launch(fig2.TF, fig2.I, fig2.PB, fig2.PA)
+            b.launch(fig2.TG, fig2.I, fig2.PA, fig2.QB)
+        return b.build()
+
+    @pytest.mark.parametrize("mode", ALL_MODES)
+    def test_fallback_bit_identical_across_jit_modes(self, mode):
+        fig2 = Fig2(steps=1)
+        prog = self._program_with_branch(fig2, 6, 4)
+        seq = SequentialExecutor(instances=fig2.fresh_instances())
+        seq.run(self._program_with_branch(fig2, 6, 4))
+        states = {}
+        for jit in ("off", "auto"):
+            cprog, _ = control_replicate(prog, num_shards=4)
+            ex = SPMDExecutor(num_shards=4, mode=mode,
+                              instances=fig2.fresh_instances(), jit=jit)
+            ex.run(cprog)
+            states[jit] = {uid: ex.instances[uid].fields["v"].copy()
+                           for uid in (fig2.A.uid, fig2.B.uid)}
+            assert ex.replay_guard_fallbacks == 4  # one per shard at t==4
+        for uid in states["off"]:
+            assert np.array_equal(states["off"][uid], states["auto"][uid])
+            assert np.array_equal(states["off"][uid],
+                                  seq.instances[uid].fields["v"])
+
+
+class TestConstFold:
+    def _program_with_written_const(self, fig2, steps, special):
+        # `c` is loop-invariant until the t == special branch bumps it.
+        # The body's `d = c + 1` makes the constant folder consume `c`
+        # (freezing it into the compiled window behind a `c == 7` guard),
+        # so the fallback iteration's write must invalidate that window.
+        b = ProgramBuilder("fig2_constfold")
+        b.let("T", steps)
+        b.let("c", 7)
+        with b.for_range("t", 0, "T"):
+            b.launch(fig2.TF, fig2.I, fig2.PB, fig2.PA)
+            b.assign("d", BinOp("+", ScalarRef("c"), Const(1)))
+            with b.if_stmt(BinOp("==", ScalarRef("t"), Const(special))):
+                b.assign("c", BinOp("+", ScalarRef("c"), Const(1)))
+            b.launch(fig2.TG, fig2.I, fig2.PA, fig2.QB)
+        return b.build()
+
+    def test_folded_scalar_write_invalidates_window(self):
+        fig2 = Fig2(steps=1)
+        steps, special = 10, 4
+        prog = self._program_with_written_const(fig2, steps, special)
+        seq = SequentialExecutor(instances=fig2.fresh_instances())
+        seq_scalars = seq.run(
+            self._program_with_written_const(fig2, steps, special))
+        hits = {}
+        for jit in ("off", "auto"):
+            cprog, _ = control_replicate(prog, num_shards=4)
+            ex = SPMDExecutor(num_shards=4,
+                              instances=fig2.fresh_instances(), jit=jit)
+            scalars = ex.run(cprog)
+            assert scalars["c"] == seq_scalars["c"] == 8
+            assert scalars["d"] == seq_scalars["d"] == 9
+            assert np.array_equal(ex.instances[fig2.A.uid].fields["v"],
+                                  seq.instances[fig2.A.uid].fields["v"])
+            hits[jit] = (ex.replay_hits, ex.replay_misses)
+        # jit off: capture on 0-1, replay 2-3, guard miss at 4 (the trace
+        # stays valid — `c` only feeds the hoisted branch guard), replay
+        # 5-9: 7 hits / 3 misses per shard.
+        assert hits["off"] == (7 * 4, 3 * 4)
+        # jit auto: the fallback at t==4 rewrites folded `c`, dropping the
+        # compiled window; 5-6 re-capture, 7-9 replay the recompiled
+        # window: 5 hits / 5 misses per shard.
+        assert hits["auto"] == (5 * 4, 5 * 4)
+
+    def test_evolving_scalar_not_frozen(self):
+        # pennant's dt is rewritten by a min-collective every step; the
+        # constant folder must leave it out of the folded set or every
+        # replayed iteration would reuse a stale timestep.
+        p = APPS["pennant"]()
+        seq_state, seq_scalars, _ = p.run_sequential()
+        st, scalars, ex, _ = p.run_control_replicated(4, jit="force")
+        assert ex.replay_hits > 0
+        assert ex.window_compiles >= 4
+        assert scalars["dt"] == seq_scalars["dt"]
+        for k in seq_state:
+            assert np.allclose(st[k], seq_state[k], rtol=1e-11, atol=1e-13)
+
+    def test_force_surfaces_compile_errors(self):
+        # A program whose loop body cannot be frozen still raises under
+        # force with the JIT engaged (the pre-existing replay contract).
+        fig2 = Fig2(steps=1)
+        b = ProgramBuilder("fig2_unfreezable")
+        b.let("T", 5)
+        b.let("s", 0)
+        with b.for_range("t", 0, "T"):
+            b.assign("s", BinOp("+", ScalarRef("s"), Const(1)))
+            with b.if_stmt(BinOp("<", ScalarRef("s"), Const(100))):
+                b.launch(fig2.TF, fig2.I, fig2.PB, fig2.PA)
+            b.launch(fig2.TG, fig2.I, fig2.PA, fig2.QB)
+        cprog, _ = control_replicate(b.build(), num_shards=2)
+        ex = SPMDExecutor(num_shards=2, instances=fig2.fresh_instances(),
+                          replay="force", jit="force")
+        with pytest.raises(ReplayError):
+            ex.run(cprog)
+
+
+class TestAdvanceGroup:
+    """Satellite: batched generation bumps, on and off the JIT path."""
+
+    def test_plain_sequences_all_advance(self):
+        seqs = [Sequence() for _ in range(4)]
+        events = [s.event_for(3) for s in seqs]
+        advance_group(seqs, 3)
+        assert all(ev.is_set() for ev in events)
+        assert all(s.value == 3 for s in seqs)
+
+    def test_shared_domain_hook_dispatches(self):
+        calls = []
+
+        class Board(Sequence):
+            def advance_group_shared(self, seqs, n):
+                calls.append((tuple(seqs), n))
+                for s in seqs:
+                    Sequence.advance_to(s, n)
+
+        seqs = [Board() for _ in range(3)]
+        advance_group(seqs, 2)
+        assert calls == [(tuple(seqs), 2)]
+        assert all(s.value == 2 for s in seqs)
+
+    def test_empty_group_is_a_noop(self):
+        advance_group([], 5)
+
+    def test_batched_advances_with_jit_off(self):
+        # The batch-sync pass runs in tier A, so even interpreted replay
+        # advances each copy statement's ack run in one bump; counters
+        # and state must still match the sequential executor exactly.
+        fig2 = Fig2(steps=6)
+        seq = SequentialExecutor(instances=fig2.fresh_instances())
+        seq.run(fig2.build())
+        metrics = MetricsRegistry()
+        prog, _ = control_replicate(fig2.build(), num_shards=4)
+        ex = SPMDExecutor(num_shards=4, instances=fig2.fresh_instances(),
+                          jit="off", metrics=metrics)
+        ex.run(prog)
+        assert np.array_equal(ex.instances[fig2.A.uid].fields["v"],
+                              seq.instances[fig2.A.uid].fields["v"])
+        batched = sum(
+            inst.value for name, labels, inst in metrics.items()
+            if name == "spmd_window_pass_stat_total"
+            and labels.get("stat") == "advances_batched")
+        assert batched > 0
+
+
+def _pass_stat(metrics, stat):
+    return sum(inst.value for name, labels, inst in metrics.items()
+               if name == "spmd_window_pass_stat_total"
+               and labels.get("stat") == stat)
+
+
+class TestBatchLaunch:
+    """Tentpole lever: batchable point tasks lower to one body call."""
+
+    def _run_stencil(self, jit, tiles=16, shards=4):
+        p = StencilProblem(n=24, radius=2, tiles=tiles, steps=6)
+        metrics = MetricsRegistry()
+        prog, _ = control_replicate(p.build_program(), num_shards=shards)
+        ex = SPMDExecutor(num_shards=shards, mode="stepped", jit=jit,
+                          metrics=metrics, instances=p.fresh_instances())
+        ex.run(prog)
+        return p.extract_state(ex.instances), ex, metrics
+
+    def test_batched_stencil_bit_identical(self):
+        # Oversubscribed tiles (4 per shard) so batching actually fires:
+        # the stencil body is coordinate-based, so one call over the
+        # union of a shard's tiles must be bitwise equal to per-tile
+        # calls — array_equal, not allclose.
+        st_off, ex_off, _ = self._run_stencil("off")
+        st_jit, ex_jit, metrics = self._run_stencil("auto")
+        for k in st_off:
+            assert np.array_equal(st_off[k], st_jit[k]), k
+        assert counters(ex_off) == counters(ex_jit)
+        # 2 launches x 4 shards batched, 4 point tasks each.
+        assert _pass_stat(metrics, "batched_launches") == 8
+        assert _pass_stat(metrics, "batched_tasks") == 32
+
+    def test_single_tile_shards_not_batched(self):
+        # One tile per shard: nothing to batch (a 1-entry launch pays no
+        # per-tile dispatch), the pass must leave the launch alone.
+        _, ex, metrics = self._run_stencil("auto", tiles=4)
+        assert ex.window_compiles == 4
+        assert _pass_stat(metrics, "batched_launches") == 0
+
+    def test_opt_in_only(self):
+        # Fig2's tasks never declared `batchable`; even jit=force must
+        # not batch them — the contract is the app author's promise.
+        fig2 = Fig2(steps=6)
+        metrics = MetricsRegistry()
+        prog, _ = control_replicate(fig2.build(), num_shards=2)
+        ex = SPMDExecutor(num_shards=2, instances=fig2.fresh_instances(),
+                          jit="force", metrics=metrics)
+        ex.run(prog)
+        assert ex.window_compiles == 2
+        assert _pass_stat(metrics, "batched_launches") == 0
+
+    def test_scalar_reduction_launch_not_batched(self):
+        # A batchable task folding into a scalar reduction stays
+        # unbatched: one body call would regroup the fold order.
+        Rg = region(ispace(size=16), {"v": np.float64}, name="R")
+        I = ispace(size=4, name="I")
+        P = partition_block(Rg, I, name="P")
+
+        @task(privileges=[R("v")], name="lowest", batchable=True)
+        def lowest(A):
+            return float(A.points.min())
+
+        def build():
+            b = ProgramBuilder()
+            b.let("T", 6)
+            with b.for_range("t", 0, "T"):
+                b.launch(lowest, I, P, reduce=("min", "lo"))
+            return b.build()
+
+        seq_scalars = SequentialExecutor().run(build())
+        metrics = MetricsRegistry()
+        prog, _ = control_replicate(build(), num_shards=2)
+        ex = SPMDExecutor(num_shards=2, jit="force", metrics=metrics)
+        scalars = ex.run(prog)
+        assert scalars["lo"] == seq_scalars["lo"]
+        assert ex.window_compiles == 2
+        assert _pass_stat(metrics, "batched_launches") == 0
+
+
+class TestObservability:
+    def test_window_metrics_and_jit_spans(self):
+        fig2 = Fig2(steps=6)
+        tracer = Tracer()
+        metrics = MetricsRegistry()
+        prog, _ = control_replicate(fig2.build(), num_shards=2,
+                                    tracer=tracer, metrics=metrics)
+        ex = SPMDExecutor(num_shards=2, instances=fig2.fresh_instances(),
+                          tracer=tracer, metrics=metrics)
+        ex.run(prog)
+        names = {e.get("name") for e in tracer.events()}
+        assert "replay:jit" in names
+        assert "window:constfold" in names
+        assert "window:fission" in names
+        jit_spans = [e for e in tracer.events()
+                     if e.get("name") == "replay:jit"]
+        assert all(e.get("cat") == "jit" for e in jit_spans)
+        assert all(e["args"]["closures"] > 0 for e in jit_spans)
+        got = {name for name, _, _ in metrics.items()}
+        assert "spmd_window_ops_total" in got
+        assert "spmd_window_closures_total" in got
+        assert "spmd_window_compiles_total" in got
+        assert "spmd_window_pass_runs_total" in got
+
+    def test_window_dump_after(self, capsys):
+        fig2 = Fig2(steps=5)
+        prog, _ = control_replicate(fig2.build(), num_shards=2)
+        dumped = []
+        ex = SPMDExecutor(num_shards=2, instances=fig2.fresh_instances())
+        ex.window_dump_after = frozenset({"fuse-tasks"})
+        ex.window_dump_sink = lambda name, text: dumped.append((name, text))
+        ex.run(prog)
+        assert dumped  # one dump per compiled window
+        assert all(name == "fuse-tasks" for name, _ in dumped)
+        assert all(text.startswith("window:") for _, text in dumped)
+
+    def test_window_counters_funnel_through_procs(self):
+        if not procs_available():
+            pytest.skip("fork unavailable")
+        p = APPS["stencil"]()
+        _, _, ex, _ = p.run_control_replicated(4, mode="procs", jit="auto")
+        assert ex.window_compiles == 4
+        assert ex.window_ops_recorded > ex.window_ops_lowered > 0
+        assert ex.window_closures > 0
