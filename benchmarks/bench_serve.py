@@ -1,0 +1,70 @@
+"""Compile-once serve-many: warm (plan-cache hit) vs cold request latency.
+
+A cold serve request pays the whole pipeline — CR compile, distributed
+instance creation, intersection evaluation, steady-state trace capture,
+window JIT — before it ever replays an iteration.  A warm request with
+the same fingerprint reuses the resident executor's compiled program and
+frozen plans and goes straight to replay against freshly loaded region
+data.  This benchmark measures both paths through the real
+:class:`~repro.serve.engine.ServeEngine` (queue, cache, metrics merge
+included) and records them into ``BENCH_serve.json``.
+
+Acceptance: warm latency must beat cold by >= 2x, and the warm request
+must report zero compiler-pass and zero capture work — the same
+properties the serve test suite asserts, measured here for the record.
+"""
+
+from conftest import record_bench
+
+from repro.serve import ServeEngine
+
+# Enough steps that the warm path's replay work is realistic, small
+# enough that the cold compile dominates visibly.
+REQUEST = {"app": "stencil", "tiles": 16, "steps": 8, "size": 48,
+           "shards": 4, "backend": "threaded"}
+
+
+def _cold_latency(engine) -> tuple[float, dict]:
+    result = engine.run_sync(REQUEST, timeout=300)
+    assert result["cache"]["hit"] is False
+    return result["elapsed_s"], result
+
+
+def test_serve_warm_vs_cold():
+    engine = ServeEngine(workers=1, cache_size=4, queue_depth=8,
+                         max_shards=8)
+    try:
+        cold_s, cold = _cold_latency(engine)
+        # Cold again on an empty cache (fresh engines) to de-noise the
+        # cold figure; the resident engine keeps serving warm hits.
+        for _ in range(2):
+            with ServeEngine(workers=1, cache_size=4, queue_depth=8,
+                             max_shards=8) as fresh:
+                s, _ = _cold_latency(fresh)
+                cold_s = min(cold_s, s)
+        warm_results = []
+        for _ in range(5):
+            result = engine.run_sync(REQUEST, timeout=300)
+            assert result["cache"]["hit"] is True
+            assert result["counters"]["replay_misses"] == 0
+            assert result["counters"]["window_compiles"] == 0
+            assert not any(k.startswith("compiler_pass_")
+                           for k in result["metrics"])
+            assert result["state_sha256"] == cold["state_sha256"]
+            warm_results.append(result["elapsed_s"])
+        warm_s = min(warm_results)
+    finally:
+        engine.shutdown()
+
+    speedup = cold_s / warm_s
+    record_bench("serve", op="stencil_request_latency",
+                 shards=REQUEST["shards"], backend=REQUEST["backend"],
+                 seconds_per_iteration=warm_s,
+                 cold_seconds_per_iteration=cold_s,
+                 warm_speedup=speedup,
+                 steps=REQUEST["steps"], tiles=REQUEST["tiles"])
+    print(f"\nserve latency: cold {cold_s * 1e3:.1f} ms, "
+          f"warm {warm_s * 1e3:.1f} ms -> {speedup:.1f}x")
+    assert speedup >= 2.0, (
+        f"warm/cold speedup {speedup:.2f}x below the 2x acceptance bar "
+        f"(cold {cold_s * 1e3:.1f} ms, warm {warm_s * 1e3:.1f} ms)")

@@ -19,6 +19,10 @@ Commands:
   (human table + JSON report + Prometheus text export);
 * ``bench-report`` — merge all ``benchmarks/BENCH_*.json`` files into one
   perf-trajectory table;
+* ``serve``   — run a resident compile-once/serve-many HTTP server: each
+  structurally distinct request (app, sizes, shards, backend, opt flags)
+  is compiled once, and every later identical request reuses the cached
+  SPMD program and frozen replay/window plans (see ``docs/serving.md``);
 * ``apps``    — list the available applications.
 
 Observability (the shared ``repro.obs`` subsystem): ``--trace out.json``
@@ -266,6 +270,28 @@ def build_parser() -> argparse.ArgumentParser:
     b.add_argument("--bench-dir", default="benchmarks",
                    help="directory holding BENCH_*.json files "
                         "(default: ./benchmarks)")
+
+    sv = sub.add_parser(
+        "serve",
+        help="resident compile-once/serve-many HTTP server with a "
+             "program/window plan cache")
+    sv.add_argument("--host", default="127.0.0.1")
+    sv.add_argument("--port", type=int, default=8349,
+                    help="TCP port (0 picks a free one; default 8349)")
+    sv.add_argument("--workers", type=int, default=2,
+                    help="worker threads draining the job queue (default 2)")
+    sv.add_argument("--cache-size", dest="cache_size", type=int, default=8,
+                    help="resident compiled programs kept (LRU, default 8)")
+    sv.add_argument("--queue-depth", dest="queue_depth", type=int, default=16,
+                    help="admission control: jobs buffered before requests "
+                         "are rejected with 429 (default 16)")
+    sv.add_argument("--max-shards", dest="max_shards", type=int, default=8,
+                    help="reject requests asking for more shards (default 8)")
+    sv.add_argument("--request-timeout", dest="request_timeout", type=float,
+                    default=300.0,
+                    help="seconds a synchronous /run may take (default 300)")
+    sv.add_argument("--verbose", action="store_true",
+                    help="log one line per HTTP request")
 
     e = sub.add_parser("explain", help="show what one shard will do")
     add_app_args(e)
@@ -544,6 +570,27 @@ def cmd_bench_report(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    from .serve import ServeEngine, create_server
+    engine = ServeEngine(workers=args.workers, cache_size=args.cache_size,
+                         queue_depth=args.queue_depth,
+                         max_shards=args.max_shards)
+    server = create_server(engine, host=args.host, port=args.port,
+                           request_timeout=args.request_timeout,
+                           quiet=not args.verbose)
+    print(f"repro serve: listening on http://{args.host}:{server.server_port}"
+          f" ({args.workers} workers, plan cache {args.cache_size}, "
+          f"queue {args.queue_depth})", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+        engine.shutdown()
+    return 0
+
+
 def cmd_explain(args) -> int:
     from .core import control_replicate, explain_shard, shard_communication_summary
     problem = APP_FACTORIES[args.app](args)
@@ -582,6 +629,7 @@ def main(argv: list[str] | None = None) -> int:
         "simulate": cmd_simulate,
         "profile": cmd_profile,
         "bench-report": cmd_bench_report,
+        "serve": cmd_serve,
         "explain": cmd_explain,
         "apps": cmd_apps,
     }[args.command]

@@ -42,11 +42,15 @@ from typing import Any, Iterator
 
 __all__ = [
     "Counter", "Gauge", "Histogram", "MetricsRegistry", "NULL_METRICS",
-    "DEFAULT_BUCKETS", "parse_prometheus_text",
+    "DEFAULT_BUCKETS", "PROMETHEUS_CONTENT_TYPE", "parse_prometheus_text",
+    "scrape_payload",
 ]
 
 # Default histogram bounds: wait/compute times in seconds, 1µs .. 10s.
 DEFAULT_BUCKETS = (1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0)
+
+# The Content-Type a Prometheus scraper expects for the text format.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
 
 class Counter:
@@ -341,6 +345,16 @@ def _sample(name: str, labels: dict[str, str]) -> str:
 def _escape(value: str) -> str:
     return (str(value).replace("\\", r"\\").replace('"', r'\"')
             .replace("\n", r"\n"))
+
+
+def scrape_payload(registry: MetricsRegistry) -> tuple[str, bytes]:
+    """``(content_type, body)`` for an HTTP ``/metrics`` scrape response.
+
+    The body is the registry's text exposition encoded as UTF-8; the
+    content type is :data:`PROMETHEUS_CONTENT_TYPE`.  Used by the
+    ``repro serve`` ``/metrics`` endpoint.
+    """
+    return PROMETHEUS_CONTENT_TYPE, registry.prometheus_text().encode("utf-8")
 
 
 def parse_prometheus_text(text: str) -> dict[str, float]:

@@ -16,17 +16,68 @@ is no free list).  :meth:`SharedMemoryArena.release` unlinks the segment
 names from the OS so nothing leaks in ``/dev/shm``; the mappings
 themselves stay valid for every process that holds them until it exits,
 so instances remain readable after release.
+
+Leak containment: ``/dev/shm`` is a machine-wide resource, and a resident
+``repro serve`` process allocates arenas on behalf of many requests, so a
+segment that outlives its run is a slow denial of service.  Every live
+(unreleased) arena is tracked in a process-level registry:
+:func:`live_arena_count` / :func:`live_segment_count` expose it for leak
+regression tests and serve diagnostics, and :func:`release_all_arenas` —
+registered as an :mod:`atexit` backstop — force-releases whatever error
+path dodged both the executor's ``try/finally`` and the arena's
+``__del__``.  (Forked shard children exit through ``os._exit`` and never
+run the backstop, so a crashing shard cannot unlink segments its parent
+still serves from.)
 """
 
 from __future__ import annotations
 
+import atexit
 import math
+import threading
+import weakref
 
 import numpy as np
 
-__all__ = ["SharedMemoryArena"]
+__all__ = ["SharedMemoryArena", "live_arena_count", "live_segment_count",
+           "release_all_arenas"]
 
 _ALIGN = 64  # cache-line align every carved array
+
+# Every unreleased arena in this process.  Weak references: an arena
+# reachable only from here is garbage, and its __del__ releases it.
+_LIVE_ARENAS: "weakref.WeakSet[SharedMemoryArena]" = weakref.WeakSet()
+_LIVE_LOCK = threading.Lock()
+
+
+def live_arena_count() -> int:
+    """Arenas created in this process and not yet released."""
+    with _LIVE_LOCK:
+        return sum(1 for a in _LIVE_ARENAS if not a._released)
+
+
+def live_segment_count() -> int:
+    """Shared-memory segments held by all live (unreleased) arenas."""
+    with _LIVE_LOCK:
+        return sum(a.num_segments for a in _LIVE_ARENAS if not a._released)
+
+
+def release_all_arenas() -> int:
+    """Force-release every live arena; returns how many were released.
+
+    The :mod:`atexit` backstop for error paths that leak an arena (a
+    crashed serve job, a cancelled request, an executor whose owner never
+    called ``close()``); also callable directly by a server's shutdown
+    path.
+    """
+    with _LIVE_LOCK:
+        live = [a for a in _LIVE_ARENAS if not a._released]
+    for arena in live:
+        arena.release()
+    return len(live)
+
+
+atexit.register(release_all_arenas)
 
 
 class SharedMemoryArena:
@@ -37,6 +88,8 @@ class SharedMemoryArena:
         self._segments: list = []
         self._offset = 0
         self._released = False
+        with _LIVE_LOCK:
+            _LIVE_ARENAS.add(self)
 
     # -- allocation --------------------------------------------------------
     def allocate(self, shape, dtype) -> np.ndarray:
@@ -57,6 +110,8 @@ class SharedMemoryArena:
         if not self._segments or self._offset + nbytes > self._segments[-1].size:
             seg = shared_memory.SharedMemory(
                 create=True, size=max(self._segment_bytes, nbytes))
+            # Register the segment before carving from it: if the ndarray
+            # construction below fails, release() still unlinks it.
             self._segments.append(seg)
             self._offset = 0
         arr = np.ndarray(shape, dtype=dtype,
@@ -85,6 +140,8 @@ class SharedMemoryArena:
         if self._released:
             return
         self._released = True
+        with _LIVE_LOCK:
+            _LIVE_ARENAS.discard(self)
         for seg in self._segments:
             try:
                 seg.unlink()

@@ -169,6 +169,40 @@ class _ShardState:
         self.epochs[uid] = g
         return g
 
+    def reset_for_run(self, scalars: dict[str, Any],
+                      metrics: MetricsRegistry) -> None:
+        """Prepare a persistent shard state for another run of its program.
+
+        The per-program *plan* half of this state survives: ``epochs``
+        (frozen window closures captured the dict object, and the sync
+        sequences it indexes are monotone across runs), ``loop_replays``
+        (the frozen ``ReplayTrace``/``CompiledWindow`` plans themselves),
+        and ``capture_points``.  The per-run *data* half is replaced:
+        ``scalars`` and ``metrics`` are swapped as whole objects (plan
+        closures read them as attributes, never capture the old dicts)
+        and every counter restarts at zero so the executor's post-launch
+        merge reports only this run's work.
+        """
+        self.scalars = scalars
+        self.metrics = metrics
+        self.pending_reductions.clear()
+        self.pair_visits = 0
+        self.elements_copied = 0
+        self.copies_performed = 0
+        self.bytes_copied = 0
+        self.tasks_executed = 0
+        self.fused_copies = 0
+        self.fused_pairs = 0
+        self.lockfree_folds = 0
+        self.locked_folds = 0
+        self.replay_hits = 0
+        self.replay_misses = 0
+        self.replay_guard_fallbacks = 0
+        self.window_ops_recorded = 0
+        self.window_ops_lowered = 0
+        self.window_closures = 0
+        self.window_compiles = 0
+
 
 class SPMDExecutor(SequentialExecutor):
     """Execute a control-replicated program across ``num_shards`` shards."""
@@ -180,7 +214,7 @@ class SPMDExecutor(SequentialExecutor):
                  metrics: MetricsRegistry = NULL_METRICS,
                  fuse_copies: str = "auto", jit: str = "auto",
                  window_dump_after: frozenset = frozenset(),
-                 window_dump_sink=None):
+                 window_dump_sink=None, retain_plans: bool = False):
         super().__init__(instances=instances)
         if mode not in ("stepped", "threaded", "procs"):
             raise ValueError(f"unknown mode {mode!r}")
@@ -248,26 +282,65 @@ class SPMDExecutor(SequentialExecutor):
         # processes all map them; created lazily on first allocation.
         self._arena = None
         self._dist_frozen = False
+        # Compile-once/serve-many (repro.serve): with retain_plans the
+        # executor becomes resident — distributed instances, intersection
+        # results, reduction locks, sync contexts, and the per-shard
+        # frozen replay plans all survive run() so a repeated run of the
+        # *same* program skips capture and goes straight to replay.  All
+        # of those caches are resolved against one program's partitions
+        # and statement uids, so they are keyed to the program object: a
+        # run() with any other program resets the session first.
+        self.retain_plans = retain_plans
+        self._resident_program = None
+        self._resident_states: dict[int, list[_ShardState]] = {}
+        self._resident_ctx: dict[int, _EpochContext] = {}
+        self._resident_locks: dict[int, dict[tuple[int, int], Any]] = {}
 
     def run(self, program):
-        # A second run() on the same executor re-allocates every
-        # distributed instance (the shared-memory arena was released at the
-        # end of the previous run), so intersection results and pair sets
-        # resolved against the old instances must not leak into this one.
+        if not (self.retain_plans and program is self._resident_program):
+            # A fresh (or different) program re-allocates every distributed
+            # instance, so intersection results, pair sets, reduction
+            # locks, and frozen plans resolved against the old instances
+            # must not leak into this run.
+            self.reset_session()
+            self._resident_program = program if self.retain_plans else None
+        try:
+            return super().run(program)
+        except BaseException:
+            # A failed run leaves resident state (epochs vs. sync
+            # sequences, partially executed plans) inconsistent; the next
+            # run must rebuild from scratch rather than replay into it.
+            if self.retain_plans:
+                self.reset_session()
+            raise
+        finally:
+            if not self.retain_plans:
+                # Unlink shared-memory segment names eagerly (mappings —
+                # and therefore the instances — stay valid until process
+                # exit).  Resident executors keep the arena warm; their
+                # owner calls close() when evicting them.
+                self.close()
+
+    def reset_session(self) -> None:
+        """Drop every per-program cache and plan; release the arena.
+
+        After this the executor behaves as if freshly constructed (root
+        ``instances`` and configuration are kept).  Called automatically
+        when ``run()`` sees a different program than the resident one.
+        """
         self.dist.clear()
         self.pair_sets.clear()
         self._isect_cache.clear()
         self._copy_locks.clear()
         self._disjoint_cache.clear()
         self._field_widths.clear()
+        self._resident_program = None
+        self._resident_states.clear()
+        self._resident_ctx.clear()
+        self._resident_locks.clear()
+        self.close()
         self._arena = None
         self._dist_frozen = False
-        try:
-            return super().run(program)
-        finally:
-            # Unlink shared-memory segment names eagerly (mappings — and
-            # therefore the instances — stay valid until process exit).
-            self.close()
 
     def close(self) -> None:
         """Release OS resources (shared-memory names) held by instances."""
@@ -368,13 +441,37 @@ class SPMDExecutor(SequentialExecutor):
     def _shard_launch(self, stmt: ShardLaunch) -> None:
         ns = stmt.num_shards or self.num_shards
         self._precreate_instances(stmt)
+        # Plans persist only where they can: the procs driver forks fresh
+        # shard processes per launch, so their capture state dies with the
+        # children — a resident procs executor still reuses the compiled
+        # program, the warm arena, and the intersection results, but
+        # re-captures per run.
+        persistent = self.retain_plans and self.mode != "procs"
         # One lock per (reduction copy stmt, dst color): folds into
         # different destination instances never contend.  The procs driver
         # rebuilds this table with cross-process locks before forking.
-        self._copy_locks = self._build_reduction_locks(stmt, threading.Lock)
-        states = [_ShardState(shard=x, scalars=dict(self.scalars),
-                              metrics=self.metrics.child())
-                  for x in range(ns)]
+        # Resident launches must *reuse* the first launch's locks: frozen
+        # plans captured them, and an interpreted guard-fallback iteration
+        # must contend on the same lock objects the replaying shards hold.
+        if persistent:
+            locks = self._resident_locks.get(stmt.uid)
+            if locks is None:
+                locks = self._build_reduction_locks(stmt, threading.Lock)
+                self._resident_locks[stmt.uid] = locks
+            self._copy_locks = locks
+        else:
+            self._copy_locks = self._build_reduction_locks(stmt,
+                                                           threading.Lock)
+        states = self._resident_states.get(stmt.uid) if persistent else None
+        if states is None:
+            states = [_ShardState(shard=x, scalars=dict(self.scalars),
+                                  metrics=self.metrics.child())
+                      for x in range(ns)]
+            if persistent:
+                self._resident_states[stmt.uid] = states
+        else:
+            for st in states:
+                st.reset_for_run(dict(self.scalars), self.metrics.child())
         if self.tracer.enabled:
             self.tracer.name_process(PID_SPMD, "spmd executor")
             for x in range(ns):
@@ -383,19 +480,28 @@ class SPMDExecutor(SequentialExecutor):
             from .procs import run_shard_launch_procs
             run_shard_launch_procs(self, stmt, states, ns)
         else:
-            channels = self._build_channels(stmt, ns)
-            collectives: dict[int, DynamicCollective] = {}
-            barriers: dict[str, GlobalBarrier] = {}
-            for s in walk(stmt):
-                if isinstance(s, ScalarCollective):
-                    collectives[s.uid] = DynamicCollective(ns, s.redop)
-                elif isinstance(s, BarrierStmt):
-                    barriers[s.tag] = GlobalBarrier(ns)
-                elif isinstance(s, PairwiseCopy) and s.sync_mode == "barrier":
-                    barriers.setdefault(f"pre:{s.uid}", GlobalBarrier(ns))
-                    barriers.setdefault(f"post:{s.uid}", GlobalBarrier(ns))
-            ctx = _EpochContext(channels=channels, collectives=collectives,
-                                barriers=barriers, num_shards=ns)
+            ctx = self._resident_ctx.get(stmt.uid) if persistent else None
+            if ctx is None:
+                channels = self._build_channels(stmt, ns)
+                collectives: dict[int, DynamicCollective] = {}
+                barriers: dict[str, GlobalBarrier] = {}
+                for s in walk(stmt):
+                    if isinstance(s, ScalarCollective):
+                        collectives[s.uid] = DynamicCollective(ns, s.redop)
+                    elif isinstance(s, BarrierStmt):
+                        barriers[s.tag] = GlobalBarrier(ns)
+                    elif (isinstance(s, PairwiseCopy)
+                            and s.sync_mode == "barrier"):
+                        barriers.setdefault(f"pre:{s.uid}", GlobalBarrier(ns))
+                        barriers.setdefault(f"post:{s.uid}", GlobalBarrier(ns))
+                ctx = _EpochContext(channels=channels, collectives=collectives,
+                                    barriers=barriers, num_shards=ns)
+                if persistent:
+                    # Sync state is monotone (sequences, barrier and
+                    # collective generations), so the frozen plans' epoch
+                    # strides stay consistent across runs as long as the
+                    # epoch dicts and these objects persist together.
+                    self._resident_ctx[stmt.uid] = ctx
             gens = [self._shard_body(stmt.body, states[x], ctx) for x in range(ns)]
             if self.mode == "threaded":
                 self._drive_threaded(gens, states)

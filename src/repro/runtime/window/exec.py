@@ -25,6 +25,22 @@ stepped driver crosses a compiled iteration in a handful of resumptions
 instead of hundreds.  Counters stay bit-identical by construction: the
 per-window deltas are precomputed at compile time and applied once per
 replayed iteration.
+
+Plan/state separation (compile-once serve-many): everything in this
+module is a per-*program* plan, valid for as long as the executor's
+session (instances, sync objects, epoch dicts, shard states) is alive.
+:class:`ReplayTrace` is state-agnostic — it reads ``state.scalars`` /
+``state.epochs`` afresh on every call, so it replays correctly against
+any shard state of the same session.  :class:`CompiledWindow` is *bound*:
+its closures capture the exact ``_ShardState`` object (and its ``epochs``
+dict) they were built against, so a resident executor must reuse those
+state objects across runs — resetting per-run data in place via
+``_ShardState.reset_for_run`` — rather than rebuild them.  The binding is
+recorded at build time and checked on every replayed iteration; replaying
+a window against a different state raises :class:`ReplayError` instead of
+silently reading stale data.  Frozen plans therefore survive across runs
+(the basis of the ``repro serve`` plan cache), and a program/layout
+switch must drop them via the executor's session reset.
 """
 
 from __future__ import annotations
@@ -253,7 +269,8 @@ class CompiledWindow:
     """
 
     __slots__ = ("uid", "phases", "guards", "folded", "epoch_deltas",
-                 "counter_deltas", "bytes_delta", "num_closures")
+                 "counter_deltas", "bytes_delta", "num_closures",
+                 "bound_state")
 
     def __init__(self, uid, phases, guards, folded, epoch_deltas,
                  deltas, num_closures):
@@ -265,6 +282,11 @@ class CompiledWindow:
         self.counter_deltas = tuple((k, v) for k, v in deltas.items() if v)
         self.bytes_delta = deltas.get("bytes_copied", 0)
         self.num_closures = num_closures
+        # The shard state whose scalars/epochs the phase closures captured.
+        # A resident executor reuses that state across runs; replaying
+        # against any other state would read stale bindings, so replay()
+        # enforces the identity.
+        self.bound_state = None
 
     @classmethod
     def build(cls, wir: WindowIR, state, uid: int = 0) -> "CompiledWindow":
@@ -324,13 +346,20 @@ class CompiledWindow:
                     phases.append((_PH_BARRIER if kind == "barrier"
                                    else _PH_COLL, p))
             i = j
-        return cls(uid, tuple(phases), tuple(wir.guards), wir.folded,
-                   wir.epoch_deltas, counter_deltas(wir.ops), len(phases))
+        cw = cls(uid, tuple(phases), tuple(wir.guards), wir.folded,
+                 wir.epoch_deltas, counter_deltas(wir.ops), len(phases))
+        cw.bound_state = state
+        return cw
 
     def guards_hold(self, scalars: dict[str, Any]) -> bool:
         return guards_hold(self.guards, scalars)
 
     def replay(self, ex, state) -> Iterator[Any]:
+        if state is not self.bound_state:
+            raise ReplayError(
+                f"compiled window for loop {self.uid} replayed against a "
+                f"shard state it was not built for; resident executors must "
+                f"reuse shard states (reset_for_run), not rebuild them")
         epochs = state.epochs
         tracer = ex.tracer
         traced = tracer.enabled

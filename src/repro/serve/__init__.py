@@ -1,0 +1,26 @@
+"""Compile-once serve-many: the resident ``repro serve`` subsystem.
+
+Control replication's entire pipeline — CR compile, steady-state trace
+capture, window JIT — depends only on request *structure*, never on
+region data.  This package exploits that: requests are fingerprinted on
+their structural fields, and each distinct fingerprint gets one resident
+:class:`~repro.runtime.spmd.SPMDExecutor` (``retain_plans=True``) whose
+compiled program and frozen replay/window plans are reused by every
+subsequent identical request, which therefore does zero compile and zero
+capture work and goes straight to replay against fresh data.
+
+Layers: :mod:`.fingerprint` (request canonicalization + SHA-256 key),
+:mod:`.cache` (LRU plan cache of resident executors), :mod:`.engine`
+(bounded job queue, worker pool, per-request metrics), :mod:`.server`
+(stdlib HTTP front-end).  See ``docs/serving.md``.
+"""
+
+from .cache import CacheEntry, PlanCache
+from .engine import AdmissionError, Job, ServeEngine, ServeJobError
+from .fingerprint import ServeRequest, build_problem
+from .server import create_server
+
+__all__ = [
+    "AdmissionError", "CacheEntry", "Job", "PlanCache", "ServeEngine",
+    "ServeJobError", "ServeRequest", "build_problem", "create_server",
+]

@@ -1,0 +1,120 @@
+"""The ``repro serve`` HTTP front-end (stdlib only).
+
+A thin :class:`~http.server.ThreadingHTTPServer` over a
+:class:`~repro.serve.engine.ServeEngine`:
+
+* ``POST /run``       — run a request synchronously, return its result;
+* ``POST /jobs``      — enqueue a request, return a job id (202);
+* ``GET  /jobs/<id>`` — poll a job's status/result;
+* ``GET  /metrics``   — Prometheus text exposition of the engine registry;
+* ``GET  /healthz``   — liveness;
+* ``GET  /stats``     — queue/cache/job introspection as JSON.
+
+Status mapping: malformed request → 400, admission rejection (full
+queue, shard cap) → 429, job failure → 500, synchronous timeout → 504.
+Results are JSON; region state travels as per-array SHA-256 checksums
+(``state_sha256``), never as raw arrays.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from .engine import AdmissionError, ServeEngine, ServeJobError
+
+__all__ = ["create_server", "ServeHandler"]
+
+_MAX_BODY = 1 << 20  # a request is a small JSON object; refuse more
+
+
+class ServeHandler(BaseHTTPRequestHandler):
+    engine: ServeEngine  # installed by create_server on the subclass
+    request_timeout: float = 300.0
+    quiet = True
+
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing ----------------------------------------------------------
+    def log_message(self, fmt, *args):  # pragma: no cover - log noise
+        if not self.quiet:
+            super().log_message(fmt, *args)
+
+    def _send_json(self, code: int, payload: dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > _MAX_BODY:
+            raise ValueError(f"request body over {_MAX_BODY} bytes")
+        raw = self.rfile.read(length) if length else b"{}"
+        try:
+            return json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ValueError(f"bad JSON body: {exc}") from None
+
+    # -- routes ------------------------------------------------------------
+    def do_GET(self) -> None:
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        if path == "/healthz":
+            self._send_json(200, {"ok": True})
+        elif path == "/metrics":
+            ctype, body = self.engine.scrape()
+            self.send_response(200)
+            self.send_header("Content-Type", ctype)
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+        elif path == "/stats":
+            self._send_json(200, self.engine.stats())
+        elif path.startswith("/jobs/"):
+            job = self.engine.get_job(path[len("/jobs/"):])
+            if job is None:
+                self._send_json(404, {"error": "unknown job"})
+            else:
+                self._send_json(200, job.to_dict())
+        else:
+            self._send_json(404, {"error": f"no such endpoint {path!r}"})
+
+    def do_POST(self) -> None:
+        path = self.path.split("?", 1)[0].rstrip("/")
+        try:
+            payload = self._read_json()
+            if path == "/run":
+                result = self.engine.run_sync(payload,
+                                              timeout=self.request_timeout)
+                self._send_json(200, result)
+            elif path == "/jobs":
+                job = self.engine.submit(payload)
+                self._send_json(202, job.to_dict())
+            else:
+                self._send_json(404, {"error": f"no such endpoint {path!r}"})
+        except ValueError as exc:
+            self._send_json(400, {"error": str(exc)})
+        except AdmissionError as exc:
+            self._send_json(429, {"error": str(exc)})
+        except TimeoutError as exc:
+            self._send_json(504, {"error": str(exc)})
+        except ServeJobError as exc:
+            self._send_json(500, {"error": str(exc)})
+
+
+def create_server(engine: ServeEngine, host: str = "127.0.0.1",
+                  port: int = 8349, request_timeout: float = 300.0,
+                  quiet: bool = True) -> ThreadingHTTPServer:
+    """Bind (but do not start) the serve HTTP server.
+
+    Call ``serve_forever()`` on the result; ``server_port`` holds the
+    bound port (useful with ``port=0`` in tests).
+    """
+    handler = type("BoundServeHandler", (ServeHandler,),
+                   {"engine": engine, "request_timeout": request_timeout,
+                    "quiet": quiet})
+    server = ThreadingHTTPServer((host, port), handler)
+    server.daemon_threads = True
+    return server

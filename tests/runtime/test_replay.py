@@ -289,3 +289,118 @@ class TestRepeatedRun:
         # results were resolved against instances of the first run.
         assert spmd.intersections_computed == 2
         assert len(spmd._isect_cache) == 1
+
+
+def _install_roots(ex, problem):
+    """Load a problem's freshly initialized roots into a live executor,
+    in place where the instance already exists (resident plans hold
+    references to those exact arrays)."""
+    for uid, inst in problem.fresh_instances().items():
+        dst = ex.instances.get(uid)
+        if dst is None:
+            ex.instances[uid] = inst
+        else:
+            for field, arr in inst.fields.items():
+                dst.fields[field][...] = arr
+
+
+class TestResidentExecutor:
+    """Compile-once serve-many: ``retain_plans=True`` keeps frozen plans."""
+
+    @pytest.mark.parametrize("mode", ALL_MODES)
+    def test_warm_run_replays_without_capture(self, mode):
+        fig2 = Fig2(steps=6)
+        seq = SequentialExecutor(instances=fig2.fresh_instances())
+        seq.run(fig2.build())
+        seq.run(fig2.build())
+        prog, _ = control_replicate(fig2.build(), num_shards=4)
+        spmd = SPMDExecutor(num_shards=4, mode=mode,
+                            instances=fig2.fresh_instances(),
+                            retain_plans=True)
+        try:
+            spmd.run(prog)
+            misses = spmd.replay_misses
+            compiles = spmd.window_compiles
+            isects = spmd.intersections_computed
+            spmd.run(prog)
+            for uid in (fig2.A.uid, fig2.B.uid):
+                assert np.array_equal(spmd.instances[uid].fields["v"],
+                                      seq.instances[uid].fields["v"])
+            # Resident warm run: plans, intersections, and distributed
+            # instances are reused — no re-capture, no re-compile.  The
+            # procs driver forks fresh shard processes per launch, so it
+            # re-captures (its capture state dies with the children) but
+            # still reuses intersections and the warm arena.
+            assert spmd.intersections_computed == isects
+            if mode != "procs":
+                assert spmd.replay_misses == misses
+                assert spmd.window_compiles == compiles
+                assert spmd.replay_hits > misses
+        finally:
+            spmd.reset_session()
+
+    @pytest.mark.parametrize("mode", ["stepped", "threaded"])
+    def test_program_switch_resets_stale_plans(self, mode):
+        # Satellite regression (extends test_double_run_matches_sequential):
+        # one resident executor serving back-to-back *different* apps must
+        # never replay plans or intersections captured for the other
+        # program/layout.
+        fig2 = Fig2(steps=4)
+        circuit = CircuitProblem(pieces=4, nodes_per_piece=10,
+                                 wires_per_piece=15, steps=3)
+        prog_a, _ = control_replicate(fig2.build(), num_shards=4)
+        prog_b, _ = control_replicate(circuit.build_program(), num_shards=4)
+        ex = SPMDExecutor(num_shards=4, mode=mode,
+                          instances=fig2.fresh_instances(), retain_plans=True)
+        try:
+            ex.run(prog_a)
+            isects_a = ex.intersections_computed
+            assert len(ex._isect_cache) > 0
+
+            _install_roots(ex, circuit)
+            ex.run(prog_b)
+            # The program switch reset the session: the circuit's
+            # intersections were computed anew, not replayed from the
+            # stencil's cache.
+            assert ex.intersections_computed > isects_a
+            seq_state, _, _ = circuit.run_sequential()
+            state = circuit.extract_state(ex.instances)
+            for k in seq_state:
+                assert np.allclose(state[k], seq_state[k],
+                                   rtol=1e-11, atol=1e-13)
+
+            # And back again: the first program's plans were dropped too.
+            _install_roots(ex, fig2)
+            isects_b = ex.intersections_computed
+            ex.run(prog_a)
+            assert ex.intersections_computed > isects_b
+            seq = SequentialExecutor(instances=fig2.fresh_instances())
+            seq.run(fig2.build())
+            for uid in (fig2.A.uid, fig2.B.uid):
+                assert np.array_equal(ex.instances[uid].fields["v"],
+                                      seq.instances[uid].fields["v"])
+        finally:
+            ex.reset_session()
+
+    def test_failed_run_resets_resident_state(self):
+        fig2 = Fig2(steps=4)
+        prog, _ = control_replicate(fig2.build(), num_shards=2)
+        ex = SPMDExecutor(num_shards=2, mode="stepped",
+                          instances=fig2.fresh_instances(), retain_plans=True)
+        try:
+            ex.run(prog)
+            assert ex._resident_program is prog
+            with pytest.raises(AttributeError):
+                ex.run(object())  # not a program at all
+            # The failed run tore the session down; nothing stale remains.
+            assert ex._resident_program is None
+            assert not ex._resident_states and not ex._isect_cache
+            # A subsequent run of the real program rebuilds from scratch.
+            _install_roots(ex, fig2)
+            ex.run(prog)
+            seq = SequentialExecutor(instances=fig2.fresh_instances())
+            seq.run(fig2.build())
+            assert np.array_equal(ex.instances[fig2.A.uid].fields["v"],
+                                  seq.instances[fig2.A.uid].fields["v"])
+        finally:
+            ex.reset_session()
