@@ -24,11 +24,19 @@ from repro.core import control_replicate
 from repro.runtime import SPMDExecutor
 
 
+# Wall time of this sweep on the pre-vectorization event-heap simulator,
+# kept so bench-report shows the wave scheduler's speedup as a column.
+EVENT_BASELINE_SECONDS = 38.6559920159998
+
+
 def test_figure6_weak_scaling(benchmark, machine):
     spec = figure6_spec(machine, max_nodes=1024)
     data = run_once(benchmark, lambda: run_figure(spec),
                     record={"bench": "fig6_stencil", "op": "weak_scaling_sweep",
-                            "shards": 1024, "backend": "simulator"})
+                            "shards": 1024, "backend": "simulator",
+                            "engine": "vector",
+                            "baseline_seconds_per_iteration":
+                                EVENT_BASELINE_SECONDS})
     print()
     print(data.format_table())
     cr = data.efficiency_at_max("Regent (with CR)")

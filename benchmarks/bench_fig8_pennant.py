@@ -13,12 +13,20 @@ from repro.analysis import run_figure
 from repro.apps.pennant.perf import figure8_spec
 
 
+# Wall time of this sweep on the pre-vectorization event-heap simulator,
+# kept so bench-report shows the wave scheduler's speedup as a column.
+EVENT_BASELINE_SECONDS = 215.76483719899989
+
+
 def test_figure8_weak_scaling(benchmark, machine):
     spec = figure8_spec(machine, max_nodes=1024)
     data = run_once(benchmark, lambda: run_figure(spec),
                     record={"bench": "fig8_pennant",
                             "op": "weak_scaling_sweep",
-                            "shards": 1024, "backend": "simulator"})
+                            "shards": 1024, "backend": "simulator",
+                            "engine": "vector",
+                            "baseline_seconds_per_iteration":
+                                EVENT_BASELINE_SECONDS})
     print()
     print(data.format_table())
     cr = data.efficiency_at_max("Regent (with CR)")

@@ -75,14 +75,25 @@ class FigureData:
         return "\n".join(lines)
 
 
-def run_figure(spec: FigureSpec) -> FigureData:
+def run_figure(spec: FigureSpec, tracer=None) -> FigureData:
+    """Evaluate every (series, node-count) point of a figure sweep.
+
+    When a :class:`repro.obs.Tracer` is given, each point becomes a
+    ``sim:run`` span, so a slow sweep shows exactly which simulation the
+    wall-clock went to."""
     data = FigureData(spec=spec)
     for s in spec.series:
         vals: dict[int, float] = {}
         for n in spec.nodes:
             if s.node_filter is not None and not s.node_filter(n):
                 continue
-            vals[n] = s.throughput(n)
+            if tracer is not None:
+                with tracer.span("sim:run", cat="sweep",
+                                 args={"figure": spec.name,
+                                       "series": s.label, "nodes": n}):
+                    vals[n] = s.throughput(n)
+            else:
+                vals[n] = s.throughput(n)
         data.values[s.label] = vals
     return data
 

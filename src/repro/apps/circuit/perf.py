@@ -15,7 +15,7 @@ from __future__ import annotations
 from ...analysis.weak_scaling import FigureSpec, Series
 from ...machine.execution_models import simulate_regent_cr, simulate_regent_noncr
 from ...machine.model import MachineModel
-from ...machine.patterns import random_graph_edges
+from ...machine.patterns import random_graph_edges, random_graph_edges_flat
 from ...machine.workload import AppWorkload, PhaseSpec
 
 __all__ = ["GRAPH_NODES_PER_NODE", "circuit_workload", "figure9_spec"]
@@ -39,24 +39,31 @@ def _edges_fn(tiles_per_node: int):
     def fn(tiles: int):
         return random_graph_edges(tiles, PIECE_NEIGHBORS, bytes_per_neighbor)
 
-    return fn
+    def flat(tiles: int):
+        return random_graph_edges_flat(tiles, PIECE_NEIGHBORS,
+                                       bytes_per_neighbor)
+
+    return fn, flat
 
 
 def circuit_workload(tiles_per_node: int, rate_per_node: float) -> AppWorkload:
     step_seconds = GRAPH_NODES_PER_NODE / rate_per_node
-    edges = _edges_fn(tiles_per_node)
+    edges, edges_flat = _edges_fn(tiles_per_node)
     return AppWorkload(
         name="circuit",
         tiles_per_node=tiles_per_node,
         phases=[
-            PhaseSpec("calc_new_currents", 0.45 * step_seconds, edges),
-            PhaseSpec("distribute_charge", 0.40 * step_seconds, edges),
+            PhaseSpec("calc_new_currents", 0.45 * step_seconds, edges,
+                      edges_flat=edges_flat),
+            PhaseSpec("distribute_charge", 0.40 * step_seconds, edges,
+                      edges_flat=edges_flat),
             PhaseSpec("update_voltage", 0.15 * step_seconds, None),
         ],
         points_per_node=GRAPH_NODES_PER_NODE)
 
 
-def figure9_spec(machine: MachineModel, max_nodes: int = 1024) -> FigureSpec:
+def figure9_spec(machine: MachineModel, max_nodes: int = 1024,
+                 engine: str = "auto") -> FigureSpec:
     regent_tpn = machine.cores_per_node - (1 if machine.dedicated_analysis_core else 0)
     w_regent = circuit_workload(regent_tpn, RATE_REGENT_1NODE)
     nodes = tuple(n for n in (1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024)
@@ -67,11 +74,13 @@ def figure9_spec(machine: MachineModel, max_nodes: int = 1024) -> FigureSpec:
         nodes=nodes,
         series=[
             Series("Regent (with CR)",
-                   lambda n: simulate_regent_cr(w_regent, machine, n)
+                   lambda n: simulate_regent_cr(w_regent, machine, n,
+                                                engine=engine)
                    .throughput_per_node(GRAPH_NODES_PER_NODE),
                    unit_scale=1e3, unit="10^3 nodes/s"),
             Series("Regent (w/o CR)",
-                   lambda n: simulate_regent_noncr(w_regent, machine, n)
+                   lambda n: simulate_regent_noncr(w_regent, machine, n,
+                                                   engine=engine)
                    .throughput_per_node(GRAPH_NODES_PER_NODE),
                    unit_scale=1e3, unit="10^3 nodes/s"),
         ])

@@ -22,7 +22,7 @@ from ...machine.execution_models import (
     simulate_regent_noncr,
 )
 from ...machine.model import MachineModel
-from ...machine.patterns import halo_edges_3d
+from ...machine.patterns import halo_edges_3d, halo_edges_3d_flat
 from ...machine.workload import AppWorkload, PhaseSpec
 
 __all__ = ["CELLS_PER_NODE", "miniaero_workload", "figure7_spec"]
@@ -50,24 +50,29 @@ def _edges_fn(tiles_per_node: int):
     def fn(tiles: int):
         return halo_edges_3d(tiles, face_bytes)
 
-    return fn
+    def flat(tiles: int):
+        return halo_edges_3d_flat(tiles, face_bytes)
+
+    return fn, flat
 
 
 def miniaero_workload(tiles_per_node: int, rate_per_node: float) -> AppWorkload:
     step_seconds = CELLS_PER_NODE / rate_per_node
-    edges = _edges_fn(tiles_per_node)
+    edges, edges_flat = _edges_fn(tiles_per_node)
     stage_seconds = step_seconds / (NUM_RK_STAGES + 0.5)  # save ~ half a stage
     phases = [PhaseSpec("save_state", 0.5 * stage_seconds, None)]
     for k in range(NUM_RK_STAGES):
         phases.append(PhaseSpec(f"residual{k}",
-                                RESIDUAL_FRACTION * stage_seconds, edges))
+                                RESIDUAL_FRACTION * stage_seconds, edges,
+                                edges_flat=edges_flat))
         phases.append(PhaseSpec(f"rk_update{k}",
                                 (1 - RESIDUAL_FRACTION) * stage_seconds, None))
     return AppWorkload(name="miniaero", tiles_per_node=tiles_per_node,
                        phases=phases, points_per_node=CELLS_PER_NODE)
 
 
-def figure7_spec(machine: MachineModel, max_nodes: int = 1024) -> FigureSpec:
+def figure7_spec(machine: MachineModel, max_nodes: int = 1024,
+                 engine: str = "auto") -> FigureSpec:
     regent_tpn = machine.cores_per_node - (1 if machine.dedicated_analysis_core else 0)
     w_regent = miniaero_workload(regent_tpn, RATE_REGENT_1NODE)
     w_rank_core = miniaero_workload(machine.cores_per_node,
@@ -82,19 +87,23 @@ def figure7_spec(machine: MachineModel, max_nodes: int = 1024) -> FigureSpec:
         nodes=nodes,
         series=[
             Series("Regent (with CR)",
-                   lambda n: simulate_regent_cr(w_regent, machine, n)
+                   lambda n: simulate_regent_cr(w_regent, machine, n,
+                                                engine=engine)
                    .throughput_per_node(CELLS_PER_NODE),
                    unit_scale=1e3, unit="10^3 cells/s"),
             Series("Regent (w/o CR)",
-                   lambda n: simulate_regent_noncr(w_regent, machine, n)
+                   lambda n: simulate_regent_noncr(w_regent, machine, n,
+                                                   engine=engine)
                    .throughput_per_node(CELLS_PER_NODE),
                    unit_scale=1e3, unit="10^3 cells/s"),
             Series("MPI+Kokkos (rank/core)",
-                   lambda n: simulate_mpi(w_rank_core, machine, n)
+                   lambda n: simulate_mpi(w_rank_core, machine, n,
+                                          engine=engine)
                    .throughput_per_node(CELLS_PER_NODE),
                    unit_scale=1e3, unit="10^3 cells/s"),
             Series("MPI+Kokkos (rank/node)",
-                   lambda n: simulate_mpi(w_rank_node, slow_msgs, n)
+                   lambda n: simulate_mpi(w_rank_node, slow_msgs, n,
+                                          engine=engine)
                    .throughput_per_node(CELLS_PER_NODE),
                    unit_scale=1e3, unit="10^3 cells/s"),
         ])

@@ -22,7 +22,7 @@ from ...machine.execution_models import (
     simulate_regent_noncr,
 )
 from ...machine.model import MachineModel
-from ...machine.patterns import halo_edges_2d
+from ...machine.patterns import halo_edges_2d, halo_edges_2d_flat
 from ...machine.workload import AppWorkload, PhaseSpec
 
 __all__ = ["ZONES_PER_NODE", "pennant_workload", "figure8_spec"]
@@ -49,16 +49,22 @@ def _edges_fn(tiles_per_node: int):
     def fn(tiles: int):
         return halo_edges_2d(tiles, halo_bytes)
 
-    return fn
+    def flat(tiles: int):
+        return halo_edges_2d_flat(tiles, halo_bytes)
+
+    return fn, flat
 
 
 def pennant_workload(tiles_per_node: int, rate_per_node: float) -> AppWorkload:
     step_seconds = ZONES_PER_NODE / rate_per_node
-    edges = _edges_fn(tiles_per_node)
-    names = ("calc_state", "zero_forces", "calc_forces", "advance", "calc_dt")
+    edges, edges_flat = _edges_fn(tiles_per_node)
+    comm = ("calc_state", "calc_forces")
     phases = [PhaseSpec(name, frac * step_seconds,
-                        edges if name in ("calc_state", "calc_forces") else None)
-              for name, frac in zip(names, PHASE_FRACTIONS)]
+                        edges if name in comm else None,
+                        edges_flat=edges_flat if name in comm else None)
+              for name, frac in zip(("calc_state", "zero_forces",
+                                     "calc_forces", "advance", "calc_dt"),
+                                    PHASE_FRACTIONS)]
     return AppWorkload(name="pennant", tiles_per_node=tiles_per_node,
                        phases=phases, points_per_node=ZONES_PER_NODE,
                        collective=True, collective_consumer_phase=ADVANCE_PHASE,
@@ -66,7 +72,8 @@ def pennant_workload(tiles_per_node: int, rate_per_node: float) -> AppWorkload:
                        steps=6)
 
 
-def figure8_spec(machine: MachineModel, max_nodes: int = 1024) -> FigureSpec:
+def figure8_spec(machine: MachineModel, max_nodes: int = 1024,
+                 engine: str = "auto") -> FigureSpec:
     regent_tpn = machine.cores_per_node - (1 if machine.dedicated_analysis_core else 0)
     w_regent = pennant_workload(regent_tpn, RATE_REGENT_1NODE)
     w_mpi = pennant_workload(machine.cores_per_node, RATE_MPI_1NODE)
@@ -79,19 +86,21 @@ def figure8_spec(machine: MachineModel, max_nodes: int = 1024) -> FigureSpec:
         nodes=nodes,
         series=[
             Series("Regent (with CR)",
-                   lambda n: simulate_regent_cr(w_regent, machine, n)
+                   lambda n: simulate_regent_cr(w_regent, machine, n,
+                                                engine=engine)
                    .throughput_per_node(ZONES_PER_NODE),
                    unit_scale=1e6, unit="10^6 zones/s"),
             Series("Regent (w/o CR)",
-                   lambda n: simulate_regent_noncr(w_regent, machine, n)
+                   lambda n: simulate_regent_noncr(w_regent, machine, n,
+                                                   engine=engine)
                    .throughput_per_node(ZONES_PER_NODE),
                    unit_scale=1e6, unit="10^6 zones/s"),
             Series("MPI",
-                   lambda n: simulate_mpi(w_mpi, machine, n)
+                   lambda n: simulate_mpi(w_mpi, machine, n, engine=engine)
                    .throughput_per_node(ZONES_PER_NODE),
                    unit_scale=1e6, unit="10^6 zones/s"),
             Series("MPI+OpenMP",
-                   lambda n: simulate_mpi(w_omp, machine, n)
+                   lambda n: simulate_mpi(w_omp, machine, n, engine=engine)
                    .throughput_per_node(ZONES_PER_NODE),
                    unit_scale=1e6, unit="10^6 zones/s"),
         ])

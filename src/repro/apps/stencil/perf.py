@@ -18,7 +18,7 @@ from __future__ import annotations
 import math
 
 from ...machine.model import MachineModel
-from ...machine.patterns import halo_edges_2d
+from ...machine.patterns import halo_edges_2d, halo_edges_2d_flat
 from ...machine.workload import AppWorkload, PhaseSpec
 from ...analysis.weak_scaling import (
     FigureSpec,
@@ -52,23 +52,28 @@ def _edges_fn(tiles_per_node: int):
     def fn(tiles: int):
         return halo_edges_2d(tiles, halo_bytes)
 
-    return fn
+    def flat(tiles: int):
+        return halo_edges_2d_flat(tiles, halo_bytes)
+
+    return fn, flat
 
 
 def stencil_workload(tiles_per_node: int, rate_per_node: float) -> AppWorkload:
     step_seconds = POINTS_PER_NODE / rate_per_node
-    edges = _edges_fn(tiles_per_node)
+    edges, edges_flat = _edges_fn(tiles_per_node)
     return AppWorkload(
         name="stencil",
         tiles_per_node=tiles_per_node,
         phases=[
-            PhaseSpec("stencil", STENCIL_FRACTION * step_seconds, edges),
+            PhaseSpec("stencil", STENCIL_FRACTION * step_seconds, edges,
+                      edges_flat=edges_flat),
             PhaseSpec("increment", (1 - STENCIL_FRACTION) * step_seconds, None),
         ],
         points_per_node=POINTS_PER_NODE)
 
 
-def figure6_spec(machine: MachineModel, max_nodes: int = 1024) -> FigureSpec:
+def figure6_spec(machine: MachineModel, max_nodes: int = 1024,
+                 engine: str = "auto") -> FigureSpec:
     regent_tpn = machine.cores_per_node - (1 if machine.dedicated_analysis_core else 0)
     w_regent = stencil_workload(regent_tpn, RATE_REGENT_1NODE)
     w_mpi = stencil_workload(machine.cores_per_node, RATE_MPI_1NODE)
@@ -81,17 +86,19 @@ def figure6_spec(machine: MachineModel, max_nodes: int = 1024) -> FigureSpec:
         nodes=nodes,
         series=[
             Series("Regent (with CR)",
-                   lambda n: simulate_regent_cr(w_regent, machine, n)
+                   lambda n: simulate_regent_cr(w_regent, machine, n,
+                                                engine=engine)
                    .throughput_per_node(POINTS_PER_NODE)),
             Series("Regent (w/o CR)",
-                   lambda n: simulate_regent_noncr(w_regent, machine, n)
+                   lambda n: simulate_regent_noncr(w_regent, machine, n,
+                                                   engine=engine)
                    .throughput_per_node(POINTS_PER_NODE)),
             Series("MPI",
-                   lambda n: simulate_mpi(w_mpi, machine, n)
+                   lambda n: simulate_mpi(w_mpi, machine, n, engine=engine)
                    .throughput_per_node(POINTS_PER_NODE),
                    node_filter=is_square_power_of_two),
             Series("MPI+OpenMP",
-                   lambda n: simulate_mpi(w_omp, machine, n)
+                   lambda n: simulate_mpi(w_omp, machine, n, engine=engine)
                    .throughput_per_node(POINTS_PER_NODE),
                    node_filter=is_square_power_of_two),
         ])

@@ -212,8 +212,16 @@ def build_parser() -> argparse.ArgumentParser:
     f = sub.add_parser("figure", help="run one of the paper's figures")
     f.add_argument("number", choices=sorted(FIGURES))
     f.add_argument("--max-nodes", type=int, default=64)
+    f.add_argument("--engine", choices=["auto", "vector", "event"],
+                   default="auto",
+                   help="simulator engine: the vectorized wave scheduler, "
+                        "the classic event heap, or auto (vector with "
+                        "event fallback; the two are schedule-identical)")
     f.add_argument("--csv", action="store_true",
                    help="emit machine-readable CSV instead of the table")
+    f.add_argument("--trace", metavar="OUT.json", default=None,
+                   help="write a Chrome trace with one sim:run span per "
+                        "(series, node count) sweep point")
     f.add_argument("--metrics", metavar="OUT.prom", default=None,
                    help="write throughput/efficiency gauges in Prometheus "
                         "text format")
@@ -223,6 +231,9 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("app", choices=sorted(APP_FACTORIES))
     s.add_argument("--nodes", type=int, default=4)
     s.add_argument("--model", choices=["cr", "noncr", "mpi"], default="cr")
+    s.add_argument("--engine", choices=["auto", "vector", "event"],
+                   default="auto",
+                   help="simulator engine (see `figure --engine`)")
     s.add_argument("--trace", metavar="OUT.json", default=None,
                    help="write the virtual-time schedule as a Chrome trace")
     s.add_argument("--metrics", metavar="OUT.prom", default=None,
@@ -445,9 +456,17 @@ def cmd_figure(args) -> int:
     from .machine.model import PIZ_DAINT
     mod_name, fn_name = FIGURES[args.number]
     spec_fn = getattr(importlib.import_module(mod_name), fn_name)
-    spec = spec_fn(PIZ_DAINT, max_nodes=args.max_nodes)
-    data = run_figure(spec)
+    spec = spec_fn(PIZ_DAINT, max_nodes=args.max_nodes, engine=args.engine)
+    tracer = None
+    if args.trace:
+        from .obs import Tracer
+        tracer = Tracer()
+    data = run_figure(spec, tracer=tracer)
     print(to_csv(data) if args.csv else data.format_table())
+    if tracer is not None:
+        out = resolve_trace_path(args.trace)
+        tracer.write(out)
+        print(f"-- trace: {len(tracer.events())} events -> {out}")
     if args.metrics:
         from .obs import MetricsRegistry
         metrics = MetricsRegistry()
@@ -499,13 +518,21 @@ def cmd_simulate(args) -> int:
     model_fn = {"cr": simulate_regent_cr, "noncr": simulate_regent_noncr,
                 "mpi": simulate_mpi}[args.model]
     result = model_fn(workload, machine, args.nodes,
-                      on_complete=sims.append)
+                      on_complete=sims.append, engine=args.engine)
     print(f"{args.app} / {args.model} on {args.nodes} node(s): "
           f"{result.seconds_per_step * 1e3:.3f} ms/step, "
           f"{result.num_sim_tasks} sim tasks, "
           f"{result.throughput_per_node(workload.points_per_node):.3e} "
           f"points/s/node")
     print(analyze_simulation(sims[0]).format())
+    stats = getattr(sims[0], "last_run_stats", None)
+    if stats:
+        extra = "".join(f", {k}={stats[k]}" for k in
+                        ("waves", "max_wave_tasks", "heap_handoff_tasks")
+                        if k in stats)
+        print(f"-- engine: {stats.get('engine', 'event')} "
+              f"({stats.get('tasks', 0)} tasks, {stats.get('edges', 0)} "
+              f"edges{extra})")
     if tracer is not None:
         n = simulation_trace_events(sims[0], tracer,
                                     name_prefix=f"{args.app}-{args.model}")

@@ -8,16 +8,22 @@ every point task placed by the mapper, every true dependence an edge,
 cross-node dependences carrying network latency.  The test suite
 cross-validates the two at small scale, tying the 1024-node sweeps to the
 executed system.
+
+Construction is columnar: one batch for the launch chain, one for the
+point tasks (dependencies spliced in as flat arrays), one for the message
+tasks, whose consumer edges attach via :meth:`GraphBuilder.add_deps`.
 """
 
 from __future__ import annotations
 
 from typing import Callable
 
+import numpy as np
+
 from ..runtime.dependence import DependenceGraph
 from ..runtime.mapping import BlockMapper, Mapper
+from .graph import GraphBuilder
 from .model import MachineModel
-from .simulator import Simulation
 
 __all__ = ["simulate_dependence_graph"]
 
@@ -26,7 +32,8 @@ def simulate_dependence_graph(graph: DependenceGraph, machine: MachineModel,
                               nodes: int, num_tiles: int,
                               task_seconds: float | Callable[[str], float],
                               comm_bytes: float = 0.0,
-                              mapper: Mapper | None = None) -> float:
+                              mapper: Mapper | None = None,
+                              engine: str = "auto") -> float:
     """Makespan of executing ``graph`` without control replication.
 
     ``task_seconds`` is a constant or per-task-name duration; point tasks
@@ -36,26 +43,47 @@ def simulate_dependence_graph(graph: DependenceGraph, machine: MachineModel,
     """
     mapper = mapper or BlockMapper()
     cores = machine.cores_per_node - (1 if machine.dedicated_analysis_core else 0)
-    sim = Simulation(nodes, max(1, cores))
+    g = GraphBuilder(nodes, max(1, cores))
     dur = task_seconds if callable(task_seconds) else (lambda _name: task_seconds)
 
-    op_node: dict[int, int] = {}
-    sim_uid: dict[int, int] = {}
-    for op in graph.nodes:  # program order
-        tile = op.point if op.point >= 0 else 0
-        node = mapper.tile_to_node(tile, num_tiles, nodes, nodes)
-        op_node[op.uid] = node
-        launch = sim.add(machine.launch_overhead, 0, kind="ctrl",
-                         label=f"launch:{op.task_name}")
-        deps: list = [launch]
+    # Program-order pass: placement and flat dependence pairs.  The
+    # mapper and per-op dep lists are irreducibly per-op; everything
+    # downstream is array construction.
+    ops = list(graph.nodes)
+    index_of = {op.uid: i for i, op in enumerate(ops)}
+    op_node = np.array([mapper.tile_to_node(op.point if op.point >= 0 else 0,
+                                            num_tiles, nodes, nodes)
+                        for op in ops], dtype=np.int64)
+    durations = np.array([dur(op.task_name) for op in ops])
+    cons_l: list[int] = []
+    prod_l: list[int] = []
+    for i, op in enumerate(ops):
         for d in op.deps:
-            if op_node[d] != node and comm_bytes > 0:
-                msg = sim.add(machine.copy_seconds(int(comm_bytes)),
-                              op_node[d], kind="nic", deps=[sim_uid[d]],
-                              label="dep-copy")
-                deps.append((msg, machine.net_latency))
-            else:
-                deps.append(sim_uid[d])
-        sim_uid[op.uid] = sim.add(dur(op.task_name), node, kind="core",
-                                  deps=deps, label=op.task_name)
-    return sim.run()
+            cons_l.append(i)
+            prod_l.append(index_of[d])
+    cons = np.asarray(cons_l, dtype=np.int64)
+    prod = np.asarray(prod_l, dtype=np.int64)
+
+    n = len(ops)
+    launches = g.add_batch(np.full(n, machine.launch_overhead), 0,
+                           kind="ctrl", label="launch")
+    remote = (comm_bytes > 0) & (op_node[prod] != op_node[cons]) \
+        if cons.shape[0] else np.zeros(0, dtype=bool)
+    local = ~remote
+    # Point tasks: launch edge + same-node dependences (forward references
+    # into this very batch — producers always precede consumers).
+    tasks_base = g.num_tasks
+    rows = np.concatenate([np.arange(n, dtype=np.int64), cons[local]])
+    tgts = np.concatenate([launches, tasks_base + prod[local]])
+    tasks = g.add_batch(durations, op_node, kind="core", dep_rows=rows,
+                        dep_targets=tgts,
+                        label="point-task")
+    # Cross-node dependences: one NIC message on the producer's node,
+    # consumed at network latency.
+    if remote.any():
+        msg = g.add_batch(
+            np.full(int(remote.sum()), machine.copy_seconds(int(comm_bytes))),
+            op_node[prod[remote]], kind="nic",
+            dep_targets=tasks[prod[remote]], label="dep-copy")
+        g.add_deps(tasks[cons[remote]], msg, lats=machine.net_latency)
+    return g.run(engine)

@@ -15,7 +15,9 @@ import numpy as np
 
 from ..apps.common import grid_dims_2d, grid_dims_3d
 
-__all__ = ["halo_edges_2d", "halo_edges_3d", "random_graph_edges"]
+__all__ = ["halo_edges_2d", "halo_edges_3d", "random_graph_edges",
+           "halo_edges_2d_flat", "halo_edges_3d_flat",
+           "random_graph_edges_flat"]
 
 
 def halo_edges_2d(tiles: int, halo_bytes_per_side: int,
@@ -50,6 +52,59 @@ def halo_edges_3d(tiles: int, halo_bytes_per_face: int):
                 nbrs.append(((aa * gb + bb) * gc + cc, halo_bytes_per_face))
         out[t] = nbrs
     return out
+
+
+def halo_edges_2d_flat(tiles: int, halo_bytes_per_side: int,
+                       radius_tiles: int = 1):
+    """Columnar :func:`halo_edges_2d`: (consumers, producers, bytes)
+    arrays in the same consumer-major, direction order, built with array
+    ops instead of a per-tile loop."""
+    gx, gy = grid_dims_2d(tiles)
+    t = np.arange(tiles, dtype=np.int64)
+    x, y = t // gy, t % gy
+    cand = np.empty((tiles, 4), dtype=np.int64)
+    ok = np.empty((tiles, 4), dtype=bool)
+    for c, (dx, dy) in enumerate(((1, 0), (-1, 0), (0, 1), (0, -1))):
+        xx, yy = x + dx, y + dy
+        ok[:, c] = (0 <= xx) & (xx < gx) & (0 <= yy) & (yy < gy)
+        cand[:, c] = xx * gy + yy
+    keep = ok.ravel()
+    cons = np.repeat(t, 4)[keep]
+    prod = cand.ravel()[keep]
+    nbytes = np.full(cons.shape[0], halo_bytes_per_side, dtype=np.int64)
+    return cons, prod, nbytes
+
+
+def halo_edges_3d_flat(tiles: int, halo_bytes_per_face: int):
+    """Columnar :func:`halo_edges_3d` (same order, array ops)."""
+    ga, gb, gc = grid_dims_3d(tiles)
+    t = np.arange(tiles, dtype=np.int64)
+    a = t // (gb * gc)
+    b = (t // gc) % gb
+    c = t % gc
+    cand = np.empty((tiles, 6), dtype=np.int64)
+    ok = np.empty((tiles, 6), dtype=bool)
+    for i, (da, db, dc) in enumerate(((1, 0, 0), (-1, 0, 0), (0, 1, 0),
+                                      (0, -1, 0), (0, 0, 1), (0, 0, -1))):
+        aa, bb, cc = a + da, b + db, c + dc
+        ok[:, i] = ((0 <= aa) & (aa < ga) & (0 <= bb) & (bb < gb)
+                    & (0 <= cc) & (cc < gc))
+        cand[:, i] = (aa * gb + bb) * gc + cc
+    keep = ok.ravel()
+    cons = np.repeat(t, 6)[keep]
+    prod = cand.ravel()[keep]
+    nbytes = np.full(cons.shape[0], halo_bytes_per_face, dtype=np.int64)
+    return cons, prod, nbytes
+
+
+def random_graph_edges_flat(tiles: int, neighbors_per_tile: int,
+                            bytes_per_neighbor: int, seed: int = 1234):
+    """Columnar :func:`random_graph_edges` — the realization is inherently
+    sequential (each draw conditions on the adjacency so far), so this
+    flattens the dict form rather than re-rolling a different graph."""
+    from .workload import flatten_edge_map
+    return flatten_edge_map(random_graph_edges(
+        tiles, neighbors_per_tile, bytes_per_neighbor, seed=seed))
 
 
 def random_graph_edges(tiles: int, neighbors_per_tile: int,

@@ -77,12 +77,19 @@ class Simulation:
     # -- execution --------------------------------------------------------------
     def run(self) -> float:
         """Schedule everything; returns the makespan."""
+        # Edge latencies ride along in the dependents adjacency so releasing
+        # a successor is O(1) rather than a scan of its dep list.  A task
+        # listing the same producer twice keeps the first latency, matching
+        # the first-match semantics the release scan used to have.
         indeg: dict[int, int] = {}
-        dependents: dict[int, list[int]] = {}
+        dependents: dict[int, list[tuple[int, float]]] = {}
         for t in self.tasks.values():
             indeg[t.uid] = len(t.deps)
+            first_lat: dict[int, float] = {}
+            for (d, lat) in t.deps:
+                first_lat.setdefault(d, lat)
             for (d, _lat) in t.deps:
-                dependents.setdefault(d, []).append(t.uid)
+                dependents.setdefault(d, []).append((t.uid, first_lat[d]))
         ready_time: dict[int, float] = {uid: 0.0 for uid in self.tasks}
         heap: list[tuple[float, int]] = []
         for uid, n in indeg.items():
@@ -99,17 +106,25 @@ class Simulation:
             task.server = server
             makespan = max(makespan, task.finish)
             completed += 1
-            for succ in dependents.get(uid, ()):  # release dependents
-                lat = next(l for (d, l) in self.tasks[succ].deps if d == uid)
+            for succ, lat in dependents.get(uid, ()):  # release dependents
                 ready_time[succ] = max(ready_time[succ], task.finish + lat)
                 indeg[succ] -= 1
                 if indeg[succ] == 0:
                     heapq.heappush(heap, (ready_time[succ], succ))
         if completed != len(self.tasks):
-            stuck = len(self.tasks) - completed
-            raise RuntimeError(f"simulation deadlock: {stuck} tasks never ready "
-                               f"(dependency cycle?)")
+            self._raise_deadlock(indeg)
         return makespan
+
+    def _raise_deadlock(self, indeg: dict[int, int]) -> None:
+        """Name the cycle (or stuck witness set) instead of shrugging."""
+        from .graph import find_cycle, format_cycle
+        stuck = [uid for uid, n in indeg.items() if n > 0]
+        cycle = find_cycle(
+            lambda uid: [d for (d, _lat) in self.tasks[uid].deps], stuck)
+        raise RuntimeError(
+            f"simulation deadlock: {len(stuck)} tasks never ready; "
+            f"dependency cycle: "
+            f"{format_cycle(cycle, lambda uid: self.tasks[uid].label)}")
 
     def _acquire(self, kind: str, node: int, ready: float,
                  duration: float) -> tuple[float, int]:

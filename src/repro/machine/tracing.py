@@ -1,21 +1,29 @@
 """Execution traces and utilization analysis for simulations.
 
-After a :class:`~repro.machine.simulator.Simulation` runs, every sim task
-carries its start/finish times.  This module summarizes them: per-resource
-busy fractions, per-label time breakdowns, and a textual timeline — the
-evidence behind statements like "the control thread is saturated" or "the
-halo exchange is fully overlapped".
+After a simulation runs, every sim task carries its start/finish times.
+This module summarizes them: per-resource busy fractions, per-label time
+breakdowns, and a textual timeline — the evidence behind statements like
+"the control thread is saturated" or "the halo exchange is fully
+overlapped".  Both graph representations are accepted: the classic
+:class:`~repro.machine.simulator.Simulation` (one ``SimTask`` per event)
+and the columnar :class:`~repro.machine.graph.GraphBuilder`, whose
+analysis runs as array reductions.
 
 It also exports the completed schedule as virtual-time events on a shared
 :class:`repro.obs.Tracer`, so simulated timelines land in the same
-Chrome-trace file (and viewer) as functional SPMD runs.
+Chrome-trace file (and viewer) as functional SPMD runs, plus
+``simulation_*`` batch metrics describing the scheduler run itself
+(engine, tasks, edges, waves) next to the ``sim_*`` virtual-time gauges.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from ..obs import PID_SIM_BASE, MetricsRegistry, Tracer
+from .graph import KIND_CTRL, KIND_NONE, KINDS, GraphBuilder
 from .simulator import Simulation
 
 __all__ = ["UtilizationReport", "analyze_simulation",
@@ -53,8 +61,48 @@ class UtilizationReport:
         return "\n".join(lines)
 
 
-def analyze_simulation(sim: Simulation) -> UtilizationReport:
-    """Summarize a completed simulation run."""
+def _label_prefix(label: str) -> str:
+    return label.split(":", 1)[0] if label else "task"
+
+
+def _analyze_graph(g: GraphBuilder) -> UtilizationReport:
+    """Columnar utilization analysis — one bincount per statistic."""
+    if g.finish is None or (g.num_tasks and float(g.finish.min()) < 0):
+        raise ValueError("simulation has not been run")
+    makespan = float(g.finish.max()) if g.num_tasks else 0.0
+    mask = g.kind != KIND_NONE
+    busy: dict[str, float] = {}
+    kind_busy = np.bincount(g.kind[mask], weights=g.duration[mask],
+                            minlength=len(KINDS))
+    for code, name in enumerate(KINDS):
+        if name != "none" and kind_busy[code] > 0:
+            busy[name] = float(kind_busy[code])
+    by_label: dict[str, float] = {}
+    label_busy = np.bincount(g.label_id[mask], weights=g.duration[mask],
+                             minlength=len(g.labels))
+    for lid, label in enumerate(g.labels):
+        if label_busy[lid] > 0:
+            prefix = _label_prefix(label)
+            by_label[prefix] = by_label.get(prefix, 0.0) + float(label_busy[lid])
+    per_node_ctrl: dict[int, float] = {}
+    ctrl = g.kind == KIND_CTRL
+    node_busy = np.bincount(g.node[ctrl], weights=g.duration[ctrl],
+                            minlength=g.num_nodes)
+    for node in np.flatnonzero(node_busy > 0):
+        per_node_ctrl[int(node)] = float(node_busy[node])
+    capacity = {
+        "core": g.num_nodes * g.cores_per_node * makespan,
+        "ctrl": g.num_nodes * makespan,
+        "nic": g.num_nodes * makespan,
+    }
+    return UtilizationReport(makespan=makespan, busy=busy, capacity=capacity,
+                             by_label=by_label, per_node_ctrl=per_node_ctrl)
+
+
+def analyze_simulation(sim: Simulation | GraphBuilder) -> UtilizationReport:
+    """Summarize a completed simulation run (either representation)."""
+    if isinstance(sim, GraphBuilder):
+        return _analyze_graph(sim)
     makespan = max((t.finish for t in sim.tasks.values()), default=0.0)
     busy: dict[str, float] = {}
     by_label: dict[str, float] = {}
@@ -65,7 +113,7 @@ def analyze_simulation(sim: Simulation) -> UtilizationReport:
         if t.kind == "none":
             continue
         busy[t.kind] = busy.get(t.kind, 0.0) + t.duration
-        label = t.label.split(":", 1)[0] if t.label else "task"
+        label = _label_prefix(t.label)
         by_label[label] = by_label.get(label, 0.0) + t.duration
         if t.kind == "ctrl":
             per_node_ctrl[t.node] = per_node_ctrl.get(t.node, 0.0) + t.duration
@@ -78,7 +126,8 @@ def analyze_simulation(sim: Simulation) -> UtilizationReport:
                              by_label=by_label, per_node_ctrl=per_node_ctrl)
 
 
-def simulation_metrics(sim: Simulation, metrics: MetricsRegistry,
+def simulation_metrics(sim: Simulation | GraphBuilder,
+                       metrics: MetricsRegistry,
                        name_prefix: str = "sim") -> None:
     """Export a completed simulation's virtual-time buckets as metrics.
 
@@ -86,7 +135,9 @@ def simulation_metrics(sim: Simulation, metrics: MetricsRegistry,
     virtual-second counters (``sim_busy_seconds_total`` per resource kind,
     ``sim_virtual_seconds_total`` per label phase) rather than wall-time
     histograms; ``name_prefix`` labels the run so several simulations can
-    share a registry.
+    share a registry.  Columnar graphs additionally export the batch
+    scheduler's run statistics as ``simulation_*`` gauges (tasks, edges,
+    waves, wave sizes) labelled with the engine that executed the run.
     """
     report = analyze_simulation(sim)
     lab = {"run": name_prefix}
@@ -100,6 +151,13 @@ def simulation_metrics(sim: Simulation, metrics: MetricsRegistry,
                         **lab).inc(secs)
     for node, secs in report.per_node_ctrl.items():
         metrics.gauge("sim_ctrl_busy_seconds", node=node, **lab).set(secs)
+    stats = getattr(sim, "last_run_stats", None)
+    if stats:
+        elab = {"run": name_prefix, "engine": stats.get("engine", "event")}
+        for key in ("tasks", "edges", "waves", "max_wave_tasks",
+                    "mean_wave_tasks", "heap_handoff_tasks"):
+            if key in stats:
+                metrics.gauge(f"simulation_{key}", **elab).set(stats[key])
 
 
 def _sim_tid(kind: str, server: int) -> int:
@@ -111,7 +169,20 @@ def _sim_tid(kind: str, server: int) -> int:
     return 2 + server
 
 
-def simulation_trace_events(sim: Simulation, tracer: Tracer,
+def _graph_task_rows(g: GraphBuilder):
+    """(uid, label, start, duration, kind, node, server) per pool task."""
+    g.finalize()
+    labels = g.labels
+    for uid in range(g.num_tasks):
+        k = int(g.kind[uid])
+        if k == KIND_NONE:
+            continue
+        yield (uid, labels[int(g.label_id[uid])], float(g.start[uid]),
+               float(g.duration[uid]), KINDS[k], int(g.node[uid]),
+               int(g.server[uid]))
+
+
+def simulation_trace_events(sim: Simulation | GraphBuilder, tracer: Tracer,
                             name_prefix: str = "sim") -> int:
     """Export a completed simulation as virtual-time Chrome-trace events.
 
@@ -120,25 +191,38 @@ def simulation_trace_events(sim: Simulation, tracer: Tracer,
     microseconds 1:1 scaled by 1e6, so simulated and wall-clock timelines
     are directly comparable.  Returns the number of events emitted.
     """
+    if isinstance(sim, GraphBuilder):
+        if sim.finish is None or (sim.num_tasks
+                                  and float(sim.finish.min()) < 0):
+            raise ValueError("simulation has not been run")
+        rows = _graph_task_rows(sim)
+        cores = sim.cores_per_node
+    else:
+        def _sim_rows():
+            for t in sim.tasks.values():
+                if t.finish < 0:
+                    raise ValueError("simulation has not been run")
+                if t.kind == "none":
+                    continue
+                yield (t.uid, t.label, t.start, t.duration, t.kind, t.node,
+                       t.server)
+        rows = _sim_rows()
+        cores = sim.cores_per_node
     emitted = 0
     named: set[int] = set()
-    for t in sim.tasks.values():
-        if t.finish < 0:
-            raise ValueError("simulation has not been run")
-        if t.kind == "none":
-            continue
-        pid = PID_SIM_BASE + t.node
+    for uid, label, start, duration, kind, node, server in rows:
+        pid = PID_SIM_BASE + node
         if pid not in named:
-            tracer.name_process(pid, f"{name_prefix} node {t.node}")
+            tracer.name_process(pid, f"{name_prefix} node {node}")
             tracer.name_thread(pid, 0, "ctrl")
             tracer.name_thread(pid, 1, "nic")
-            for s in range(sim.cores_per_node):
+            for s in range(cores):
                 tracer.name_thread(pid, 2 + s, f"core {s}")
             named.add(pid)
-        tracer.complete(t.label or f"task {t.uid}",
-                        ts_us=t.start * 1e6, dur_us=t.duration * 1e6,
-                        cat=f"sim:{t.kind}", pid=pid,
-                        tid=_sim_tid(t.kind, t.server),
-                        args={"node": t.node, "kind": t.kind})
+        tracer.complete(label or f"task {uid}",
+                        ts_us=start * 1e6, dur_us=duration * 1e6,
+                        cat=f"sim:{kind}", pid=pid,
+                        tid=_sim_tid(kind, server),
+                        args={"node": node, "kind": kind})
         emitted += 1
     return emitted

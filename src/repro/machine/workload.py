@@ -21,10 +21,29 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable
 
-__all__ = ["PhaseSpec", "AppWorkload"]
+import numpy as np
+
+__all__ = ["PhaseSpec", "AppWorkload", "flatten_edge_map"]
 
 # An edge map: consumer tile j -> list of (producer tile i, bytes).
 EdgeMap = dict[int, list[tuple[int, int]]]
+# The columnar form: (consumer tiles, producer tiles, bytes) arrays.
+FlatEdges = tuple[np.ndarray, np.ndarray, np.ndarray]
+
+
+def flatten_edge_map(edges: EdgeMap) -> FlatEdges:
+    """Columnarize an edge map, preserving its iteration order."""
+    cons: list[int] = []
+    prod: list[int] = []
+    nbytes: list[int] = []
+    for j, producers in edges.items():
+        for (i, b) in producers:
+            cons.append(j)
+            prod.append(i)
+            nbytes.append(b)
+    return (np.asarray(cons, dtype=np.int64),
+            np.asarray(prod, dtype=np.int64),
+            np.asarray(nbytes, dtype=np.int64))
 
 
 @dataclass
@@ -41,6 +60,10 @@ class PhaseSpec:
     name: str
     task_seconds: float
     edges: Callable[[int], EdgeMap] | None = None
+    # Optional columnar variant (tiles -> (consumers, producers, bytes)
+    # arrays).  The batch graph builders prefer it; when absent the edge
+    # map from ``edges`` is flattened once and memoized.
+    edges_flat: Callable[[int], FlatEdges] | None = None
 
 
 @dataclass
@@ -74,4 +97,18 @@ class AppWorkload:
         if key not in self.edge_cache:
             fn = self.phases[phase_index].edges
             self.edge_cache[key] = fn(self.num_tiles(nodes)) if fn else {}
+        return self.edge_cache[key]
+
+    def phase_edges_flat(self, phase_index: int, nodes: int) -> FlatEdges:
+        """Memoized columnar communication pattern (what the batch graph
+        builders consume).  Uses the phase's vectorized ``edges_flat``
+        when present, otherwise flattens the edge map once."""
+        key = ("flat", phase_index, nodes)
+        if key not in self.edge_cache:
+            spec = self.phases[phase_index]
+            if spec.edges_flat is not None:
+                self.edge_cache[key] = spec.edges_flat(self.num_tiles(nodes))
+            else:
+                self.edge_cache[key] = flatten_edge_map(
+                    self.phase_edges(phase_index, nodes))
         return self.edge_cache[key]
