@@ -23,6 +23,10 @@ Commands:
   structurally distinct request (app, sizes, shards, backend, opt flags)
   is compiled once, and every later identical request reuses the cached
   SPMD program and frozen replay/window plans (see ``docs/serving.md``);
+* ``top``     — live terminal view of a running serve process: polls
+  ``/stats`` and ``/metrics`` and renders queue depth, plan-cache hit
+  ratio, per-endpoint latency percentiles, and the skew/drift gauges
+  (``--once`` prints a single frame for scripts/CI);
 * ``apps``    — list the available applications.
 
 Observability (the shared ``repro.obs`` subsystem): ``--trace out.json``
@@ -303,6 +307,20 @@ def build_parser() -> argparse.ArgumentParser:
                     help="seconds a synchronous /run may take (default 300)")
     sv.add_argument("--verbose", action="store_true",
                     help="log one line per HTTP request")
+    sv.add_argument("--flight-dir", dest="flight_dir", default=None,
+                    help="directory failed jobs dump their flight-recorder "
+                         "Chrome traces into (default: $REPRO_FLIGHT_DIR "
+                         "or <tmp>/repro-flight)")
+
+    tp = sub.add_parser(
+        "top",
+        help="live view of a running serve process (/stats + /metrics)")
+    tp.add_argument("--url", default="http://127.0.0.1:8349",
+                    help="serve base URL (default http://127.0.0.1:8349)")
+    tp.add_argument("--interval", type=float, default=2.0,
+                    help="seconds between refreshes (default 2)")
+    tp.add_argument("--once", action="store_true",
+                    help="print one frame and exit (for scripts/CI)")
 
     e = sub.add_parser("explain", help="show what one shard will do")
     add_app_args(e)
@@ -352,6 +370,7 @@ def cmd_verify(args) -> int:
         tracer.write(out)
         print(f"-- trace: {len(tracer.events())} events -> {out}")
     if args.metrics:
+        ex.export_flight_metrics(metrics)  # skew_*/drift_* gauges
         _write_metrics(metrics, args.metrics)
     return 0 if ok else 1
 
@@ -417,6 +436,7 @@ def cmd_run(args) -> int:
         tracer.write(out)
         print(f"-- trace: {len(tracer.events())} events -> {out}")
     if args.metrics:
+        ex.export_flight_metrics(metrics)  # skew_*/drift_* gauges
         _write_metrics(metrics, args.metrics)
     return 0 if ok else 1
 
@@ -601,7 +621,8 @@ def cmd_serve(args) -> int:
     from .serve import ServeEngine, create_server
     engine = ServeEngine(workers=args.workers, cache_size=args.cache_size,
                          queue_depth=args.queue_depth,
-                         max_shards=args.max_shards)
+                         max_shards=args.max_shards,
+                         flight_dir=args.flight_dir)
     server = create_server(engine, host=args.host, port=args.port,
                            request_timeout=args.request_timeout,
                            quiet=not args.verbose)
@@ -615,6 +636,84 @@ def cmd_serve(args) -> int:
     finally:
         server.server_close()
         engine.shutdown()
+    return 0
+
+
+def _top_frame(base_url: str) -> str:
+    """One rendered frame of the ``repro top`` view."""
+    import json
+    import urllib.request
+
+    from .obs.metrics import parse_prometheus_text
+
+    def fetch(path: str) -> bytes:
+        with urllib.request.urlopen(base_url.rstrip("/") + path,
+                                    timeout=5) as resp:
+            return resp.read()
+
+    stats = json.loads(fetch("/stats"))
+    samples = parse_prometheus_text(fetch("/metrics").decode("utf-8"))
+    cache = stats["plan_cache"]
+    lines = [
+        f"repro top -- {base_url}  "
+        f"[{time.strftime('%H:%M:%S')}]",
+        "",
+        f"queue  {stats['queued']}/{stats['queue_depth']} queued   "
+        f"workers {stats['workers']}   jobs "
+        + (" ".join(f"{k}={v}" for k, v in sorted(stats["jobs"].items()))
+           or "none"),
+        f"cache  {cache['entries']}/{cache['capacity']} resident   "
+        f"hit ratio {cache['hit_ratio']:.0%}   "
+        f"({cache['hits']} hits / {cache['misses']} misses, "
+        f"{cache['evictions']} evicted)",
+    ]
+    endpoints = stats.get("endpoints", {})
+    if endpoints:
+        lines.append("")
+        lines.append(f"{'endpoint':<24}{'count':>8}{'p50':>10}"
+                     f"{'p95':>10}{'p99':>10}")
+        for name in sorted(endpoints):
+            row = endpoints[name]
+            lines.append(
+                f"{name:<24}{int(row['count']):>8}"
+                f"{row['p50_s'] * 1e3:>9.1f}m{row['p95_s'] * 1e3:>9.1f}m"
+                f"{row['p99_s'] * 1e3:>9.1f}m")
+    watched = [
+        ("skew_imbalance_ratio", "skew imbalance"),
+        ("skew_critical_shard", "critical shard"),
+        ("drift_efficiency_ratio", "drift ratio"),
+        ("flight_records_total", "flight records"),
+        ("flight_dropped_total", "flight dropped"),
+    ]
+    health = [f"{label} {samples[name]:g}"
+              for name, label in watched if name in samples]
+    if health:
+        lines.append("")
+        lines.append("health  " + "   ".join(health))
+    return "\n".join(lines)
+
+
+def cmd_top(args) -> int:
+    import urllib.error
+    try:
+        frame = _top_frame(args.url)
+    except (urllib.error.URLError, OSError) as exc:
+        print(f"repro top: cannot reach {args.url}: {exc}")
+        return 1
+    if args.once:
+        print(frame)
+        return 0
+    try:
+        while True:
+            # ANSI home+clear keeps the frame in place like top(1).
+            print("\x1b[H\x1b[2J" + frame, flush=True)
+            time.sleep(args.interval)
+            frame = _top_frame(args.url)
+    except KeyboardInterrupt:
+        print()
+    except (urllib.error.URLError, OSError) as exc:
+        print(f"repro top: lost {args.url}: {exc}")
+        return 1
     return 0
 
 
@@ -657,6 +756,7 @@ def main(argv: list[str] | None = None) -> int:
         "profile": cmd_profile,
         "bench-report": cmd_bench_report,
         "serve": cmd_serve,
+        "top": cmd_top,
         "explain": cmd_explain,
         "apps": cmd_apps,
     }[args.command]

@@ -25,7 +25,47 @@ from ..runtime.mapping import BlockMapper, Mapper
 from .graph import GraphBuilder
 from .model import MachineModel
 
-__all__ = ["simulate_dependence_graph"]
+__all__ = ["simulate_dependence_graph", "predict_iteration_seconds"]
+
+
+def predict_iteration_seconds(shard_seconds, num_iterations: int = 8,
+                              halo: int = 1, sync_latency: float = 0.0,
+                              engine: str = "auto") -> float:
+    """Predicted steady-state seconds/iteration for an SPMD halo loop.
+
+    The drift detector's model: one node per shard, one core each, one
+    task per (shard, iteration) whose duration is that shard's calibrated
+    per-iteration cost, and each iteration depending on the previous
+    iteration of the ``halo`` neighboring shards on either side — the
+    structural skeleton of every app in this repo (nearest-neighbor
+    ghost exchange under replicated control flow).  Running it through
+    the vectorized machine scheduler answers "how long *should* an
+    iteration take given the calibrated costs", which the detector
+    compares against what the flight recorder measured.
+    """
+    costs = np.asarray(shard_seconds, dtype=np.float64)
+    num_shards = costs.shape[0]
+    if num_shards == 0 or num_iterations <= 0:
+        raise ValueError("need at least one shard and one iteration")
+    g = GraphBuilder(num_shards, 1)
+    shard_ids = np.arange(num_shards, dtype=np.int64)
+    prev: np.ndarray | None = None
+    for _ in range(num_iterations):
+        if prev is None:
+            batch = g.add_batch(costs, shard_ids, kind="core", label="iter")
+        else:
+            rows_l, tgts_l = [], []
+            for off in range(-halo, halo + 1):
+                nbr = shard_ids + off
+                ok = (nbr >= 0) & (nbr < num_shards)
+                rows_l.append(shard_ids[ok])
+                tgts_l.append(prev[nbr[ok]])
+            batch = g.add_batch(costs, shard_ids, kind="core",
+                                dep_rows=np.concatenate(rows_l),
+                                dep_targets=np.concatenate(tgts_l),
+                                dep_lats=sync_latency, label="iter")
+        prev = batch
+    return g.run(engine) / num_iterations
 
 
 def simulate_dependence_graph(graph: DependenceGraph, machine: MachineModel,

@@ -9,11 +9,16 @@ per-shard time-attribution buckets, critical paths, and the paper's
 parallel-efficiency metric.
 """
 
-from .metrics import (DEFAULT_BUCKETS, NULL_METRICS, Counter, Gauge,
-                      Histogram, MetricsRegistry, parse_prometheus_text)
+from .drift import DriftReport, analyze_drift, export_drift_metrics
+from .flight import (NULL_RING, FlightRecorder, ShardRing, flight_anchor,
+                     flight_enabled)
+from .metrics import (DEFAULT_BUCKETS, NULL_METRICS, SERVE_LATENCY_BUCKETS,
+                      Counter, Gauge, Histogram, MetricsRegistry,
+                      parse_prometheus_text)
 from .profile import (BUCKETS, Chain, ChainStep, ProfileReport, Segment,
                       ShardAttribution, attribute_shards, build_profile,
                       critical_chains, flatten_spans)
+from .skew import SkewReport, analyze_skew, export_skew_metrics
 from .trace import (NULL_TRACER, PID_COMPILER, PID_SIM_BASE, PID_SPMD,
                     Tracer, clock_anchor, rebase_events)
 
@@ -21,7 +26,11 @@ __all__ = [
     "Tracer", "NULL_TRACER", "PID_COMPILER", "PID_SPMD", "PID_SIM_BASE",
     "clock_anchor", "rebase_events",
     "Counter", "Gauge", "Histogram", "MetricsRegistry", "NULL_METRICS",
-    "DEFAULT_BUCKETS", "parse_prometheus_text",
+    "DEFAULT_BUCKETS", "SERVE_LATENCY_BUCKETS", "parse_prometheus_text",
+    "FlightRecorder", "ShardRing", "NULL_RING", "flight_enabled",
+    "flight_anchor",
+    "SkewReport", "analyze_skew", "export_skew_metrics",
+    "DriftReport", "analyze_drift", "export_drift_metrics",
     "BUCKETS", "Segment", "ShardAttribution", "ChainStep", "Chain",
     "ProfileReport", "flatten_spans", "attribute_shards", "critical_chains",
     "build_profile",

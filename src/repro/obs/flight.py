@@ -1,0 +1,317 @@
+"""Always-on flight recorder: bounded per-shard rings of compact events.
+
+The tracer (:mod:`repro.obs.trace`) answers "when did things happen" on
+runs the user remembered to instrument; the flight recorder answers the
+same question for the run that just *failed*, because it is always on.
+Every SPMD driver writes compact records — ``(kind, stmt uid, t_start,
+t_end, bytes)`` — into a fixed-size numpy ring per shard, so the cost is
+a handful of array stores per steady-state iteration (bounded well under
+the 5% overhead budget ``tests/obs/test_overhead.py`` pins) and memory
+is bounded no matter how long the process lives.
+
+Rings are single-writer: each shard (thread or forked process) owns its
+ring for the duration of a run, so records take no lock.  The procs
+driver ships each child ring back over the existing result pipe
+(:meth:`ShardRing.export_since` / :meth:`ShardRing.ingest`) with the
+same wall-clock anchor scheme the tracer uses for span rebasing.
+
+On demand — or automatically when a run dies with a
+``ShardExceptionGroup`` or a serve job fails — the recorder dumps the
+last N seconds as a standard Chrome trace (:meth:`FlightRecorder.
+to_chrome`), viewable in ``chrome://tracing`` / Perfetto like every
+other timeline this repo produces.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Any, Iterable
+
+import numpy as np
+
+__all__ = [
+    "ITER", "CAPTURE", "TASK", "COPY", "WAIT", "REQUEST", "COMPILE",
+    "KIND_NAMES",
+    "DEFAULT_CAPACITY", "PID_FLIGHT", "ShardRing", "NULL_RING",
+    "FlightRecorder", "flight_enabled", "flight_anchor", "anchor_delta_s",
+    "chrome_trace",
+]
+
+# Record kinds.  Iteration-shaped records (ITER = a replayed steady-state
+# iteration, CAPTURE = an interpreted/captured one) bound each window;
+# TASK/COPY/WAIT attribute time within it; REQUEST marks a serve request.
+ITER = 1
+CAPTURE = 2
+TASK = 3
+COPY = 4
+WAIT = 5
+REQUEST = 6
+COMPILE = 7
+
+KIND_NAMES = {ITER: "iter", CAPTURE: "capture", TASK: "task",
+              COPY: "copy", WAIT: "wait", REQUEST: "request",
+              COMPILE: "compile"}
+
+# Iteration-window kinds, used by the skew/drift analyzers.
+WINDOW_KINDS = (ITER, CAPTURE)
+
+DEFAULT_CAPACITY = 4096
+
+# Chrome-trace process row for flight events (compiler=0, SPMD spans=1,
+# simulator=100+node — see repro.obs.trace).
+PID_FLIGHT = 2
+
+# Anchor skew below this is fork preserving the perf_counter base (the
+# wall-clock anchors themselves carry ~ms jitter); same threshold as the
+# tracer's span rebase path.
+_REBASE_THRESHOLD_S = 2e-3
+
+
+def flight_enabled() -> bool:
+    """Whether the always-on recorder is active (env ``REPRO_FLIGHT``).
+
+    On by default; ``REPRO_FLIGHT=off`` (or ``0``/``false``) disables it
+    for A/B overhead measurements.
+    """
+    return os.environ.get("REPRO_FLIGHT", "on").lower() not in (
+        "0", "off", "false", "no")
+
+
+class ShardRing:
+    """A fixed-size, single-writer ring of flight records.
+
+    ``count`` is the total ever recorded; once it exceeds ``capacity``
+    the oldest records are overwritten and ``dropped`` grows.  Only the
+    owning shard writes; readers take a :meth:`snapshot`.
+    """
+
+    __slots__ = ("capacity", "kind", "uid", "t0", "t1", "nbytes", "count")
+    enabled = True
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity <= 0:
+            raise ValueError("ring capacity must be positive")
+        self.capacity = int(capacity)
+        self.kind = np.zeros(self.capacity, dtype=np.int16)
+        self.uid = np.zeros(self.capacity, dtype=np.int64)
+        self.t0 = np.zeros(self.capacity, dtype=np.float64)
+        self.t1 = np.zeros(self.capacity, dtype=np.float64)
+        self.nbytes = np.zeros(self.capacity, dtype=np.int64)
+        self.count = 0
+
+    # -- hot path ----------------------------------------------------------
+    def record(self, kind: int, uid: int, t0: float, t1: float,
+               nbytes: int = 0) -> None:
+        """Append one record; timestamps are raw ``perf_counter`` seconds."""
+        i = self.count % self.capacity
+        self.kind[i] = kind
+        self.uid[i] = uid
+        self.t0[i] = t0
+        self.t1[i] = t1
+        self.nbytes[i] = nbytes
+        self.count += 1
+
+    # -- introspection -----------------------------------------------------
+    @property
+    def dropped(self) -> int:
+        return max(0, self.count - self.capacity)
+
+    def __len__(self) -> int:
+        return min(self.count, self.capacity)
+
+    def _order(self) -> np.ndarray:
+        """Ring indices ordered oldest -> newest."""
+        n = len(self)
+        if self.count <= self.capacity:
+            return np.arange(n)
+        head = self.count % self.capacity
+        return np.concatenate([np.arange(head, self.capacity),
+                               np.arange(head)])
+
+    def snapshot(self) -> dict[str, np.ndarray]:
+        """Copies of the live records, ordered oldest -> newest."""
+        idx = self._order()
+        return {"kind": self.kind[idx], "uid": self.uid[idx],
+                "t0": self.t0[idx], "t1": self.t1[idx],
+                "nbytes": self.nbytes[idx]}
+
+    # -- cross-process funneling ------------------------------------------
+    def export_since(self, base: int) -> dict[str, Any]:
+        """Records with sequence number >= ``base``, for the procs pipe.
+
+        Records older than the ring still holds are gone; the payload's
+        own ``base`` reports the first sequence number actually exported
+        so the parent can account for the drop.
+        """
+        first = max(base, self.count - self.capacity)
+        n = self.count - first
+        if n <= 0:
+            return {"base": self.count, "count": self.count,
+                    "kind": np.empty(0, np.int16), "uid": np.empty(0, np.int64),
+                    "t0": np.empty(0, np.float64), "t1": np.empty(0, np.float64),
+                    "nbytes": np.empty(0, np.int64)}
+        idx = (first + np.arange(n)) % self.capacity
+        return {"base": first, "count": self.count,
+                "kind": self.kind[idx], "uid": self.uid[idx],
+                "t0": self.t0[idx], "t1": self.t1[idx],
+                "nbytes": self.nbytes[idx]}
+
+    def ingest(self, payload: dict[str, Any], delta_s: float = 0.0) -> None:
+        """Append exported records, shifting timestamps by ``delta_s``."""
+        kind = np.asarray(payload["kind"], dtype=np.int16)
+        n = kind.shape[0]
+        # Mirror the child's sequence numbering: records the child ring
+        # already overwrote count as dropped here too.
+        base = int(payload.get("base", 0))
+        if self.count < base:
+            self.count = base
+        if n == 0:
+            return
+        idx = (self.count + np.arange(n)) % self.capacity
+        self.kind[idx] = kind
+        self.uid[idx] = np.asarray(payload["uid"], dtype=np.int64)
+        self.t0[idx] = np.asarray(payload["t0"], dtype=np.float64) + delta_s
+        self.t1[idx] = np.asarray(payload["t1"], dtype=np.float64) + delta_s
+        self.nbytes[idx] = np.asarray(payload["nbytes"], dtype=np.int64)
+        self.count += n
+
+    # -- analysis helpers --------------------------------------------------
+    def windows(self, kinds: tuple[int, ...] = WINDOW_KINDS
+                ) -> tuple[np.ndarray, np.ndarray]:
+        """``(t0, t1)`` of iteration-shaped records, oldest -> newest."""
+        snap = self.snapshot()
+        mask = np.isin(snap["kind"], kinds)
+        return snap["t0"][mask], snap["t1"][mask]
+
+    def wait_seconds(self) -> float:
+        """Total blocked time recorded in the live window."""
+        snap = self.snapshot()
+        mask = snap["kind"] == WAIT
+        return float((snap["t1"][mask] - snap["t0"][mask]).sum())
+
+
+class _NullRing(ShardRing):
+    """A ring that records nothing; handed out when flight is disabled."""
+
+    __slots__ = ()
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__(1)
+
+    def record(self, kind: int, uid: int, t0: float, t1: float,
+               nbytes: int = 0) -> None:
+        pass
+
+
+NULL_RING = _NullRing()
+
+
+def flight_anchor() -> tuple[float, float]:
+    """A ``(wall_clock_s, perf_counter_s)`` pair naming the same instant.
+
+    The flight-ring analogue of :func:`repro.obs.trace.clock_anchor`:
+    records carry raw ``perf_counter`` seconds, and a forked child whose
+    ``perf_counter`` base differs from the parent's is rebased through
+    the shared wall clock (:func:`anchor_delta_s`).
+    """
+    return (time.time(), time.perf_counter())
+
+
+def anchor_delta_s(parent: tuple[float, float],
+                   child: tuple[float, float]) -> float:
+    """Seconds to add to child record timestamps; 0.0 under the threshold."""
+    delta = (parent[1] - child[1]) - (parent[0] - child[0])
+    return delta if abs(delta) >= _REBASE_THRESHOLD_S else 0.0
+
+
+class FlightRecorder:
+    """Per-shard flight rings plus Chrome-trace export.
+
+    ``ring(shard)`` lazily creates one :class:`ShardRing` per shard;
+    negative shard ids are reserved for non-shard rows (serve requests
+    record into ``ring(-1)``).
+    """
+
+    def __init__(self, num_shards: int = 0,
+                 capacity: int = DEFAULT_CAPACITY) -> None:
+        self.capacity = int(capacity)
+        self._rings: dict[int, ShardRing] = {
+            s: ShardRing(self.capacity) for s in range(num_shards)}
+
+    # -- ring access -------------------------------------------------------
+    def ring(self, shard: int) -> ShardRing:
+        ring = self._rings.get(shard)
+        if ring is None:
+            ring = self._rings[shard] = ShardRing(self.capacity)
+        return ring
+
+    def shards(self) -> list[int]:
+        return sorted(self._rings)
+
+    # -- accounting --------------------------------------------------------
+    def records_total(self) -> int:
+        return sum(r.count for r in self._rings.values())
+
+    def dropped_total(self) -> int:
+        return sum(r.dropped for r in self._rings.values())
+
+    # -- export ------------------------------------------------------------
+    def to_chrome(self, last_s: float | None = None) -> dict[str, Any]:
+        return chrome_trace([self], last_s=last_s)
+
+    def write(self, path: str, last_s: float | None = None) -> None:
+        with open(path, "w") as fh:
+            json.dump(self.to_chrome(last_s=last_s), fh)
+
+
+def chrome_trace(recorders: Iterable[FlightRecorder],
+                 last_s: float | None = None) -> dict[str, Any]:
+    """One Chrome-trace object over several recorders' live windows.
+
+    Timestamps are rebased so the earliest surviving record sits at
+    ``ts=0``; ``last_s`` keeps only records whose end falls within that
+    many seconds of the newest record across all recorders.
+    """
+    snaps: list[tuple[int, dict[str, np.ndarray]]] = []
+    t_min, t_max = np.inf, -np.inf
+    for rec in recorders:
+        for shard in rec.shards():
+            snap = rec.ring(shard).snapshot()
+            if snap["t0"].size == 0:
+                continue
+            snaps.append((shard, snap))
+            t_min = min(t_min, float(snap["t0"].min()))
+            t_max = max(t_max, float(snap["t1"].max()))
+    events: list[dict[str, Any]] = [
+        {"name": "process_name", "ph": "M", "pid": PID_FLIGHT, "tid": 0,
+         "args": {"name": "flight recorder"}}]
+    if not snaps:
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+    cutoff = -np.inf if last_s is None else t_max - float(last_s)
+    named: set[int] = set()
+    for shard, snap in snaps:
+        if shard not in named:
+            named.add(shard)
+            row = "serve" if shard < 0 else f"shard {shard}"
+            events.append({"name": "thread_name", "ph": "M",
+                           "pid": PID_FLIGHT, "tid": shard,
+                           "args": {"name": row}})
+        keep = snap["t1"] >= cutoff
+        kinds = snap["kind"][keep]
+        uids = snap["uid"][keep]
+        t0s = (snap["t0"][keep] - t_min) * 1e6
+        durs = (snap["t1"][keep] - snap["t0"][keep]) * 1e6
+        sizes = snap["nbytes"][keep]
+        for k, u, ts, dur, nb in zip(kinds, uids, t0s, durs, sizes):
+            name = KIND_NAMES.get(int(k), str(int(k)))
+            ev: dict[str, Any] = {"name": name, "cat": "flight", "ph": "X",
+                                  "ts": float(ts), "dur": float(dur),
+                                  "pid": PID_FLIGHT, "tid": shard,
+                                  "args": {"uid": int(u)}}
+            if nb:
+                ev["args"]["bytes"] = int(nb)
+            events.append(ev)
+    return {"traceEvents": events, "displayTimeUnit": "ms"}

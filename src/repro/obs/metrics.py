@@ -42,12 +42,19 @@ from typing import Any, Iterator
 
 __all__ = [
     "Counter", "Gauge", "Histogram", "MetricsRegistry", "NULL_METRICS",
-    "DEFAULT_BUCKETS", "PROMETHEUS_CONTENT_TYPE", "parse_prometheus_text",
-    "scrape_payload",
+    "DEFAULT_BUCKETS", "SERVE_LATENCY_BUCKETS", "PROMETHEUS_CONTENT_TYPE",
+    "parse_prometheus_text", "scrape_payload",
 ]
 
 # Default histogram bounds: wait/compute times in seconds, 1µs .. 10s.
 DEFAULT_BUCKETS = (1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0)
+
+# Request-latency bounds for the serve endpoints: the decade edges above
+# are too coarse to tell a 30 ms warm hit from a 90 ms one, so serve
+# histograms use 1-2-5 steps from 1 ms to 60 s.
+SERVE_LATENCY_BUCKETS = (
+    0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.5,
+    1.0, 2.0, 5.0, 10.0, 30.0, 60.0)
 
 # The Content-Type a Prometheus scraper expects for the text format.
 PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
@@ -114,6 +121,32 @@ class Histogram:
             self.counts[i] += c
         self.sum += other.sum
         self.count += other.count
+
+    def quantile(self, q: float) -> float:
+        """Estimate the q-quantile (0..1) by linear bucket interpolation.
+
+        The standard Prometheus ``histogram_quantile`` estimate: find the
+        bucket the target rank falls in and interpolate within its
+        bounds.  Resolution is whatever the bucket edges give you — the
+        reason serve latencies use :data:`SERVE_LATENCY_BUCKETS`.
+        Returns 0.0 with no observations.
+        """
+        if self.count == 0:
+            return 0.0
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        rank = q * self.count
+        cum = 0
+        for i, c in enumerate(self.counts):
+            prev = cum
+            cum += c
+            if cum >= rank and c:
+                lo = self.bounds[i - 1] if i > 0 else 0.0
+                hi = self.bounds[i] if i < len(self.bounds) else self.bounds[-1]
+                if i == len(self.bounds):
+                    return hi  # +Inf bucket: clamp to the top edge
+                return lo + (hi - lo) * ((rank - prev) / c)
+        return self.bounds[-1]
 
 
 class _NullCounter(Counter):
@@ -185,7 +218,19 @@ class MetricsRegistry:
     def histogram(self, name: str,
                   buckets: tuple[float, ...] = DEFAULT_BUCKETS,
                   **labels) -> Histogram:
-        return self._get(Histogram, name, labels, buckets)
+        """Get-or-create a histogram with per-instrument bucket edges.
+
+        The first caller fixes the edges; later callers naming different
+        ones get an error rather than silently observing into the wrong
+        resolution (the same contract :meth:`Histogram.merge` enforces
+        across registries).
+        """
+        h = self._get(Histogram, name, labels, buckets)
+        if h.bounds != tuple(float(b) for b in buckets):
+            raise ValueError(
+                f"histogram {name!r} already registered with bounds "
+                f"{h.bounds}, not {tuple(buckets)}")
+        return h
 
     # -- aggregation --------------------------------------------------------
     def child(self) -> "MetricsRegistry":

@@ -47,6 +47,8 @@ import numpy as np
 
 from ..core.ir import PairwiseCopy, ScalarCollective, BarrierStmt, walk
 from ..obs import NULL_METRICS, PID_SPMD, clock_anchor, rebase_events
+from ..obs import flight as _flight
+from ..obs.flight import NULL_RING, anchor_delta_s, flight_anchor
 from ..regions.region import reduction_identity
 from .collectives import SCALAR_REDUCTIONS
 
@@ -301,7 +303,7 @@ class _SyncBoard:
 # ---------------------------------------------------------------------------
 
 def _wait_event(shard: int, ev, cancel, timeout_s: float, tracer,
-                metrics=NULL_METRICS) -> None:
+                metrics=NULL_METRICS, flight=NULL_RING) -> None:
     """Block on one yielded event, honouring cancellation and the
     deadlock timeout; mirrors the threaded driver's wait loop."""
     from .spmd import DeadlockError, wait_kind
@@ -309,6 +311,7 @@ def _wait_event(shard: int, ev, cancel, timeout_s: float, tracer,
     if ev.is_set():
         return
     instrumented = tracer.enabled or metrics.enabled
+    t0 = time.perf_counter()
     start = tracer.now_us() if instrumented else 0.0
     deadline = time.monotonic() + timeout_s
     while not ev.wait_blocking(timeout=0.02):
@@ -318,6 +321,7 @@ def _wait_event(shard: int, ev, cancel, timeout_s: float, tracer,
             raise DeadlockError(
                 f"shard {shard} blocked on {ev.label or 'event'} "
                 f"for {timeout_s}s")
+    flight.record(_flight.WAIT, 0, t0, time.perf_counter())
     if instrumented:
         label = ev.label or "event"
         elapsed_us = tracer.now_us() - start
@@ -339,6 +343,10 @@ def _shard_main(ex, body, state, ctx, cancel, conn) -> None:
     # (fork usually preserves it; spawn-like platforms and re-created
     # tracers do not).
     anchor = clock_anchor(tracer) if tracer.enabled else None
+    # The forked copy of the shard's flight ring is process-private from
+    # here on; remember where it stood so only this run's records ship
+    # back, with their own wall-clock anchor for the same rebase scheme.
+    flight_base = state.flight.count if state.flight.enabled else 0
     # Instances must have been materialized (in shared memory) pre-fork;
     # a lazily created one here would be process-private and silently
     # wrong, so make dist_instance fail loudly instead.
@@ -350,7 +358,7 @@ def _shard_main(ex, body, state, ctx, cancel, conn) -> None:
                 raise _Cancelled()
             if ev is not None:
                 _wait_event(state.shard, ev, cancel, ex.deadlock_timeout,
-                            tracer, state.metrics)
+                            tracer, state.metrics, state.flight)
     except _Cancelled:
         pass  # a sibling already recorded the primary error
     except BaseException as exc:
@@ -380,6 +388,9 @@ def _shard_main(ex, body, state, ctx, cancel, conn) -> None:
                     if state.metrics.enabled else None),
         "trace_events": tracer.events()[trace_base:] if tracer.enabled else [],
         "clock_anchor": anchor,
+        "flight": (state.flight.export_since(flight_base)
+                   if state.flight.enabled else None),
+        "flight_anchor": flight_anchor() if state.flight.enabled else None,
         "error": error,
     }
     try:
@@ -487,6 +498,7 @@ def run_shard_launch_procs(ex, stmt, states, ns: int) -> None:
     ex._copy_locks = ex._build_reduction_locks(stmt, mpctx.Lock)
     cancel = mpctx.Event()
     parent_anchor = clock_anchor(ex.tracer) if ex.tracer.enabled else None
+    parent_flight_anchor = flight_anchor() if ex.flight is not None else None
     procs: list = []
     conns: list = []
     errors: list[BaseException] = []
@@ -554,6 +566,14 @@ def run_shard_launch_procs(ex, stmt, states, ns: int) -> None:
                 st.metrics.merge(payload["metrics"])
             if ex.tracer.enabled and payload["trace_events"]:
                 ex.tracer.ingest(_rebased(payload, parent_anchor))
+            if ex.flight is not None and payload.get("flight") is not None:
+                # Funnel the child's ring records into the parent recorder;
+                # the wall-clock anchors repair a differing perf_counter
+                # base exactly as the span rebase above does.
+                delta = (anchor_delta_s(parent_flight_anchor,
+                                        payload["flight_anchor"])
+                         if payload.get("flight_anchor") else 0.0)
+                ex.flight.ring(st.shard).ingest(payload["flight"], delta)
     finally:
         ex._copy_lock = old_lock
         ex._copy_locks = old_locks

@@ -34,6 +34,8 @@ run in parallel.
 
 from __future__ import annotations
 
+import json
+import os
 import random
 import threading
 import time
@@ -61,6 +63,8 @@ from ..core.ir import (
 )
 from ..core.shards import owner_of_color, shard_owned_colors
 from ..obs import NULL_METRICS, NULL_TRACER, PID_SPMD, MetricsRegistry, Tracer
+from ..obs import flight as _flight
+from ..obs.flight import NULL_RING, FlightRecorder, ShardRing, flight_enabled
 from ..regions.partition import Partition
 from ..regions.region import PhysicalInstance, reduction_identity
 from ..tasks.views import RegionView
@@ -145,6 +149,11 @@ class _ShardState:
     # Per-shard metrics child; single-owner during the run, so instrument
     # updates take no lock.  Merged back by the executor after the join.
     metrics: MetricsRegistry = NULL_METRICS
+    # Always-on flight ring (repro.obs.flight): single-writer, bounded.
+    # Unlike metrics, the ring deliberately survives reset_for_run — it
+    # is a rolling window over the shard's recent history, which is
+    # exactly what a post-failure dump should show.
+    flight: ShardRing = NULL_RING
     # Steady-state trace capture & replay (repro.runtime.replay).
     replay_hits: int = 0
     replay_misses: int = 0
@@ -214,7 +223,10 @@ class SPMDExecutor(SequentialExecutor):
                  metrics: MetricsRegistry = NULL_METRICS,
                  fuse_copies: str = "auto", jit: str = "auto",
                  window_dump_after: frozenset = frozenset(),
-                 window_dump_sink=None, retain_plans: bool = False):
+                 window_dump_sink=None, retain_plans: bool = False,
+                 flight: bool | None = None,
+                 flight_capacity: int = _flight.DEFAULT_CAPACITY,
+                 flight_dir: str | None = None):
         super().__init__(instances=instances)
         if mode not in ("stepped", "threaded", "procs"):
             raise ValueError(f"unknown mode {mode!r}")
@@ -251,6 +263,19 @@ class SPMDExecutor(SequentialExecutor):
         self.validate_replication = validate_replication
         self.tracer = tracer
         self.metrics = metrics
+        # Always-on flight recorder: one bounded ring per shard, written
+        # by every driver.  Default follows the REPRO_FLIGHT env switch
+        # (on unless explicitly disabled); explicit flight=True/False
+        # overrides it.  REPRO_FLIGHT_DIR (or flight_dir=) names where
+        # failure dumps land; without it the Chrome trace is attached to
+        # the raised ShardExceptionGroup but not written to disk.
+        if flight is None:
+            flight = flight_enabled()
+        self.flight: FlightRecorder | None = (
+            FlightRecorder(num_shards, capacity=flight_capacity)
+            if flight else None)
+        self.flight_dir = (flight_dir if flight_dir is not None
+                           else os.environ.get("REPRO_FLIGHT_DIR") or None)
         self.deadlock_timeout = deadlock_timeout
         self.dist: dict[tuple[int, int], PhysicalInstance] = {}
         self.pair_sets: dict[str, IntersectionResult] = {}
@@ -306,7 +331,11 @@ class SPMDExecutor(SequentialExecutor):
             self._resident_program = program if self.retain_plans else None
         try:
             return super().run(program)
-        except BaseException:
+        except BaseException as exc:
+            # Failed shards are what the flight recorder exists for: dump
+            # the final window before the resident state is torn down.
+            if isinstance(exc, ShardExceptionGroup):
+                self.dump_flight(exc)
             # A failed run leaves resident state (epochs vs. sync
             # sequences, partially executed plans) inconsistent; the next
             # run must rebuild from scratch rather than replay into it.
@@ -320,6 +349,49 @@ class SPMDExecutor(SequentialExecutor):
                 # exit).  Resident executors keep the arena warm; their
                 # owner calls close() when evicting them.
                 self.close()
+
+    def dump_flight(self, exc: BaseException | None = None,
+                    last_s: float | None = None) -> str | None:
+        """Dump the flight rings as a Chrome trace; returns the path.
+
+        The trace object is also attached to ``exc`` (as
+        ``exc.flight_trace``) so callers that contained the failure — the
+        serve engine, tests — can inspect or persist it without touching
+        the filesystem.  A file is written only when a dump directory is
+        configured (``flight_dir=`` / ``REPRO_FLIGHT_DIR``).
+        """
+        if self.flight is None or self.flight.records_total() == 0:
+            return None
+        trace = self.flight.to_chrome(last_s=last_s)
+        if exc is not None:
+            exc.flight_trace = trace
+        if not self.flight_dir:
+            return None
+        os.makedirs(self.flight_dir, exist_ok=True)
+        path = os.path.join(
+            self.flight_dir,
+            f"flight_{os.getpid()}_{time.time_ns() // 1000}.json")
+        with open(path, "w") as fh:
+            json.dump(trace, fh)
+        if exc is not None:
+            exc.flight_path = path
+        return path
+
+    def export_flight_metrics(self, registry: MetricsRegistry | None = None):
+        """Export ``flight_*``/``skew_*``/``drift_*`` gauges from the rings.
+
+        Returns ``(skew_report, drift_report)`` (either may be ``None``
+        when too little history exists).  Callers pass the registry the
+        run recorded into; defaults to the executor's own.
+        """
+        from ..obs.drift import export_drift_metrics
+        from ..obs.skew import export_skew_metrics
+        registry = registry if registry is not None else self.metrics
+        if self.flight is None or not registry.enabled:
+            return None, None
+        skew = export_skew_metrics(self.flight, registry)
+        drift = export_drift_metrics(self.flight, registry)
+        return skew, drift
 
     def reset_session(self) -> None:
         """Drop every per-program cache and plan; release the arena.
@@ -472,6 +544,9 @@ class SPMDExecutor(SequentialExecutor):
         else:
             for st in states:
                 st.reset_for_run(dict(self.scalars), self.metrics.child())
+        if self.flight is not None:
+            for st in states:
+                st.flight = self.flight.ring(st.shard)
         if self.tracer.enabled:
             self.tracer.name_process(PID_SPMD, "spmd executor")
             for x in range(ns):
@@ -679,9 +754,11 @@ class SPMDExecutor(SequentialExecutor):
             # shard promptly instead of after the full deadlock timeout.
             if ev.is_set():
                 return
-            metrics = states[shard].metrics if shard < len(states) \
-                else NULL_METRICS
+            has_state = shard < len(states)
+            metrics = states[shard].metrics if has_state else NULL_METRICS
+            flight = states[shard].flight if has_state else NULL_RING
             instrumented = tracer.enabled or metrics.enabled
+            t0 = time.perf_counter()
             start = tracer.now_us() if instrumented else 0.0
             deadline = time.monotonic() + self.deadlock_timeout
             while not ev.wait_blocking(timeout=0.02):
@@ -691,6 +768,7 @@ class SPMDExecutor(SequentialExecutor):
                     raise DeadlockError(
                         f"shard {shard} blocked on "
                         f"{ev.label or 'event'} for {self.deadlock_timeout}s")
+            flight.record(_flight.WAIT, 0, t0, time.perf_counter())
             if instrumented:
                 label = ev.label or "event"
                 elapsed_us = tracer.now_us() - start
@@ -831,6 +909,8 @@ class SPMDExecutor(SequentialExecutor):
                 stmt.uid, self.replay, jit=self.jit, var=var,
                 num_shards=ctx.num_shards)
         tracer = self.tracer
+        flight = state.flight
+        perf = time.perf_counter
         for v in values:
             if var is not None:
                 state.scalars[var] = v
@@ -838,6 +918,7 @@ class SPMDExecutor(SequentialExecutor):
             if trace is not None:
                 if trace.guards_hold(state.scalars):
                     state.replay_hits += 1
+                    tf = perf()
                     if tracer.enabled:
                         t0 = tracer.now_us()
                         yield from trace.replay(self, state)
@@ -847,12 +928,14 @@ class SPMDExecutor(SequentialExecutor):
                                         args={"loop": stmt.uid})
                     else:
                         yield from trace.replay(self, state)
+                    flight.record(_flight.ITER, stmt.uid, tf, perf())
                     continue
                 # A frozen trace exists but a hoisted guard failed: fall
                 # back to interpretation for this iteration only.
                 state.replay_guard_fallbacks += 1
             state.replay_misses += 1
             rec = lr.begin_iteration(state.epochs)
+            tf = perf()
             t0 = tracer.now_us() if tracer.enabled else 0.0
             yield from self._shard_body(stmt.body, state, ctx, rec)
             if lr.end_iteration(self, state) and tracer.enabled:
@@ -860,6 +943,7 @@ class SPMDExecutor(SequentialExecutor):
                                 cat="replay", pid=PID_SPMD, tid=state.shard,
                                 args={"loop": stmt.uid,
                                       "iteration": lr.iterations_recorded})
+            flight.record(_flight.CAPTURE, stmt.uid, tf, perf())
 
     def _shard_launch_stmt(self, stmt: IndexLaunch, state: _ShardState,
                            ctx: "_EpochContext",
@@ -886,13 +970,19 @@ class SPMDExecutor(SequentialExecutor):
                     args.append(view)
                 else:
                     args.append(evaluate(arg.expr, {**state.scalars, "i": i}))
-            t0 = time.perf_counter() if task_hist is not None else 0.0
-            with self.tracer.span(f"task:{stmt.task.name}", cat="task",
-                                  pid=PID_SPMD, tid=state.shard,
-                                  args={"color": i, "uid": stmt.uid}):
-                result = stmt.task(*args)
+            t0 = time.perf_counter()
+            try:
+                with self.tracer.span(f"task:{stmt.task.name}", cat="task",
+                                      pid=PID_SPMD, tid=state.shard,
+                                      args={"color": i, "uid": stmt.uid}):
+                    result = stmt.task(*args)
+            finally:
+                # Recorded even when the task raises: the failing task is
+                # the record the post-mortem flight dump exists to show.
+                t1 = time.perf_counter()
+                state.flight.record(_flight.TASK, stmt.uid, t0, t1)
             if task_hist is not None:
-                task_hist.observe(time.perf_counter() - t0)
+                task_hist.observe(t1 - t0)
             for v in views:
                 v.finalize()
             state.tasks_executed += 1
@@ -1032,6 +1122,7 @@ class SPMDExecutor(SequentialExecutor):
             pc = PairCopy.build(stmt, src_inst, dst_inst, pts, lock=lock,
                                 width=self._field_width(stmt))
             rec.copy(stmt.uid, i, j, pc)
+        t0 = time.perf_counter()
         with self.tracer.span(f"copy:{stmt.src.name}->{stmt.dst.name}",
                               cat="copy", pid=PID_SPMD, tid=state.shard,
                               args={"pair": [i, j], "uid": stmt.uid,
@@ -1054,7 +1145,10 @@ class SPMDExecutor(SequentialExecutor):
                                            redop=stmt.redop)
         state.elements_copied += n
         state.copies_performed += 1
-        state.bytes_copied += n * self._field_width(stmt)
+        nbytes = n * self._field_width(stmt)
+        state.bytes_copied += nbytes
+        state.flight.record(_flight.COPY, stmt.uid, t0, time.perf_counter(),
+                            nbytes)
         if stmt.redop is not None:
             if lock is None:
                 state.lockfree_folds += 1

@@ -45,11 +45,13 @@ switch must drop them via the executor's session reset.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Any, Iterator
 
 from ...core.ir import evaluate
 from ...core.passes import PassContext, run_pass_pipeline
+from ...obs import flight as _flight
 from ...obs.trace import PID_SPMD
 from ..events import advance_group
 from .ir import (
@@ -421,6 +423,7 @@ def compile_window(ex, rec: IterationRecorder, state, *, jit: str = "off",
                    uid: int = 0):
     """Lower one recorded iteration; returns a :class:`CompiledWindow`
     (JIT engaged) or an interpreted :class:`ReplayTrace`."""
+    t_compile = time.perf_counter()
     wir = WindowIR(ops=list(rec.ops), guards=list(rec.guards),
                    epoch_base=rec.epoch_base, written=set(rec.written),
                    copy_ranges=rec.copy_ranges, loop_var=var)
@@ -471,6 +474,10 @@ def compile_window(ex, rec: IterationRecorder, state, *, jit: str = "off",
     cw = CompiledWindow.build(wir, state, uid=uid)
     state.window_compiles += 1
     state.window_closures += cw.num_closures
+    # A window compile is exactly the kind of rare, expensive, should-not-
+    # recur event a post-failure flight dump wants on the timeline (a
+    # recompile storm shows up as repeated COMPILE records).
+    state.flight.record(_flight.COMPILE, uid, t_compile, time.perf_counter())
     return cw
 
 

@@ -158,13 +158,21 @@ class PlanCache:
         for entry in entries:
             entry.close()
 
+    def executors(self) -> list:
+        """A snapshot of the live resident executors (for flight dumps)."""
+        with self._lock:
+            return [e.executor for e in self._entries.values()
+                    if e.ready and e.executor is not None]
+
     def stats(self) -> dict:
         with self._lock:
+            lookups = self.hit_count + self.miss_count
             return {
                 "capacity": self.capacity,
                 "entries": len(self._entries),
                 "hits": self.hit_count,
                 "misses": self.miss_count,
+                "hit_ratio": (self.hit_count / lookups) if lookups else 0.0,
                 "evictions": self.eviction_count,
                 "resident": [
                     {"fingerprint": fp, "app": e.request.app,

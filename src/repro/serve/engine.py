@@ -32,14 +32,20 @@ from __future__ import annotations
 
 import hashlib
 import itertools
+import os
 import queue
+import tempfile
 import threading
 import time
+from collections import deque
 from typing import Any
 
 import numpy as np
 
-from ..obs.metrics import MetricsRegistry, scrape_payload
+from ..obs import flight as _flight
+from ..obs.flight import FlightRecorder, chrome_trace, flight_enabled
+from ..obs.metrics import (SERVE_LATENCY_BUCKETS, Histogram, MetricsRegistry,
+                           scrape_payload)
 from .cache import PlanCache
 from .fingerprint import ServeRequest, build_problem
 
@@ -67,9 +73,10 @@ class Job:
     """One admitted request moving through the queue."""
 
     __slots__ = ("id", "request", "fingerprint", "status", "result",
-                 "error", "done")
+                 "error", "done", "trace_id", "flight_path")
 
-    def __init__(self, job_id: str, request: ServeRequest) -> None:
+    def __init__(self, job_id: str, request: ServeRequest,
+                 trace_id: str | None = None) -> None:
         self.id = job_id
         self.request = request
         self.fingerprint = request.fingerprint()
@@ -77,16 +84,22 @@ class Job:
         self.result: dict | None = None
         self.error: str | None = None
         self.done = threading.Event()
+        # Every admitted request gets a trace id: the client's if it sent
+        # one (body "trace_id" or X-Trace-Id header), else the job id.
+        self.trace_id = trace_id or job_id
+        self.flight_path: str | None = None  # set when a failure dumps
 
     def to_dict(self, with_state: bool = False) -> dict:
         out = {"job": self.id, "status": self.status,
-               "fingerprint": self.fingerprint}
+               "fingerprint": self.fingerprint, "trace_id": self.trace_id}
         if self.status == "done" and self.result is not None:
             result = self.result if with_state else {
                 k: v for k, v in self.result.items() if k != "state"}
             out["result"] = result
         if self.status == "error":
             out["error"] = self.error
+            if self.flight_path:
+                out["flight_path"] = self.flight_path
         return out
 
 
@@ -107,7 +120,8 @@ class ServeEngine:
     """Compile-once serve-many: resident executors behind a job queue."""
 
     def __init__(self, workers: int = 2, cache_size: int = 8,
-                 queue_depth: int = 16, max_shards: int = 8) -> None:
+                 queue_depth: int = 16, max_shards: int = 8,
+                 flight_dir: str | None = None) -> None:
         if workers < 1:
             raise ValueError("need at least one worker")
         self.max_shards = max_shards
@@ -119,6 +133,14 @@ class ServeEngine:
         self._jobs_lock = threading.Lock()
         self._ids = itertools.count(1)
         self._closed = False
+        # Engine-level flight ring: one REQUEST span per job (shard -1 in
+        # the merged trace), alongside the per-executor shard rings.
+        self.flight = FlightRecorder() if flight_enabled() else None
+        self.flight_dir = (
+            flight_dir if flight_dir is not None
+            else os.environ.get("REPRO_FLIGHT_DIR")
+            or os.path.join(tempfile.gettempdir(), "repro-flight"))
+        self._recent: "deque[dict]" = deque(maxlen=64)
         self._workers = [
             threading.Thread(target=self._worker, name=f"serve-worker-{i}",
                              daemon=True)
@@ -136,12 +158,17 @@ class ServeEngine:
         """
         if self._closed:
             raise AdmissionError("engine is shut down")
+        # trace_id is transport metadata, not part of the workload (and
+        # not part of the fingerprint): peel it off before validation.
+        trace_id = payload.pop("trace_id", None)
+        if trace_id is not None and not isinstance(trace_id, str):
+            raise ValueError("trace_id must be a string")
         request = ServeRequest.from_dict(payload)
         if request.shards > self.max_shards:
             raise AdmissionError(
                 f"request wants {request.shards} shards; this server "
                 f"admits at most {self.max_shards}")
-        job = Job(f"j{next(self._ids):06d}", request)
+        job = Job(f"j{next(self._ids):06d}", request, trace_id=trace_id)
         with self._jobs_lock:
             self._jobs[job.id] = job
         try:
@@ -162,7 +189,10 @@ class ServeEngine:
             raise TimeoutError(f"job {job.id} still {job.status} "
                                f"after {timeout}s")
         if job.status == "error":
-            raise ServeJobError(job.error or "job failed")
+            err = ServeJobError(job.error or "job failed")
+            err.trace_id = job.trace_id
+            err.flight_path = job.flight_path
+            raise err
         assert job.result is not None
         if with_state:
             return job.result
@@ -179,6 +209,7 @@ class ServeEngine:
             if job is None:
                 return
             job.status = "running"
+            t0 = time.perf_counter()
             try:
                 job.result = self._execute(job)
                 job.status = "done"
@@ -188,6 +219,20 @@ class ServeEngine:
                 job.status = "error"
                 self._count_request(job.request.app, "error")
             finally:
+                t1 = time.perf_counter()
+                if self.flight is not None:
+                    # uid = the numeric job id, so a REQUEST span in the
+                    # merged trace points back at /jobs/<id>.
+                    self.flight.ring(-1).record(
+                        _flight.REQUEST, int(job.id[1:]), t0, t1)
+                self._recent.appendleft({
+                    "trace_id": job.trace_id, "job": job.id,
+                    "app": job.request.app, "backend": job.request.backend,
+                    "shards": job.request.shards,
+                    "fingerprint": job.fingerprint, "status": job.status,
+                    "elapsed_s": t1 - t0, "finished_unix": time.time(),
+                    "error": job.error, "flight_path": job.flight_path,
+                })
                 job.done.set()
 
     def _build_entry(self, entry, request: ServeRequest) -> None:
@@ -254,7 +299,15 @@ class ServeEngine:
                 counters = {f: getattr(executor, f) - before[f]
                             for f in _COUNTER_FIELDS}
                 state = entry.problem.extract_state(executor.instances)
-        except Exception:
+        except Exception as exc:
+            # Before the entry (and its executor) is torn down, dump its
+            # flight rings: the last window of shard activity before the
+            # failure, attached to the exception and written to
+            # ``flight_dir`` so the trace survives the discard.
+            ex_failed = entry.executor
+            if ex_failed is not None and getattr(ex_failed, "flight", None):
+                ex_failed.flight_dir = self.flight_dir
+                job.flight_path = ex_failed.dump_flight(exc)
             # The entry's plans may be half-built or inconsistent; drop
             # it so the next request recompiles (and its arena is gone).
             self.cache.discard(entry)
@@ -264,11 +317,12 @@ class ServeEngine:
         elapsed = time.perf_counter() - t_start
         with self._merge_lock:
             self.metrics.histogram(
-                "serve_request_seconds",
+                "serve_request_seconds", buckets=SERVE_LATENCY_BUCKETS,
                 cache="hit" if hit else "miss").observe(elapsed)
             self.metrics.merge(request_metrics)
         return {
             "job": job.id,
+            "trace_id": job.trace_id,
             "app": request.app,
             "fingerprint": job.fingerprint,
             "cache": {"hit": hit, "fingerprint": job.fingerprint},
@@ -287,12 +341,50 @@ class ServeEngine:
             self.metrics.counter("serve_requests_total", app=app,
                                  outcome=outcome).inc()
 
+    def observe_http(self, endpoint: str, seconds: float) -> None:
+        """Record one HTTP round-trip for the per-endpoint histograms."""
+        with self._merge_lock:
+            self.metrics.histogram(
+                "serve_http_request_seconds", buckets=SERVE_LATENCY_BUCKETS,
+                endpoint=endpoint).observe(seconds)
+
     # -- introspection / shutdown ------------------------------------------
+    def recent_requests(self) -> list[dict]:
+        """The last completed requests, newest first (``/debug/requests``)."""
+        return list(self._recent)
+
+    def flight_trace(self, last_s: float | None = None) -> dict:
+        """One merged Chrome trace: engine REQUEST spans + every resident
+        executor's shard rings (``/debug/flight``)."""
+        recorders = [ex.flight for ex in self.cache.executors()
+                     if getattr(ex, "flight", None) is not None]
+        if self.flight is not None:
+            recorders.append(self.flight)
+        return chrome_trace(recorders, last_s=last_s)
+
+    def _endpoint_latency(self) -> dict[str, dict[str, float]]:
+        # Merge lock held.  One row per endpoint label of the HTTP
+        # latency histogram: count plus p50/p95/p99 from the buckets.
+        out: dict[str, dict[str, float]] = {}
+        for name, labels, inst in self.metrics.items():
+            if name != "serve_http_request_seconds" or \
+                    not isinstance(inst, Histogram):
+                continue
+            out[labels.get("endpoint", "")] = {
+                "count": float(inst.count),
+                "p50_s": inst.quantile(0.50),
+                "p95_s": inst.quantile(0.95),
+                "p99_s": inst.quantile(0.99),
+            }
+        return out
+
     def stats(self) -> dict:
         with self._jobs_lock:
             by_status: dict[str, int] = {}
             for job in self._jobs.values():
                 by_status[job.status] = by_status.get(job.status, 0) + 1
+        with self._merge_lock:
+            endpoints = self._endpoint_latency()
         return {
             "workers": len(self._workers),
             "queue_depth": self._queue.maxsize,
@@ -300,14 +392,36 @@ class ServeEngine:
             "max_shards": self.max_shards,
             "jobs": by_status,
             "plan_cache": self.cache.stats(),
+            "endpoints": endpoints,
+            "flight": {
+                "enabled": self.flight is not None,
+                "dir": self.flight_dir,
+                "requests_recorded": (self.flight.records_total()
+                                      if self.flight is not None else 0),
+            },
         }
 
     def scrape(self) -> tuple[str, bytes]:
         """``(content_type, body)`` for ``/metrics``, gauges refreshed."""
+        from ..obs.drift import export_drift_metrics
+        from ..obs.skew import export_skew_metrics
+        executors = self.cache.executors()
         with self._merge_lock:
             self.metrics.gauge("serve_plan_cache_entries").set(
                 self.cache.stats()["entries"])
             self.metrics.gauge("serve_queue_length").set(self._queue.qsize())
+            # Straggler/drift gauges from the resident executors' rings.
+            # With several resident programs the last one wins — the
+            # common serve deployment is one resident app, and the
+            # /debug/flight trace keeps the full per-executor story.
+            for ex in executors:
+                rec = getattr(ex, "flight", None)
+                if rec is not None and rec.records_total():
+                    export_skew_metrics(rec, self.metrics)
+                    export_drift_metrics(rec, self.metrics)
+            if self.flight is not None:
+                self.metrics.gauge("flight_serve_requests_recorded").set(
+                    self.flight.records_total())
             return scrape_payload(self.metrics)
 
     def shutdown(self, timeout: float = 10.0) -> None:

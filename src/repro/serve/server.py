@@ -8,7 +8,16 @@ A thin :class:`~http.server.ThreadingHTTPServer` over a
 * ``GET  /jobs/<id>`` — poll a job's status/result;
 * ``GET  /metrics``   — Prometheus text exposition of the engine registry;
 * ``GET  /healthz``   — liveness;
-* ``GET  /stats``     — queue/cache/job introspection as JSON.
+* ``GET  /stats``     — queue/cache/job introspection as JSON;
+* ``GET  /debug/requests``        — the recent-request ring, newest first;
+* ``GET  /debug/flight?last=<s>`` — merged Chrome trace of the engine's
+  REQUEST spans plus every resident executor's flight rings, optionally
+  clipped to the trailing ``last`` seconds.
+
+Every request is timed into the per-endpoint latency histogram
+(``serve_http_request_seconds{endpoint=...}``) regardless of outcome,
+and a client may tag a run with ``X-Trace-Id`` (or a ``trace_id`` body
+field) — the id rides on the job, the response, and ``/debug/requests``.
 
 Status mapping: malformed request → 400, admission rejection (full
 queue, shard cap) → 429, job failure → 500, synchronous timeout → 504.
@@ -19,7 +28,9 @@ Results are JSON; region state travels as per-array SHA-256 checksums
 from __future__ import annotations
 
 import json
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlsplit
 
 from .engine import AdmissionError, ServeEngine, ServeJobError
 
@@ -58,9 +69,28 @@ class ServeHandler(BaseHTTPRequestHandler):
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
             raise ValueError(f"bad JSON body: {exc}") from None
 
+    @staticmethod
+    def _endpoint_label(method: str, path: str) -> str:
+        # Bounded-cardinality endpoint label: job polls collapse to one
+        # series, junk paths to "other".
+        if path.startswith("/jobs/"):
+            return "GET /jobs/<id>"
+        known = {"/healthz", "/metrics", "/stats", "/run", "/jobs",
+                 "/debug/requests", "/debug/flight"}
+        return f"{method} {path}" if path in known else f"{method} other"
+
     # -- routes ------------------------------------------------------------
     def do_GET(self) -> None:
-        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        split = urlsplit(self.path)
+        path = split.path.rstrip("/") or "/"
+        t0 = time.perf_counter()
+        try:
+            self._route_get(path, split.query)
+        finally:
+            self.engine.observe_http(self._endpoint_label("GET", path),
+                                     time.perf_counter() - t0)
+
+    def _route_get(self, path: str, query: str) -> None:
         if path == "/healthz":
             self._send_json(200, {"ok": True})
         elif path == "/metrics":
@@ -72,6 +102,16 @@ class ServeHandler(BaseHTTPRequestHandler):
             self.wfile.write(body)
         elif path == "/stats":
             self._send_json(200, self.engine.stats())
+        elif path == "/debug/requests":
+            self._send_json(200, {"requests": self.engine.recent_requests()})
+        elif path == "/debug/flight":
+            try:
+                last = parse_qs(query).get("last")
+                last_s = float(last[0]) if last else None
+            except ValueError:
+                self._send_json(400, {"error": "last must be a number"})
+                return
+            self._send_json(200, self.engine.flight_trace(last_s=last_s))
         elif path.startswith("/jobs/"):
             job = self.engine.get_job(path[len("/jobs/"):])
             if job is None:
@@ -83,8 +123,19 @@ class ServeHandler(BaseHTTPRequestHandler):
 
     def do_POST(self) -> None:
         path = self.path.split("?", 1)[0].rstrip("/")
+        t0 = time.perf_counter()
+        try:
+            self._route_post(path)
+        finally:
+            self.engine.observe_http(self._endpoint_label("POST", path),
+                                     time.perf_counter() - t0)
+
+    def _route_post(self, path: str) -> None:
         try:
             payload = self._read_json()
+            header_trace = self.headers.get("X-Trace-Id")
+            if header_trace and "trace_id" not in payload:
+                payload["trace_id"] = header_trace
             if path == "/run":
                 result = self.engine.run_sync(payload,
                                               timeout=self.request_timeout)
@@ -101,7 +152,12 @@ class ServeHandler(BaseHTTPRequestHandler):
         except TimeoutError as exc:
             self._send_json(504, {"error": str(exc)})
         except ServeJobError as exc:
-            self._send_json(500, {"error": str(exc)})
+            out = {"error": str(exc)}
+            if getattr(exc, "trace_id", None):
+                out["trace_id"] = exc.trace_id
+            if getattr(exc, "flight_path", None):
+                out["flight_path"] = exc.flight_path
+            self._send_json(500, out)
 
 
 def create_server(engine: ServeEngine, host: str = "127.0.0.1",

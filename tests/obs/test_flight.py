@@ -1,0 +1,304 @@
+"""Flight recorder: ring mechanics, driver wiring, failure dumps, drift.
+
+The acceptance-critical properties:
+
+* every SPMD driver records into the always-on rings by default;
+* a ``ShardExceptionGroup`` automatically carries a parseable Chrome
+  trace of the final window (``exc.flight_trace`` / ``exc.flight_path``);
+* ``drift_efficiency_ratio`` (measured / machine-model predicted
+  iteration time) stays within [0.5, 1.5] on the fig-6 stencil smoke.
+"""
+
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro.apps.stencil import StencilProblem
+from repro.core import ProgramBuilder, control_replicate
+from repro.obs.drift import analyze_drift, export_drift_metrics
+from repro.obs.flight import (
+    CAPTURE,
+    COPY,
+    ITER,
+    NULL_RING,
+    REQUEST,
+    TASK,
+    WAIT,
+    FlightRecorder,
+    ShardRing,
+    anchor_delta_s,
+    chrome_trace,
+    flight_enabled,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.skew import analyze_skew, export_skew_metrics
+from repro.runtime import SPMDExecutor, procs_available
+from repro.tasks import R, RW, task
+
+
+def run_stencil(mode, steps=14, shards=2, **kw):
+    p = StencilProblem(n=32, radius=2, tiles=4, steps=steps)
+    prog, _ = control_replicate(p.build_program(), num_shards=shards)
+    ex = SPMDExecutor(num_shards=shards, mode=mode,
+                      instances=p.fresh_instances(), **kw)
+    ex.run(prog)
+    return ex
+
+
+class TestShardRing:
+    def test_append_and_snapshot_order(self):
+        ring = ShardRing(capacity=4)
+        for i in range(3):
+            ring.record(TASK, i, float(i), i + 0.5)
+        snap = ring.snapshot()
+        assert list(snap["uid"]) == [0, 1, 2]
+        assert ring.count == 3 and ring.dropped == 0
+
+    def test_wraparound_drops_oldest(self):
+        ring = ShardRing(capacity=4)
+        for i in range(7):
+            ring.record(TASK, i, float(i), i + 0.5, nbytes=i * 10)
+        assert ring.count == 7 and ring.dropped == 3 and len(ring) == 4
+        snap = ring.snapshot()
+        assert list(snap["uid"]) == [3, 4, 5, 6]  # oldest -> newest
+        assert list(snap["nbytes"]) == [30, 40, 50, 60]
+
+    def test_windows_filter_by_kind(self):
+        ring = ShardRing(capacity=16)
+        ring.record(ITER, 1, 0.0, 1.0)
+        ring.record(TASK, 2, 1.0, 1.5)
+        ring.record(CAPTURE, 3, 2.0, 4.0)
+        t0, t1 = ring.windows()
+        assert list(t1 - t0) == [1.0, 2.0]       # ITER + CAPTURE
+        t0, t1 = ring.windows((ITER,))
+        assert list(t1 - t0) == [1.0]            # steady-state only
+
+    def test_wait_seconds_sums_wait_records(self):
+        ring = ShardRing(capacity=8)
+        ring.record(WAIT, 0, 0.0, 0.25)
+        ring.record(TASK, 1, 0.3, 0.4)
+        ring.record(WAIT, 0, 0.5, 0.75)
+        assert ring.wait_seconds() == pytest.approx(0.5)
+
+    def test_export_ingest_roundtrip_with_rebase(self):
+        child = ShardRing(capacity=8)
+        for i in range(5):
+            child.record(TASK, i, float(i), i + 0.5)
+        payload = child.export_since(0)
+        parent = ShardRing(capacity=8)
+        parent.ingest(payload, delta_s=100.0)
+        snap = parent.snapshot()
+        assert parent.count == 5
+        assert list(snap["uid"]) == [0, 1, 2, 3, 4]
+        assert snap["t0"][0] == pytest.approx(100.0)
+
+    def test_ingest_mirrors_child_drop_accounting(self):
+        child = ShardRing(capacity=4)
+        for i in range(10):
+            child.record(TASK, i, float(i), i + 0.5)
+        payload = child.export_since(0)  # only the last 4 survive
+        parent = ShardRing(capacity=4)
+        parent.ingest(payload)
+        assert parent.count == child.count == 10
+        assert parent.dropped == child.dropped == 6
+        assert list(parent.snapshot()["uid"]) == [6, 7, 8, 9]
+
+    def test_export_since_base_skips_already_shipped(self):
+        ring = ShardRing(capacity=8)
+        for i in range(6):
+            ring.record(TASK, i, float(i), i + 0.5)
+        payload = ring.export_since(4)
+        assert list(payload["uid"]) == [4, 5]
+
+    def test_null_ring_records_nothing(self):
+        NULL_RING.record(TASK, 1, 0.0, 1.0)
+        assert NULL_RING.count == 0
+        assert NULL_RING.enabled is False
+        assert ShardRing.enabled is True
+
+    def test_anchor_delta_threshold(self):
+        # Sub-threshold skew is fork jitter, not a rebase.
+        assert anchor_delta_s((100.0, 50.0), (100.0, 50.001)) == 0.0
+        assert anchor_delta_s((100.0, 50.0), (100.0, 40.0)) == \
+            pytest.approx(10.0)
+
+
+class TestChromeExport:
+    def test_trace_rebased_and_labelled(self):
+        rec = FlightRecorder(num_shards=2)
+        rec.ring(0).record(ITER, 1, 10.0, 11.0)
+        rec.ring(1).record(TASK, 2, 10.5, 10.8)
+        trace = rec.to_chrome()
+        spans = [e for e in trace["traceEvents"] if e.get("ph") == "X"]
+        names = {e["args"]["name"] for e in trace["traceEvents"]
+                 if e.get("ph") == "M" and e["name"] == "thread_name"}
+        assert names == {"shard 0", "shard 1"}
+        assert min(e["ts"] for e in spans) == 0.0  # rebased to the start
+
+    def test_last_s_keeps_only_the_tail(self):
+        rec = FlightRecorder(num_shards=1)
+        rec.ring(0).record(TASK, 1, 0.0, 1.0)
+        rec.ring(0).record(TASK, 2, 99.0, 100.0)
+        spans = [e for e in rec.to_chrome(last_s=5.0)["traceEvents"]
+                 if e.get("ph") == "X"]
+        assert [e["args"]["uid"] for e in spans] == [2]
+
+    def test_merged_trace_labels_serve_row(self):
+        engine_rec = FlightRecorder()
+        engine_rec.ring(-1).record(REQUEST, 1, 0.0, 2.0)
+        shard_rec = FlightRecorder(num_shards=1)
+        shard_rec.ring(0).record(ITER, 7, 0.5, 1.5)
+        trace = chrome_trace([engine_rec, shard_rec])
+        rows = {e["tid"]: e["args"]["name"] for e in trace["traceEvents"]
+                if e.get("ph") == "M" and e["name"] == "thread_name"}
+        assert rows == {-1: "serve", 0: "shard 0"}
+        assert json.loads(json.dumps(trace))  # JSON-serializable end to end
+
+
+class TestDriverWiring:
+    @pytest.mark.parametrize("mode", ["stepped", "threaded"])
+    def test_drivers_record_by_default(self, mode):
+        ex = run_stencil(mode)
+        assert ex.flight is not None
+        kinds = set()
+        for shard in ex.flight.shards():
+            kinds |= set(ex.flight.ring(shard).snapshot()["kind"])
+        # Replayed iterations, captured ones, tasks, and halo copies all
+        # leave records; stepped never blocks so WAIT is threaded-only.
+        assert {ITER, CAPTURE, TASK, COPY} <= kinds
+
+    def test_threaded_records_waits(self):
+        ex = run_stencil("threaded")
+        assert any(ex.flight.ring(s).wait_seconds() >= 0.0
+                   and WAIT in ex.flight.ring(s).snapshot()["kind"]
+                   for s in ex.flight.shards())
+
+    @pytest.mark.skipif(not procs_available(),
+                        reason="no usable shared memory on this host")
+    def test_procs_funnels_child_rings_to_parent(self):
+        ex = run_stencil("procs")
+        assert ex.flight is not None
+        per_shard = [ex.flight.ring(s).count for s in ex.flight.shards()]
+        assert all(c > 0 for c in per_shard), per_shard
+        # The funneled records form sane windows on the parent's clock.
+        t0, t1 = ex.flight.ring(0).windows()
+        assert t0.size > 0 and np.all(t1 >= t0)
+
+    def test_flight_kwarg_off_disables_recording(self):
+        ex = run_stencil("stepped", flight=False)
+        assert ex.flight is None
+
+    def test_env_gate_disables_by_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FLIGHT", "off")
+        assert not flight_enabled()
+        ex = run_stencil("stepped", steps=4)
+        assert ex.flight is None
+
+    def test_rings_survive_across_runs_in_one_executor(self):
+        p = StencilProblem(n=32, radius=2, tiles=4, steps=6)
+        prog, _ = control_replicate(p.build_program(), num_shards=2)
+        ex = SPMDExecutor(num_shards=2, mode="stepped",
+                          instances=p.fresh_instances(), retain_plans=True)
+        ex.run(prog)
+        first = ex.flight.records_total()
+        ex.run(prog)
+        assert ex.flight.records_total() > first  # rolling, never reset
+
+
+class TestFailureDump:
+    def _boom_setup(self, fig2):
+        @task(privileges=[RW("v"), R("v")], name="flight_boom")
+        def boom(Bv, Av):
+            raise ValueError("boom")
+
+        b = ProgramBuilder()
+        with b.for_range("t", 0, 1):
+            b.launch(boom, fig2.I, fig2.PB, fig2.PA)
+        prog, _ = control_replicate(b.build(), num_shards=2)
+        return prog
+
+    def test_shard_exception_group_carries_trace(self, fig2):
+        from repro.runtime.spmd import ShardExceptionGroup
+        prog = self._boom_setup(fig2)
+        ex = SPMDExecutor(num_shards=2, mode="threaded",
+                          instances=fig2.fresh_instances())
+        with pytest.raises(ShardExceptionGroup) as exc_info:
+            ex.run(prog)
+        trace = exc_info.value.flight_trace
+        spans = [e for e in trace["traceEvents"] if e.get("ph") == "X"]
+        assert spans, "failure dump has no flight records"
+        assert json.loads(json.dumps(trace))
+
+    def test_dump_written_to_flight_dir(self, fig2, tmp_path):
+        from repro.runtime.spmd import ShardExceptionGroup
+        prog = self._boom_setup(fig2)
+        ex = SPMDExecutor(num_shards=2, mode="threaded",
+                          instances=fig2.fresh_instances(),
+                          flight_dir=str(tmp_path))
+        with pytest.raises(ShardExceptionGroup) as exc_info:
+            ex.run(prog)
+        path = exc_info.value.flight_path
+        assert path and path.startswith(str(tmp_path))
+        with open(path) as fh:
+            trace = json.load(fh)
+        assert any(e.get("cat") == "flight" for e in trace["traceEvents"])
+
+
+class TestSkewAndDrift:
+    def _recorder(self, shard_costs, windows=12):
+        rec = FlightRecorder(num_shards=len(shard_costs))
+        t = 0.0
+        for w in range(windows):
+            for shard, cost in enumerate(shard_costs):
+                rec.ring(shard).record(ITER, w, t, t + cost)
+            t += max(shard_costs)
+        return rec
+
+    def test_skew_finds_the_straggler(self):
+        rec = self._recorder([0.010, 0.010, 0.025])
+        report = analyze_skew(rec)
+        assert report.critical_shard == 2
+        assert report.imbalance_ratio == pytest.approx(25 / 15, rel=1e-6)
+
+    def test_drift_ratio_is_one_on_synthetic_steady_state(self):
+        report = analyze_drift(self._recorder([0.010, 0.012]))
+        assert report is not None
+        assert report.efficiency_ratio == pytest.approx(1.0, rel=0.05)
+
+    def test_drift_needs_enough_windows(self):
+        assert analyze_drift(self._recorder([0.01], windows=4)) is None
+
+    def test_export_gauges(self):
+        rec = self._recorder([0.010, 0.020])
+        reg = MetricsRegistry()
+        assert export_skew_metrics(rec, reg) is not None
+        assert export_drift_metrics(rec, reg) is not None
+        flat = reg.flat()
+        assert flat["skew_critical_shard"] == 1
+        assert flat["skew_imbalance_ratio"] > 1.0
+        assert 0.5 <= flat["drift_efficiency_ratio"] <= 1.5
+        assert flat["flight_records_total"] == rec.records_total()
+
+    @pytest.mark.parametrize("mode", ["threaded"] +
+                             (["procs"] if procs_available() else []))
+    def test_fig6_smoke_drift_within_band(self, mode):
+        """Acceptance: measured/predicted within [0.5, 1.5] live."""
+        ex = run_stencil(mode, steps=16)
+        skew, drift = ex.export_flight_metrics(MetricsRegistry())
+        assert skew is not None and skew.num_windows > 0
+        assert drift is not None
+        assert 0.5 <= drift.efficiency_ratio <= 1.5, drift.to_dict()
+
+
+class TestPredictIterationSeconds:
+    def test_balanced_shards_predict_their_cost(self):
+        from repro.machine.from_graph import predict_iteration_seconds
+        pred = predict_iteration_seconds(np.array([0.01, 0.01, 0.01]))
+        assert pred == pytest.approx(0.01, rel=1e-6)
+
+    def test_straggler_dominates(self):
+        from repro.machine.from_graph import predict_iteration_seconds
+        pred = predict_iteration_seconds(np.array([0.01, 0.03]))
+        assert pred == pytest.approx(0.03, rel=1e-6)

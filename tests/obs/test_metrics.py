@@ -6,6 +6,7 @@ import pytest
 
 from repro.obs import (
     DEFAULT_BUCKETS,
+    SERVE_LATENCY_BUCKETS,
     Counter,
     Gauge,
     Histogram,
@@ -52,6 +53,23 @@ class TestInstruments:
         with pytest.raises(ValueError):
             Histogram(bounds=(1.0,)).merge(Histogram(bounds=(2.0,)))
 
+    def test_quantile_interpolates_within_buckets(self):
+        h = Histogram(bounds=(1.0, 2.0, 4.0))
+        for v in (0.5, 1.5, 1.5, 3.0):
+            h.observe(v)
+        assert h.quantile(0.0) == 0.0
+        # rank 2 of 4 falls inside the (1, 2] bucket.
+        assert 1.0 <= h.quantile(0.5) <= 2.0
+        assert h.quantile(1.0) == 4.0
+
+    def test_quantile_edge_cases(self):
+        h = Histogram(bounds=(1.0,))
+        assert h.quantile(0.5) == 0.0          # empty histogram
+        h.observe(100.0)                        # lands in +Inf
+        assert h.quantile(0.99) == 1.0          # clamped to the top edge
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
 
 class TestRegistry:
     def test_same_name_and_labels_is_same_instrument(self):
@@ -64,6 +82,24 @@ class TestRegistry:
         m.counter("x")
         with pytest.raises(TypeError):
             m.gauge("x")
+
+    def test_conflicting_bucket_edges_raise(self):
+        m = MetricsRegistry()
+        m.histogram("h", buckets=(1.0, 2.0))
+        m.histogram("h", buckets=(1.0, 2.0))  # same edges: fine
+        with pytest.raises(ValueError, match="already registered"):
+            m.histogram("h", buckets=(5.0,))
+
+    def test_custom_bucket_edges_round_trip(self):
+        m = MetricsRegistry()
+        h = m.histogram("serve_request_seconds",
+                        buckets=SERVE_LATENCY_BUCKETS, cache="hit")
+        for v in (0.0005, 0.015, 0.4, 90.0):
+            h.observe(v)
+        assert parse_prometheus_text(m.prometheus_text()) == m.flat()
+        back = MetricsRegistry.from_dict(
+            json.loads(json.dumps(m.to_dict())))
+        assert back.flat() == m.flat()
 
     def test_child_merge_adds_counters_and_histograms(self):
         m = MetricsRegistry()
@@ -149,3 +185,8 @@ class TestNullMetrics:
 
     def test_default_buckets_cover_microseconds_to_seconds(self):
         assert DEFAULT_BUCKETS[0] <= 1e-6 and DEFAULT_BUCKETS[-1] >= 1.0
+
+    def test_serve_latency_buckets_cover_ms_to_minutes(self):
+        assert SERVE_LATENCY_BUCKETS[0] <= 1e-3
+        assert SERVE_LATENCY_BUCKETS[-1] >= 60.0
+        assert list(SERVE_LATENCY_BUCKETS) == sorted(SERVE_LATENCY_BUCKETS)

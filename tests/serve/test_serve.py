@@ -346,3 +346,113 @@ class TestHTTPServer:
         assert status == 200
         assert stats["plan_cache"]["hits"] >= 1
         assert stats["workers"] == 2
+
+    def test_stats_hit_ratio_and_endpoint_percentiles(self, server):
+        base, _ = server
+        self._post(base, "/run", dict(CIRCUIT))
+        self._post(base, "/run", dict(CIRCUIT))
+        stats = json.loads(self._get(base, "/stats")[1])
+        assert stats["plan_cache"]["hit_ratio"] == pytest.approx(0.5)
+        run_row = stats["endpoints"]["POST /run"]
+        assert run_row["count"] == 2
+        assert 0.0 < run_row["p50_s"] <= run_row["p95_s"] <= run_row["p99_s"]
+        # The scrape exposes the same histogram in Prometheus form.
+        flat = parse_prometheus_text(self._get(base, "/metrics")[1].decode())
+        assert flat['serve_http_request_seconds_count'
+                    '{endpoint="POST /run"}'] == 2
+
+    def test_concurrent_metrics_scrapes_while_runs_in_flight(self, server):
+        """Satellite: /metrics under concurrent scrape + run traffic
+        stays parseable and internally consistent on every sample."""
+        base, _ = server
+        self._post(base, "/run", dict(CIRCUIT))  # warm the plan first
+        stop = threading.Event()
+        failures: list[str] = []
+
+        def scraper():
+            while not stop.is_set():
+                status, body = self._get(base, "/metrics")
+                if status != 200:
+                    failures.append(f"scrape returned {status}")
+                    return
+                flat = parse_prometheus_text(body.decode())
+                if not any(k.startswith("serve_requests_total")
+                           for k in flat):
+                    failures.append("scrape missing serve_requests_total")
+
+        scrapers = [threading.Thread(target=scraper) for _ in range(3)]
+        for t in scrapers:
+            t.start()
+        try:
+            results = []
+            runners = [threading.Thread(
+                target=lambda: results.append(
+                    self._post(base, "/run", dict(CIRCUIT))))
+                for _ in range(4)]
+            for t in runners:
+                t.start()
+            for t in runners:
+                t.join(120)
+        finally:
+            stop.set()
+            for t in scrapers:
+                t.join(30)
+        assert not failures
+        assert [status for status, _ in results] == [200] * 4
+        flat = parse_prometheus_text(self._get(base, "/metrics")[1].decode())
+        assert flat['serve_requests_total{app="circuit",outcome="ok"}'] >= 5
+
+    def test_trace_id_header_rides_job_and_debug_requests(self, server):
+        base, _ = server
+        req = urllib.request.Request(
+            base + "/run", data=json.dumps(dict(CIRCUIT)).encode(),
+            headers={"X-Trace-Id": "req-abc123"})
+        with urllib.request.urlopen(req, timeout=120) as resp:
+            result = json.loads(resp.read())
+        assert result["trace_id"] == "req-abc123"
+        status, body = self._get(base, "/debug/requests")
+        assert status == 200
+        rows = json.loads(body)["requests"]
+        assert rows[0]["trace_id"] == "req-abc123"
+        assert rows[0]["status"] == "done"
+        assert rows[0]["elapsed_s"] > 0
+        # Without a header, the job id doubles as the trace id.
+        status, result = self._post(base, "/run", dict(CIRCUIT))
+        assert status == 200 and result["trace_id"] == result["job"]
+
+    def test_debug_flight_returns_parseable_chrome_trace(self, server):
+        base, _ = server
+        self._post(base, "/run", dict(CIRCUIT))
+        status, body = self._get(base, "/debug/flight")
+        assert status == 200
+        trace = json.loads(body)
+        spans = [e for e in trace["traceEvents"] if e.get("ph") == "X"]
+        names = {e["name"] for e in spans}
+        assert "request" in names          # the engine's REQUEST row
+        assert names & {"iter", "capture"}  # the executor's shard rings
+        rows = {e["args"]["name"] for e in trace["traceEvents"]
+                if e.get("ph") == "M" and e["name"] == "thread_name"}
+        assert "serve" in rows
+        # ?last clips the window; a bad value is a 400, not a crash.
+        status, body = self._get(base, "/debug/flight?last=60")
+        assert status == 200 and json.loads(body)["traceEvents"]
+        assert self._get(base, "/debug/flight?last=bogus")[0] == 400
+
+    def test_failed_job_dumps_flight_trace(self, server, tmp_path):
+        base, eng = server
+        eng.flight_dir = str(tmp_path)
+        status, cold = self._post(base, "/run", dict(CIRCUIT))
+        assert status == 200
+        # Sabotage the resident entry so the next run fails mid-request.
+        eng.cache._entries[cold["fingerprint"]].program = object()
+        status, err = self._post(base, "/run", dict(CIRCUIT))
+        assert status == 500
+        path = err["flight_path"]
+        assert path.startswith(str(tmp_path))
+        with open(path) as fh:
+            trace = json.load(fh)
+        assert any(e.get("cat") == "flight" for e in trace["traceEvents"])
+        # The dump also shows up on the /debug/requests row for the job.
+        rows = json.loads(self._get(base, "/debug/requests")[1])["requests"]
+        failed = [r for r in rows if r["status"] == "error"]
+        assert failed and failed[0]["flight_path"] == path
