@@ -1,0 +1,94 @@
+"""Message aggregation on the wire: the net backend's payoff (Fig. 6 shape).
+
+The fig-6 stencil at 64 tiles on 4 ranks gives every rank a 2-row block
+of the 8x8 tile grid, so each inter-rank boundary carries 8 adjacent
+tile pairs per ghost-exchange direction.  Per-pair, that is 8 framed
+sends per boundary per direction per step; the trace-frozen message plan
+folds them into one packed transfer.  This benchmark measures both modes
+over identical problems and records steady-state messages/iteration and
+bytes-on-wire into ``BENCH_net.json`` — asserting the headline >= 5x
+message reduction (the analytic value is 8x) and that aggregation moves
+the exact same logical data (counter parity with the per-pair form).
+"""
+
+import time
+
+import pytest
+from conftest import record_bench
+
+from repro.apps.stencil import StencilProblem
+from repro.runtime import procs_available
+
+pytestmark = pytest.mark.skipif(
+    not procs_available(),
+    reason="fork start method unavailable on this platform")
+
+SHARDS = 4
+TILES = 64
+WARM_STEPS = 6
+LONG_STEPS = 10
+
+
+def run_net(steps: int, aggregate: str):
+    p = StencilProblem(n=48, radius=2, tiles=TILES, steps=steps)
+    _, _, ex, _ = p.run_control_replicated(
+        SHARDS, mode="net", executor_kw={"net_aggregate": aggregate})
+    return ex
+
+
+def payload_msgs(ex) -> int:
+    return sum(ex.net_stats[r]["messages_sent"].get(k, 0)
+               for r in ex.net_stats for k in ("data", "msg"))
+
+
+def wire_bytes(ex) -> int:
+    return sum(ex.net_stats[r]["bytes_sent"] for r in ex.net_stats)
+
+
+class TestMessageAggregation:
+    def test_aggregated_vs_per_pair(self, benchmark):
+        def measure():
+            out = {}
+            for aggregate in ("auto", "off"):
+                t0 = time.perf_counter()
+                warm = run_net(WARM_STEPS, aggregate)
+                long = run_net(LONG_STEPS, aggregate)
+                steps = LONG_STEPS - WARM_STEPS
+                out[aggregate] = {
+                    "ex": long,
+                    "seconds": time.perf_counter() - t0,
+                    # Step differencing isolates steady state: warm-up
+                    # (interpreted) iterations send per-pair either way.
+                    "msgs_per_iter":
+                        (payload_msgs(long) - payload_msgs(warm)) / steps,
+                    "wire_bytes_per_iter":
+                        (wire_bytes(long) - wire_bytes(warm)) / steps,
+                }
+            return out
+
+        out = benchmark.pedantic(measure, rounds=1, iterations=1,
+                                 warmup_rounds=0)
+        agg, pp = out["auto"], out["off"]
+        for mode, row in (("aggregated", agg), ("per-pair", pp)):
+            record_bench(
+                "net", op=f"stencil64_{mode}", shards=SHARDS, backend="net",
+                seconds_per_iteration=row["seconds"],
+                messages_per_iteration=row["msgs_per_iter"],
+                wire_bytes_per_iteration=row["wire_bytes_per_iter"],
+                tiles=TILES)
+
+        # Counter parity: aggregation reshapes messages, not data.
+        assert agg["ex"].elements_copied == pp["ex"].elements_copied
+        assert agg["ex"].bytes_copied == pp["ex"].bytes_copied
+
+        # The acceptance bar: >= 5x fewer steady-state payload messages
+        # (8 adjacent pairs per boundary direction fold into 1 -> 8x).
+        assert pp["msgs_per_iter"] >= 5 * agg["msgs_per_iter"], (
+            agg["msgs_per_iter"], pp["msgs_per_iter"])
+
+        print(f"\n[net] fig-6 stencil, {TILES} tiles on {SHARDS} ranks, "
+              f"steady state: {pp['msgs_per_iter']:.0f} msgs/iter per-pair "
+              f"-> {agg['msgs_per_iter']:.0f} aggregated "
+              f"({pp['msgs_per_iter'] / agg['msgs_per_iter']:.1f}x); "
+              f"wire bytes/iter {pp['wire_bytes_per_iter']:.0f} -> "
+              f"{agg['wire_bytes_per_iter']:.0f}")

@@ -54,6 +54,7 @@ class AppProblem:
                                replay: str = "auto",
                                fuse_copies: str = "auto",
                                jit: str = "auto",
+                               executor_kw: dict | None = None,
                                **compile_kw):
         from ..core.compiler import control_replicate
         from ..obs import NULL_METRICS, NULL_TRACER
@@ -67,7 +68,8 @@ class AppProblem:
         ex = SPMDExecutor(num_shards=num_shards, mode=mode, seed=seed,
                           instances=self.fresh_instances(), tracer=tracer,
                           metrics=metrics, replay=replay,
-                          fuse_copies=fuse_copies, jit=jit)
+                          fuse_copies=fuse_copies, jit=jit,
+                          **(executor_kw or {}))
         scalars = ex.run(prog)
         return self.extract_state(ex.instances), scalars, ex, report
 

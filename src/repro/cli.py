@@ -5,8 +5,8 @@ Commands:
 * ``verify``  — run an evaluation application three ways (reference,
   sequential, control-replicated SPMD) and check agreement;
 * ``run``     — execute an application on one SPMD backend
-  (``--backend {sequential,stepped,threaded,procs}``), check the region
-  state against the sequential executor, and report throughput;
+  (``--backend {sequential,stepped,threaded,procs,net}``), check the
+  region state against the sequential executor, and report throughput;
 * ``compile`` — print an application's control program before and after
   control replication, plus the compilation report;
 * ``figure``  — run one of the paper's weak-scaling figures on the machine
@@ -27,6 +27,9 @@ Commands:
   ``/stats`` and ``/metrics`` and renders queue depth, plan-cache hit
   ratio, per-endpoint latency percentiles, and the skew/drift gauges
   (``--once`` prints a single frame for scripts/CI);
+* ``launch-worker`` — run one rank of a multi-host ``--backend net``
+  launch: the process binds the address a shared host file assigns its
+  rank and meshes with its peers over TCP (see ``docs/runtime.md``);
 * ``apps``    — list the available applications.
 
 Observability (the shared ``repro.obs`` subsystem): ``--trace out.json``
@@ -137,7 +140,8 @@ def build_parser() -> argparse.ArgumentParser:
         sp.add_argument("--shape", choices=["star", "square"], default="star",
                         help="stencil shape (stencil only)")
 
-    SPMD_BACKENDS = ["stepped", "threaded", "procs"]
+    from .runtime.backends import backend_names
+    SPMD_BACKENDS = list(backend_names())
 
     v = sub.add_parser("verify", help="check CR == sequential == reference")
     add_app_args(v)
@@ -321,6 +325,31 @@ def build_parser() -> argparse.ArgumentParser:
                     help="seconds between refreshes (default 2)")
     tp.add_argument("--once", action="store_true",
                     help="print one frame and exit (for scripts/CI)")
+
+    lw = sub.add_parser(
+        "launch-worker",
+        help="run one rank of a multi-host `--backend net` launch")
+    add_app_args(lw)
+    lw.add_argument("--rank", type=int, required=True,
+                    help="this process's rank (0..shards-1)")
+    lw.add_argument("--shards", type=int, default=4)
+    lw.add_argument("--hosts", metavar="FILE", default=None,
+                    help="host file: one `host:port` per line, rank order; "
+                         "every worker must read an identical copy")
+    lw.add_argument("--host", default="127.0.0.1",
+                    help="without --hosts: common hostname for all ranks "
+                         "(default 127.0.0.1)")
+    lw.add_argument("--port-base", dest="port_base", type=int, default=8380,
+                    help="without --hosts: rank r listens on "
+                         "port-base + r (default 8380)")
+    lw.add_argument("--seed", type=int, default=0)
+    lw.add_argument("--sync", choices=["p2p", "barrier"], default="p2p")
+    lw.add_argument("--replay", choices=["auto", "off", "force"],
+                    default="auto")
+    lw.add_argument("--fuse-copies", dest="fuse_copies",
+                    choices=["auto", "off"], default="auto")
+    lw.add_argument("--jit", choices=["auto", "off", "force"],
+                    default="auto")
 
     e = sub.add_parser("explain", help="show what one shard will do")
     add_app_args(e)
@@ -733,6 +762,37 @@ def cmd_explain(args) -> int:
     return 0
 
 
+def _worker_addrs(args) -> list[tuple[str, int]]:
+    if args.hosts:
+        addrs = []
+        with open(args.hosts) as fh:
+            for line in fh:
+                line = line.strip()
+                if not line or line.startswith("#"):
+                    continue
+                host, _, port = line.rpartition(":")
+                addrs.append((host, int(port)))
+        return addrs
+    return [(args.host, args.port_base + r) for r in range(args.shards)]
+
+
+def cmd_launch_worker(args) -> int:
+    problem = APP_FACTORIES[args.app](args)
+    addrs = _worker_addrs(args)
+    t0 = time.perf_counter()
+    _, _, ex, _ = problem.run_control_replicated(
+        args.shards, mode="net", seed=args.seed, sync=args.sync,
+        replay=args.replay, fuse_copies=args.fuse_copies, jit=args.jit,
+        executor_kw={"net_worker": (args.rank, addrs)})
+    elapsed = time.perf_counter() - t0
+    net = ex.net_stats.get(args.rank, {})
+    print(f"{args.app}: rank {args.rank}/{args.shards} done in "
+          f"{elapsed:.3f}s [{ex.tasks_executed} tasks, "
+          f"{net.get('bytes_sent', 0)} bytes sent, "
+          f"{net.get('bytes_recv', 0)} bytes received]")
+    return 0
+
+
 def cmd_apps(_args) -> int:
     docs = {
         "stencil": "PRK 2D star/square stencil (paper §5.1, Fig. 6)",
@@ -757,6 +817,7 @@ def main(argv: list[str] | None = None) -> int:
         "bench-report": cmd_bench_report,
         "serve": cmd_serve,
         "top": cmd_top,
+        "launch-worker": cmd_launch_worker,
         "explain": cmd_explain,
         "apps": cmd_apps,
     }[args.command]

@@ -1,5 +1,6 @@
 """Executors and runtime services (Legion/Realm substrate analogues)."""
 
+from .backends import BACKENDS, Backend, backend_names, ensure_backend
 from .collectives import SCALAR_REDUCTIONS, DynamicCollective
 from .copy_engine import (FusedBatch, FusedCopy, disjoint_dst_colors,
                           fuse_group)
@@ -17,6 +18,10 @@ from .spmd import (DeadlockError, ReplicationDivergence, SPMDExecutor,
                    ShardExceptionGroup)
 
 __all__ = [
+    "BACKENDS",
+    "Backend",
+    "backend_names",
+    "ensure_backend",
     "DeadlockError",
     "DependenceAnalyzer",
     "DependenceGraph",

@@ -1,0 +1,66 @@
+"""The backend registry: one place that knows which SPMD drivers exist.
+
+Every consumer of "the list of backends" — the CLI's ``--backend``
+choices, the serve fingerprint, the executor's mode validation — reads
+this registry instead of repeating the literal tuple, so adding a
+backend is a one-line change here plus its driver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+__all__ = ["BACKENDS", "Backend", "backend_names", "ensure_backend"]
+
+
+def _no_check() -> None:
+    return None
+
+
+def _ensure_procs() -> None:
+    from .procs import ensure_procs_available
+
+    ensure_procs_available()
+
+
+@dataclass(frozen=True)
+class Backend:
+    """One SPMD execution strategy selectable via ``--backend``."""
+
+    name: str
+    description: str
+    # Raises (e.g. ProcsUnavailableError) when the platform can't run it.
+    ensure: Callable[[], None] = field(default=_no_check, repr=False)
+
+
+BACKENDS: dict[str, Backend] = {
+    b.name: b
+    for b in (
+        Backend("stepped",
+                "deterministic single-thread round-robin interpreter"),
+        Backend("threaded", "one OS thread per shard, in-memory handshakes"),
+        Backend("procs",
+                "one forked process per shard over shared-memory instances",
+                ensure=_ensure_procs),
+        # The net driver's single-host shape needs fork too, but that
+        # check lives in the driver at fork time so worker mode (no
+        # fork) stays usable on fork-less platforms.
+        Backend("net", "one rank process per shard over a TCP peer mesh"),
+    )
+}
+
+
+def backend_names() -> tuple[str, ...]:
+    return tuple(BACKENDS)
+
+
+def ensure_backend(name: str) -> Backend:
+    """Look up ``name``, raising a ``ValueError`` naming the valid set."""
+    backend = BACKENDS.get(name)
+    if backend is None:
+        raise ValueError(
+            f"unknown backend {name!r}; valid backends: "
+            + ", ".join(backend_names()))
+    backend.ensure()
+    return backend

@@ -1,0 +1,345 @@
+"""Socket-based SPMD driver: one rank process per shard over a TCP mesh.
+
+Two entry points share the rank body:
+
+* :func:`run_shard_launch_net` — the CI / single-host shape.  The parent
+  pre-binds one listening socket per rank on ephemeral localhost ports
+  and forks (``fork``, never ``spawn`` — children must inherit the
+  compiled IR, the evaluated pair sets, and the executor without
+  pickling), so every child starts with the full address map and its own
+  already-listening socket: no rendezvous file, no port race.  Funneling
+  (scalars, counters, trace spans, flight records) reuses the procs
+  driver's pipe payload machinery verbatim.
+
+* :func:`run_shard_launch_net_worker` — the multi-host shape behind
+  ``repro launch-worker``.  No fork: this process *is* one rank, binds
+  its own listener at the address the host file assigned it, and runs
+  only its shard inline.
+
+Unlike the procs driver there is no reduction-lock swap and no shared
+sync board: a remote pair's payload is applied on the consumer, in the
+consumer's own shard thread, at its ready-wait point in replicated
+program order (see :mod:`repro.runtime.net.sync`), so cross-rank folds
+are single-writer by construction and the in-memory handshake state
+stays process-private.
+
+Failure semantics: a failing rank sets the shared cancel flag (fork
+mode) and broadcasts an ``ERROR`` frame (both modes); sibling ranks trip
+their local failure event, unwind as cancelled, and report ``error:
+None`` — the parent then raises exactly the procs contract
+(single error, or :class:`~repro.runtime.spmd.ShardExceptionGroup`).
+
+On success the final owned region state funnels up the binomial gather
+tree to rank 0 (each rank ships only the colors it owns), so the parent
+— whose fork-COW instances never saw the children's writes — can install
+the authoritative arrays before ``FinalCopy`` runs.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+
+from ...core.ir import FillReductionBuffer, IndexLaunch, PairwiseCopy, walk
+from ...core.shards import shard_owned_colors
+from ...obs import clock_anchor
+from ...obs.flight import flight_anchor
+from ..procs import (_Cancelled, _apply_payload, _child_payload,
+                     _fork_context, _raise_shard_errors, _wait_event)
+from . import frame
+from .sync import NetCommContext, _NetEvent
+from .transport import Transport, bind_listeners
+
+__all__ = ["run_shard_launch_net", "run_shard_launch_net_worker"]
+
+
+class _CancelUnion:
+    """Cancel surface a rank polls: the driver flag OR a peer's failure."""
+
+    __slots__ = ("_a", "_b")
+
+    def __init__(self, a, b) -> None:
+        self._a = a
+        self._b = b
+
+    def is_set(self) -> bool:
+        return self._a.is_set() or self._b.is_set()
+
+
+def _collect_owned(ex, stmt, ns: int, rank: int) -> dict:
+    """This rank's final region state: every owned color of every
+    partition the launch touches, as ``(uid, color) -> {field: array}``.
+
+    Mirrors the partition discovery of ``_precreate_instances`` so the
+    gather covers exactly the instances the launch may have written.
+    """
+    parts: dict[int, object] = {}
+    for s in walk(stmt):
+        if isinstance(s, IndexLaunch):
+            for arg in s.region_args:
+                parts[arg.proj.partition.uid] = arg.proj.partition
+        elif isinstance(s, PairwiseCopy):
+            parts[s.src.uid] = s.src
+            parts[s.dst.uid] = s.dst
+        elif isinstance(s, FillReductionBuffer):
+            parts[s.partition.uid] = s.partition
+    data: dict = {}
+    for p in parts.values():
+        owned = shard_owned_colors(p.num_colors, ns, rank)
+        for c in p.colors:
+            if c not in owned:
+                continue
+            inst = ex.dist.get((p.uid, c))
+            if inst is not None:
+                data[(p.uid, c)] = dict(inst.fields)
+    return data
+
+
+def _apply_final_state(ex, final_state: dict) -> None:
+    for (uid, c), fields in final_state.items():
+        inst = ex.dist.get((uid, c))
+        if inst is None:  # pragma: no cover - gather of an unknown instance
+            continue
+        for f, arr in fields.items():
+            inst.fields[f][...] = arr
+
+
+def _run_rank(ex, stmt, st, ns: int, transport, cancel):
+    """Drive one rank's shard body over an established transport.
+
+    Returns ``(error, final_state, nctx)``; ``final_state`` is the
+    merged gather on rank 0 and ``None`` elsewhere.  Shared by the fork
+    child and the worker process.
+    """
+    rank = st.shard
+    tracer = ex.tracer
+    nctx = NetCommContext(ex, transport, stmt, ns)
+    transport.connect_all()
+    transport.start_receivers()
+    ex._net = nctx
+    cancel_u = _CancelUnion(cancel, nctx.failed)
+    error: BaseException | None = None
+    final_state = None
+    try:
+        for ev in ex._shard_body(stmt.body, st, nctx.ctx):
+            if cancel_u.is_set():
+                raise _Cancelled()
+            if ev is not None:
+                _wait_event(rank, ev, cancel_u, ex.deadlock_timeout,
+                            tracer, st.metrics, st.flight)
+
+        # Funnel this rank's owned region state up the gather tree, then
+        # hold everyone at the shutdown barrier so no rank closes its
+        # sockets while a peer still needs them.
+        def gwait(tev) -> None:
+            _wait_event(rank, _NetEvent(tev, label="net:gather"), cancel_u,
+                        ex.deadlock_timeout, tracer, st.metrics, st.flight)
+
+        merged = nctx.tree.gather(_collect_owned(ex, stmt, ns, rank), gwait)
+        if rank == 0:
+            final_state = merged
+        _wait_event(rank, nctx.done_barrier.arrive_and_wait_event(
+            1, label="net:done"), cancel_u, ex.deadlock_timeout,
+            tracer, st.metrics, st.flight)
+    except _Cancelled:
+        pass  # a peer already recorded the primary error
+    except BaseException as exc:
+        error = exc
+        cancel.set()
+        wire = exc if isinstance(exc, Exception) else RuntimeError(repr(exc))
+        transport.broadcast(frame.ERROR, wire)
+    finally:
+        ex._net = None
+    return error, final_state, nctx
+
+
+# ---------------------------------------------------------------------------
+# Fork mode (single host): one child process per rank
+# ---------------------------------------------------------------------------
+
+
+def _shard_main_net(ex, stmt, st, ns, listeners, addrs, cancel, conn) -> None:
+    """Child-process entry point: one rank of the TCP mesh."""
+    rank = st.shard
+    for r, lst in enumerate(listeners):
+        if r != rank:
+            lst.close()
+    tracer = ex.tracer
+    trace_base = tracer.event_count() if tracer.enabled else 0
+    anchor = clock_anchor(tracer) if tracer.enabled else None
+    flight_base = st.flight.count if st.flight.enabled else 0
+    # Instances were materialized pre-fork; a lazily created one here
+    # would be rank-private and silently wrong.
+    ex._dist_frozen = True
+    transport = Transport(rank, ns, listeners[rank], addrs)
+    error: BaseException | None = None
+    final_state = None
+    try:
+        error, final_state, _ = _run_rank(ex, stmt, st, ns, transport, cancel)
+    except BaseException as exc:  # transport setup failed
+        error = exc
+        cancel.set()
+    net_stats = transport.stats()
+    transport.close()
+    payload = _child_payload(ex, st, trace_base, anchor, flight_base, error)
+    payload["net"] = net_stats
+    if final_state is not None:
+        payload["final_state"] = final_state
+    try:
+        conn.send(payload)
+    except Exception:
+        payload["error"] = RuntimeError(
+            f"rank {rank} failed with unpicklable state: {error!r}")
+        payload["scalars"] = {}
+        payload.pop("final_state", None)
+        try:
+            conn.send(payload)
+        except Exception:  # pragma: no cover - pipe gone; parent sees EOF
+            pass
+    finally:
+        conn.close()
+
+
+def _mirror_net_stats(ex, rank: int, net: dict) -> None:
+    ex.net_stats[rank] = net
+    m = ex.metrics
+    if not m.enabled:
+        return
+    m.counter("net_bytes_sent_total", rank=rank).inc(net["bytes_sent"])
+    m.counter("net_bytes_recv_total", rank=rank).inc(net["bytes_recv"])
+    for direction in ("sent", "recv"):
+        for kind, n in net[f"messages_{direction}"].items():
+            m.counter("net_messages_total", rank=rank, kind=kind,
+                      direction=direction).inc(n)
+
+
+def run_shard_launch_net(ex, stmt, states, ns: int) -> None:
+    """Fork one rank process per shard, meshed over localhost TCP."""
+    from ..spmd import DeadlockError
+
+    mpctx = _fork_context()
+    listeners, addrs = bind_listeners(ns)
+    cancel = mpctx.Event()
+    parent_anchor = clock_anchor(ex.tracer) if ex.tracer.enabled else None
+    parent_flight_anchor = flight_anchor() if ex.flight is not None else None
+    procs: list = []
+    conns: list = []
+    errors: list[BaseException] = []
+    final_state = None
+    try:
+        for st in states:
+            parent_conn, child_conn = mpctx.Pipe(duplex=False)
+            p = mpctx.Process(
+                target=_shard_main_net,
+                args=(ex, stmt, st, ns, listeners, addrs, cancel, child_conn),
+                name=f"repro-net-rank-{st.shard}", daemon=True)
+            p.start()
+            child_conn.close()
+            procs.append(p)
+            conns.append(parent_conn)
+        for lst in listeners:
+            lst.close()
+
+        # A rank that deadlocks raises DeadlockError itself after
+        # ex.deadlock_timeout; the parent deadline is the backstop for a
+        # rank that dies so hard it cannot even report.
+        deadline = time.monotonic() + ex.deadlock_timeout + 30.0
+        payloads: list = [None] * ns
+        for x, conn in enumerate(conns):
+            remaining = max(0.0, deadline - time.monotonic())
+            try:
+                if conn.poll(remaining):
+                    payloads[x] = conn.recv()
+            except (EOFError, OSError):
+                pass
+            if payloads[x] is None:
+                cancel.set()
+
+        for x, payload in enumerate(payloads):
+            if payload is None:
+                procs[x].join(timeout=1.0)
+                code = procs[x].exitcode
+                errors.append(DeadlockError(
+                    f"rank {x} did not report within the deadlock window")
+                    if code is None else RuntimeError(
+                        f"rank {x} process died without reporting "
+                        f"(exit code {code})"))
+                continue
+            if payload["error"] is not None:
+                errors.append(payload["error"])
+            _apply_payload(ex, states[x], payload, parent_anchor,
+                           parent_flight_anchor)
+            if payload.get("net") is not None:
+                _mirror_net_stats(ex, x, payload["net"])
+            if payload.get("final_state") is not None:
+                final_state = payload["final_state"]
+    finally:
+        for lst in listeners:
+            try:
+                lst.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+        for conn in conns:
+            conn.close()
+        for p in procs:
+            p.join(timeout=5.0)
+            if p.is_alive():  # pragma: no cover - hard-hung rank
+                p.terminate()
+                p.join(timeout=5.0)
+
+    if not errors and final_state is not None:
+        _apply_final_state(ex, final_state)
+    _raise_shard_errors(errors)
+
+
+# ---------------------------------------------------------------------------
+# Worker mode (multi host): this process is one rank
+# ---------------------------------------------------------------------------
+
+
+def run_shard_launch_net_worker(ex, stmt, states, ns: int) -> None:
+    """Run exactly one rank inline, per ``ex.net_worker = (rank, addrs)``.
+
+    Every participating process rebuilds the same program (same app,
+    same seed, same shard count) and reaches this launch with identical
+    replicated control flow; only the shard body of ``rank`` executes
+    here.  After the run, rank 0 installs the gathered final state
+    directly — it is the process whose ``FinalCopy`` output matters —
+    and this rank's scalar environment is replicated into the sibling
+    shard states so the executor's replication validation still checks
+    a full, consistent set.
+    """
+    rank, addrs = ex.net_worker
+    if not 0 <= rank < ns:
+        raise ValueError(f"worker rank {rank} out of range for {ns} shards")
+    if len(addrs) != ns:
+        raise ValueError(
+            f"host file lists {len(addrs)} ranks but the launch has {ns}")
+    lst = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    lst.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    lst.bind(tuple(addrs[rank]))
+    lst.listen(ns)
+    st = states[rank]
+    ex._dist_frozen = True
+    transport = Transport(rank, ns, lst, addrs)
+    cancel = threading.Event()
+    try:
+        error, final_state, nctx = _run_rank(ex, stmt, st, ns, transport,
+                                             cancel)
+    finally:
+        ex._dist_frozen = False
+        _mirror_net_stats(ex, rank, transport.stats())
+        transport.close()
+    if error is None and nctx.failed.is_set():
+        # We were unwound by a peer's failure; surface its error.
+        error = nctx.failure or RuntimeError(
+            f"rank {rank} cancelled by a peer failure")
+    if error is not None:
+        raise error
+    if final_state is not None:
+        _apply_final_state(ex, final_state)
+    for other in states:
+        if other is not st:
+            other.scalars = dict(st.scalars)
+            other.capture_points = dict(st.capture_points)

@@ -1,0 +1,252 @@
+"""Wire format for the ``net`` backend.
+
+Every message on a peer socket is one *frame*::
+
+    magic "RN" | version u8 | kind u8 | length u32 (big-endian) | payload
+
+The payload is a self-describing tagged value (see ``_encode``): enough to
+round-trip the things ranks actually exchange — generations, packed field
+buffers (ndarrays shipped as dtype + shape + raw C-contiguous bytes),
+collective operands, and exception payloads.  Exceptions are pickled when
+possible and degraded to a ``repr`` string otherwise, mirroring the procs
+driver's unpicklable-error fallback.
+
+Decoding is strict: a bad magic, an unknown version, an unknown tag, or a
+buffer shorter than its header promises all raise :class:`FrameError` so a
+half-written frame from a dying peer cannot be misread as data.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+
+import numpy as np
+
+MAGIC = b"RN"
+VERSION = 1
+
+# Frame kinds.
+HELLO = 1      # rank handshake right after connect
+DATA = 2       # one per-pair copy payload (un-aggregated path)
+MSG = 3        # one packed per-(stmt, src, dst) aggregated payload
+CREDIT = 4     # consumer ack for one channel
+CREDITN = 5    # batched consumer acks (one per peer per window batch)
+COLL = 6       # collective contribution flowing up the binomial tree
+COLLR = 7      # collective result flowing back down
+GATHER = 8     # final region state flowing up to rank 0
+ERROR = 9      # a rank died; payload is the exception
+
+KIND_NAMES = {
+    HELLO: "hello", DATA: "data", MSG: "msg", CREDIT: "credit",
+    CREDITN: "creditn", COLL: "coll", COLLR: "collr", GATHER: "gather",
+    ERROR: "error",
+}
+
+_HEADER = struct.Struct(">2sBBI")
+
+# Value tags.
+_T_NONE = 0
+_T_TRUE = 1
+_T_FALSE = 2
+_T_INT = 3
+_T_FLOAT = 4
+_T_STR = 5
+_T_BYTES = 6
+_T_NDARRAY = 7
+_T_LIST = 8
+_T_TUPLE = 9
+_T_DICT = 10
+_T_EXC = 11
+
+_U32 = struct.Struct(">I")
+_I64 = struct.Struct(">q")
+_F64 = struct.Struct(">d")
+
+
+class FrameError(Exception):
+    """A frame failed to decode (truncation, bad magic, version skew)."""
+
+
+def _encode(value, out: list) -> None:
+    if value is None:
+        out.append(bytes([_T_NONE]))
+    elif value is True:
+        out.append(bytes([_T_TRUE]))
+    elif value is False:
+        out.append(bytes([_T_FALSE]))
+    elif isinstance(value, (int, np.integer)):
+        v = int(value)
+        if -(1 << 63) <= v < (1 << 63):
+            out.append(bytes([_T_INT]) + _I64.pack(v))
+        else:  # arbitrary precision: ship as text
+            out.append(bytes([_T_STR]))
+            raw = str(v).encode()
+            out.append(_U32.pack(len(raw)))
+            out.append(raw)
+            return
+    elif isinstance(value, (float, np.floating)):
+        out.append(bytes([_T_FLOAT]) + _F64.pack(float(value)))
+    elif isinstance(value, str):
+        raw = value.encode()
+        out.append(bytes([_T_STR]) + _U32.pack(len(raw)))
+        out.append(raw)
+    elif isinstance(value, (bytes, bytearray, memoryview)):
+        raw = bytes(value)
+        out.append(bytes([_T_BYTES]) + _U32.pack(len(raw)))
+        out.append(raw)
+    elif isinstance(value, np.ndarray):
+        # ascontiguousarray promotes 0-d to 1-d; only call it when needed.
+        arr = (value if value.flags["C_CONTIGUOUS"]
+               else np.ascontiguousarray(value))
+        dt = arr.dtype.str.encode()
+        out.append(bytes([_T_NDARRAY, len(dt)]) + dt)
+        out.append(bytes([arr.ndim]))
+        for dim in arr.shape:
+            out.append(_U32.pack(dim))
+        raw = arr.tobytes()
+        out.append(_U32.pack(len(raw)))
+        out.append(raw)
+    elif isinstance(value, list):
+        out.append(bytes([_T_LIST]) + _U32.pack(len(value)))
+        for item in value:
+            _encode(item, out)
+    elif isinstance(value, tuple):
+        out.append(bytes([_T_TUPLE]) + _U32.pack(len(value)))
+        for item in value:
+            _encode(item, out)
+    elif isinstance(value, dict):
+        out.append(bytes([_T_DICT]) + _U32.pack(len(value)))
+        for k, v in value.items():
+            _encode(k, out)
+            _encode(v, out)
+    elif isinstance(value, BaseException):
+        try:
+            raw = pickle.dumps(value)
+        except Exception:
+            raw = pickle.dumps(RuntimeError(repr(value)))
+        out.append(bytes([_T_EXC]) + _U32.pack(len(raw)))
+        out.append(raw)
+    else:
+        raise TypeError(f"cannot encode {type(value).__name__} in a frame")
+
+
+class _Reader:
+    __slots__ = ("buf", "pos")
+
+    def __init__(self, buf: bytes) -> None:
+        self.buf = buf
+        self.pos = 0
+
+    def take(self, n: int) -> bytes:
+        end = self.pos + n
+        if end > len(self.buf):
+            raise FrameError("truncated frame payload")
+        chunk = self.buf[self.pos:end]
+        self.pos = end
+        return chunk
+
+
+def _decode(r: _Reader):
+    tag = r.take(1)[0]
+    if tag == _T_NONE:
+        return None
+    if tag == _T_TRUE:
+        return True
+    if tag == _T_FALSE:
+        return False
+    if tag == _T_INT:
+        return _I64.unpack(r.take(8))[0]
+    if tag == _T_FLOAT:
+        return _F64.unpack(r.take(8))[0]
+    if tag == _T_STR:
+        (n,) = _U32.unpack(r.take(4))
+        return r.take(n).decode()
+    if tag == _T_BYTES:
+        (n,) = _U32.unpack(r.take(4))
+        return r.take(n)
+    if tag == _T_NDARRAY:
+        dtlen = r.take(1)[0]
+        dtype = np.dtype(r.take(dtlen).decode())
+        ndim = r.take(1)[0]
+        shape = tuple(_U32.unpack(r.take(4))[0] for _ in range(ndim))
+        (n,) = _U32.unpack(r.take(4))
+        arr = np.frombuffer(r.take(n), dtype=dtype).reshape(shape)
+        return arr.copy()  # writable, owns its memory
+    if tag in (_T_LIST, _T_TUPLE):
+        (n,) = _U32.unpack(r.take(4))
+        items = [_decode(r) for _ in range(n)]
+        return items if tag == _T_LIST else tuple(items)
+    if tag == _T_DICT:
+        (n,) = _U32.unpack(r.take(4))
+        return {_decode(r): _decode(r) for _ in range(n)}
+    if tag == _T_EXC:
+        (n,) = _U32.unpack(r.take(4))
+        raw = r.take(n)
+        try:
+            return pickle.loads(raw)
+        except Exception as exc:
+            return RuntimeError(f"undecodable peer exception: {exc!r}")
+    raise FrameError(f"unknown value tag {tag}")
+
+
+def encode_frame(kind: int, payload) -> bytes:
+    """Serialize ``payload`` into one framed message of ``kind``."""
+    parts: list = []
+    _encode(payload, parts)
+    body = b"".join(parts)
+    return _HEADER.pack(MAGIC, VERSION, kind, len(body)) + body
+
+
+def decode_frame(buf: bytes):
+    """Decode one complete frame; returns ``(kind, payload)``.
+
+    Raises :class:`FrameError` on truncation, bad magic, or version skew.
+    """
+    if len(buf) < _HEADER.size:
+        raise FrameError("truncated frame header")
+    magic, version, kind, length = _HEADER.unpack_from(buf)
+    if magic != MAGIC:
+        raise FrameError(f"bad frame magic {magic!r}")
+    if version != VERSION:
+        raise FrameError(f"frame version mismatch: got {version}, "
+                         f"want {VERSION}")
+    if len(buf) < _HEADER.size + length:
+        raise FrameError("truncated frame payload")
+    r = _Reader(buf[_HEADER.size:_HEADER.size + length])
+    payload = _decode(r)
+    return kind, payload
+
+
+def read_frame(sock):
+    """Read exactly one frame from a socket; returns ``(kind, payload)``.
+
+    Returns ``(None, None)`` on clean EOF at a frame boundary; raises
+    :class:`FrameError` on a mid-frame EOF or malformed header.
+    """
+    header = _read_exact(sock, _HEADER.size, allow_eof=True)
+    if header is None:
+        return None, None
+    magic, version, kind, length = _HEADER.unpack(header)
+    if magic != MAGIC:
+        raise FrameError(f"bad frame magic {magic!r}")
+    if version != VERSION:
+        raise FrameError(f"frame version mismatch: got {version}, "
+                         f"want {VERSION}")
+    body = _read_exact(sock, length) if length else b""
+    r = _Reader(body)
+    return kind, _decode(r)
+
+
+def _read_exact(sock, n: int, allow_eof: bool = False):
+    chunks = []
+    got = 0
+    while got < n:
+        chunk = sock.recv(min(n - got, 1 << 20))
+        if not chunk:
+            if allow_eof and got == 0:
+                return None
+            raise FrameError(f"connection closed mid-frame ({got}/{n} bytes)")
+        chunks.append(chunk)
+        got += len(chunk)
+    return b"".join(chunks)

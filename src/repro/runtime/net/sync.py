@@ -1,0 +1,772 @@
+"""Distributed synchronization endpoints for the ``net`` backend.
+
+The shard interpreter and the frozen replay plans drive channel
+*endpoints* — objects with the :class:`~repro.runtime.events.Sequence`
+surface (``advance_to`` / ``event_for``).  The net backend swaps the
+in-memory endpoints of a cross-rank channel for wire-backed ones; the
+interpreter is unchanged:
+
+==============  ======================  ===================================
+channel role    in-memory endpoint      net endpoint
+==============  ======================  ===================================
+consumer ack    shared ``Sequence``     :class:`_TxSequence` — sends a
+                                        ``CREDIT`` frame to the producer
+producer's      the same ``Sequence``   credit mirror: a local ``Sequence``
+view of acks                            started at the window depth ``k``
+                                        and advanced to ``g - 1 + k`` when
+                                        ``CREDIT(g)`` arrives
+producer ready  shared ``Sequence``     :class:`_MirrorSequence` (no-op) —
+                                        the *data frame itself* carries
+                                        readiness
+consumer's      the same ``Sequence``   :class:`_RxReady` — triggers on
+view of ready                           frame arrival, applies the payload
+                                        in the consumer's shard thread
+==============  ======================  ===================================
+
+The credit window generalizes the classic per-epoch handshake: because a
+remote payload is buffered on arrival and only *applied* at the
+consumer's own ready-wait point in replicated program order, the
+write-after-read hazard the in-memory handshake guards against cannot
+occur — credits exist purely to bound per-channel buffering.  Depth 1 is
+exactly the classic handshake; the default depth 2 lets a producer run
+one iteration ahead of its consumers' acks.
+
+Init/finalize-style synchronization — dynamic collectives, named
+barriers, the final state gather, the shutdown barrier — runs over a
+binomial tree (:class:`TreeComm`): contributions flow up ``COLL``/
+``GATHER`` edges to rank 0 and results flow back down ``COLLR`` edges,
+O(log ranks) frames per rank per operation.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+
+import numpy as np
+
+from ...core.ir import BarrierStmt, PairwiseCopy, ScalarCollective, walk
+from ...core.shards import owner_of_color
+from ...obs import flight as _flight
+from ...regions.region import _REDUCTION_UFUNCS, reduction_identity
+from ..collectives import SCALAR_REDUCTIONS
+from ..events import Sequence
+from ..window.ir import _as_index
+from . import frame
+from .plan import NetSendCopy, _TxState
+
+__all__ = ["NetCommContext", "TreeComm", "DEFAULT_CREDIT_DEPTH"]
+
+DEFAULT_CREDIT_DEPTH = 2
+
+
+def _credit_depth() -> int:
+    raw = os.environ.get("REPRO_NET_CREDIT_DEPTH", "")
+    try:
+        depth = int(raw) if raw else DEFAULT_CREDIT_DEPTH
+    except ValueError:
+        depth = DEFAULT_CREDIT_DEPTH
+    return max(1, depth)
+
+
+# -- channel endpoints ------------------------------------------------------
+class _MirrorSequence:
+    """The producer's no-op ``ready`` endpoint of a remote channel.
+
+    The data frame itself carries readiness to the consumer, so the
+    producer's ready advance has nothing left to do.  One instance per
+    channel (never shared) so identity-keyed window summaries treat the
+    channels as distinct.
+    """
+
+    __slots__ = ()
+
+    def advance_to(self, n: int) -> None:
+        pass
+
+
+class _TxSequence:
+    """The consumer's ``acked`` endpoint of a remote channel: advancing it
+    sends a ``CREDIT`` frame to the producer.
+
+    Single-writer: only the consumer's shard thread advances its own ack
+    sequences, so the monotonic ``_sent`` guard needs no lock.
+    """
+
+    __slots__ = ("transport", "peer", "chan_id", "_sent")
+
+    def __init__(self, transport, peer: int, chan_id: int):
+        self.transport = transport
+        self.peer = peer
+        self.chan_id = chan_id
+        self._sent = 0
+
+    @property
+    def value(self) -> int:
+        return self._sent
+
+    def advance_to(self, n: int) -> None:
+        if n > self._sent:
+            self._sent = n
+            self.transport.send(self.peer, frame.CREDIT, (self.chan_id, n))
+
+    # Batched ack advances (the replay layer's OP_ADVN) dispatch through
+    # this hook — see events.advance_group.  Plain function on purpose:
+    # looked up via getattr on the instance, it must not re-bind self.
+    advance_group_shared = staticmethod(
+        lambda seqs, n: _net_advance_group(seqs, n))
+
+
+def _net_advance_group(seqs, n: int) -> None:
+    """Advance a mixed batch of ack endpoints, coalescing wire credits.
+
+    All :class:`_TxSequence` members bound for the same peer collapse
+    into one ``CREDITN`` frame; local endpoints (a plain ``Sequence`` for
+    a producer-is-consumer pair) advance in place.
+    """
+    grouped: dict[tuple, list] = {}
+    for seq in seqs:
+        if type(seq) is _TxSequence:
+            if n > seq._sent:
+                seq._sent = n
+                grouped.setdefault((id(seq.transport), seq.peer),
+                                   (seq.transport, seq.peer, []))[2].append(
+                    seq.chan_id)
+        else:
+            seq.advance_to(n)
+    for transport, peer, cids in grouped.values():
+        if len(cids) == 1:
+            transport.send(peer, frame.CREDIT, (cids[0], n))
+        else:
+            transport.send(peer, frame.CREDITN, (tuple(cids), n))
+
+
+class _RxChannel:
+    """Consumer-side state of one inbound channel.
+
+    The receiver thread *delivers* (buffers the payload, then advances
+    ``arrived``); the shard thread *applies* at its own ready-wait point,
+    strictly in generation order.  The split is the net backend's
+    correctness core: all writes into consumer instances happen in the
+    single shard thread at the consumer's replicated program point, so
+    remote reductions need no locks and remote pairs no WAR handshake.
+    """
+
+    __slots__ = ("nctx", "stmt", "pair", "arrived", "applied", "pending",
+                 "_lock", "_plan")
+
+    def __init__(self, nctx, stmt, pair):
+        self.nctx = nctx
+        self.stmt = stmt
+        self.pair = pair
+        self.arrived = Sequence()
+        self.applied = 0          # shard-thread-only watermark
+        self.pending: dict[int, object] = {}
+        self._lock = threading.Lock()
+        self._plan = None
+
+    def deliver(self, gen: int, payload) -> None:
+        # Receiver thread.  Store under the lock *before* advancing so a
+        # shard thread woken by the arrival always finds the payload.
+        with self._lock:
+            self.pending[gen] = payload
+        self.arrived.advance_to(gen)
+
+    def plan(self):
+        # Shard thread, built lazily on first arrival: destination
+        # localization resolved once, like PairCopy.build on the sender.
+        if self._plan is None:
+            self._plan = self.nctx.rx_plan(self.stmt, self.pair)
+        return self._plan
+
+    def apply_up_to(self, g: int) -> None:
+        # Shard thread only.
+        while self.applied < g:
+            gen = self.applied + 1
+            with self._lock:
+                payload = self.pending.pop(gen)
+            if type(payload) is _PackedPayload:
+                payload.apply(self.nctx)
+            else:
+                arrs, dst_ix, ufunc = self.plan()
+                if ufunc is None:
+                    for arr, vals in zip(arrs, payload):
+                        arr[dst_ix] = vals
+                else:
+                    for arr, vals in zip(arrs, payload):
+                        ufunc.at(arr, dst_ix, vals)
+            self.applied = gen
+
+
+class _RxEvent:
+    """The consumer's ready event of one channel generation: set when the
+    payload has arrived; checking it applies everything up to ``g``."""
+
+    __slots__ = ("chan", "g", "label", "_inner")
+
+    def __init__(self, chan: _RxChannel, g: int, label):
+        self.chan = chan
+        self.g = g
+        self.label = label
+        self._inner = chan.arrived.event_for(g, label=label)
+
+    def is_set(self) -> bool:
+        if not self._inner.is_set():
+            return False
+        self.chan.apply_up_to(self.g)
+        return True
+
+    def wait_blocking(self, timeout: float | None = None) -> bool:
+        if not self._inner.wait_blocking(timeout):
+            return False
+        self.chan.apply_up_to(self.g)
+        return True
+
+
+class _RxReady:
+    """The consumer's ``ready`` endpoint of a remote channel."""
+
+    __slots__ = ("chan",)
+
+    def __init__(self, chan: _RxChannel):
+        self.chan = chan
+
+    @property
+    def value(self) -> int:
+        return self.chan.arrived.value
+
+    def advance_to(self, n: int) -> None:  # pragma: no cover -- not driven
+        raise RuntimeError("consumer cannot advance a remote ready endpoint")
+
+    def event_for(self, n: int, label: str | None = None) -> _RxEvent:
+        return _RxEvent(self.chan, n, label)
+
+
+class _PackedPayload:
+    """One received aggregated transfer, shared by all its member channels.
+
+    Delivered to *every* member channel at the same generation; whichever
+    member's ready-wait the shard thread reaches first applies the whole
+    message (safe — the consumer acked all of the statement's inbound
+    pairs at statement entry, before any ready wait), and the flag makes
+    the remaining members' applies no-ops.
+    """
+
+    __slots__ = ("uid", "members", "vals", "done")
+
+    def __init__(self, uid: int, members, vals):
+        self.uid = uid
+        self.members = members
+        self.vals = vals
+        self.done = False
+
+    def apply(self, nctx) -> None:
+        # Shard thread only (called from _RxChannel.apply_up_to).
+        if self.done:
+            return
+        self.done = True
+        for arrs, dst_ix, sl, ufunc in nctx.unpack_plan(self.uid,
+                                                        self.members):
+            if ufunc is None:
+                for f, arr in enumerate(arrs):
+                    arr[dst_ix] = self.vals[f][sl]
+            else:
+                for f, arr in enumerate(arrs):
+                    ufunc.at(arr, dst_ix, self.vals[f][sl])
+
+
+# -- tree collectives -------------------------------------------------------
+def tree_parent(rank: int) -> int:
+    """Binomial-tree parent: clear the lowest set bit."""
+    return rank & (rank - 1)
+
+
+def tree_children(rank: int, ns: int) -> list[int]:
+    """Binomial-tree children: ``rank + 2**k`` below the lowest set bit."""
+    out = []
+    limit = (rank & -rank) if rank else ns
+    k = 1
+    while k < limit:
+        child = rank + k
+        if child >= ns:
+            break
+        out.append(child)
+        k <<= 1
+    return out
+
+
+class _CollState:
+    __slots__ = ("expect", "parts", "event", "result")
+
+    def __init__(self, expect: int):
+        self.expect = expect
+        self.parts: dict[int, object] = {}
+        self.event = threading.Event()
+        self.result = None
+
+
+class _NetEvent:
+    """Adapter: a ``threading.Event`` with the runtime's event surface."""
+
+    __slots__ = ("_ev", "label")
+
+    def __init__(self, ev: threading.Event, label: str | None = None):
+        self._ev = ev
+        self.label = label
+
+    def is_set(self) -> bool:
+        return self._ev.is_set()
+
+    def wait_blocking(self, timeout: float | None = None) -> bool:
+        return self._ev.wait(timeout)
+
+
+class TreeComm:
+    """Collectives, barriers, and the final gather over a binomial tree.
+
+    Keys are strings (``c:<uid>`` for collectives, ``b:<tag>`` for
+    barriers) and generations follow the shard epoch counters.  A node
+    completes ``(key, gen)`` once its own contribution and one per child
+    are in, folds them in ascending source-rank order, and either sends
+    the partial to its parent (``COLL``) or — at the root — resolves the
+    result and broadcasts it back down (``COLLR``).  Completion can
+    happen on a receiver thread or the shard thread, whichever arrives
+    last; sends from receiver threads are safe under the transport's
+    per-peer send locks.
+    """
+
+    def __init__(self, transport, ns: int):
+        self.transport = transport
+        self.rank = transport.rank
+        self.ns = ns
+        self.parent = tree_parent(self.rank)
+        self.children = tree_children(self.rank, ns)
+        # key -> scalar redop name, or None for pure barriers.  Registered
+        # at endpoint construction (before receivers start) so receiver
+        # threads can fold without the contributing context.
+        self.redops: dict[str, str | None] = {}
+        self._lock = threading.Lock()
+        self._states: dict[tuple[str, int], _CollState] = {}
+        self._gather: dict[int, object] = {}
+        self._gather_evs = {c: threading.Event() for c in self.children}
+
+    def _state(self, key: str, gen: int) -> _CollState:
+        st = self._states.get((key, gen))
+        if st is None:
+            # Get-or-create on both paths: a fast child's COLL frame may
+            # beat the local shard thread's own contribution.
+            st = self._states[(key, gen)] = _CollState(1 + len(self.children))
+        return st
+
+    def contribute(self, key: str, gen: int, value) -> threading.Event:
+        return self._arrive(key, gen, self.rank, value)
+
+    def _arrive(self, key: str, gen: int, src: int,
+                value) -> threading.Event:
+        with self._lock:
+            st = self._state(key, gen)
+            st.parts[src] = value
+            done = len(st.parts) == st.expect
+        if done:
+            self._complete(key, gen, st)
+        return st.event
+
+    def _complete(self, key: str, gen: int, st: _CollState) -> None:
+        redop = self.redops[key]
+        folded = None
+        if redop is not None:
+            fold = SCALAR_REDUCTIONS[redop]
+            vals = [st.parts[s] for s in sorted(st.parts)
+                    if st.parts[s] is not None]
+            if vals:
+                folded = vals[0]
+                for v in vals[1:]:
+                    folded = fold(folded, v)
+        if self.rank == 0:
+            result = None
+            if redop is not None:
+                result = (folded if folded is not None
+                          else float(reduction_identity(redop, np.float64)))
+            self._resolve(key, gen, result)
+        else:
+            self.transport.send(self.parent, frame.COLL,
+                                (key, gen, self.rank, folded))
+
+    def _resolve(self, key: str, gen: int, result) -> None:
+        with self._lock:
+            st = self._state(key, gen)
+            st.result = result
+        # Relay downward BEFORE releasing the local waiter: the waiter
+        # may be the shutdown barrier, and the rank would close its
+        # sockets while the subtree's release is still unsent.
+        for child in self.children:
+            self.transport.send(child, frame.COLLR, (key, gen, result))
+        st.event.set()
+
+    def result(self, key: str, gen: int):
+        # Each rank reads a collective result exactly once (the shard
+        # interpreter's contract), so the read retires the generation.
+        with self._lock:
+            st = self._states.pop((key, gen))
+        return st.result
+
+    def retire(self, key: str, gen: int) -> None:
+        with self._lock:
+            self._states.pop((key, gen), None)
+
+    # -- final gather ------------------------------------------------------
+    def gather(self, data: dict, wait) -> dict | None:
+        """Merge ``data`` with every child subtree's gather payload.
+
+        ``wait`` is a cancel-aware callable blocking on one
+        ``threading.Event`` (the driver supplies it so a dead sibling
+        cannot hang the gather).  Non-root ranks forward the merged dict
+        to their parent and return ``None``; the root returns it.
+        """
+        merged = dict(data)
+        for child in self.children:
+            wait(self._gather_evs[child])
+            merged.update(self._gather[child])
+        if self.rank:
+            self.transport.send(self.parent, frame.GATHER,
+                                (self.rank, merged))
+            return None
+        return merged
+
+    # -- frame handlers (receiver threads) ---------------------------------
+    def on_coll(self, peer: int, payload) -> None:
+        key, gen, src, value = payload
+        self._arrive(key, gen, src, value)
+
+    def on_collr(self, peer: int, payload) -> None:
+        key, gen, result = payload
+        self._resolve(key, gen, result)
+
+    def on_gather(self, peer: int, payload) -> None:
+        src, data = payload
+        self._gather[src] = data
+        self._gather_evs[src].set()
+
+
+class _NetCollective:
+    """Duck-types :class:`~repro.runtime.collectives.DynamicCollective`
+    over the tree.  Values are cast to float on contribution so every
+    rank re-reads the identical wire value — the replication-divergence
+    validator compares these scalars across shards."""
+
+    __slots__ = ("tree", "key")
+
+    def __init__(self, tree: TreeComm, uid: int, redop: str):
+        self.tree = tree
+        self.key = f"c:{uid}"
+        tree.redops[self.key] = redop
+
+    def contribute(self, generation: int, value) -> _NetEvent:
+        v = None if value is None else float(value)
+        return _NetEvent(self.tree.contribute(self.key, generation, v),
+                         label=self.key)
+
+    def result(self, generation: int):
+        return self.tree.result(self.key, generation)
+
+
+class _NetBarrier:
+    """Duck-types :class:`~repro.runtime.events.GlobalBarrier` over the
+    tree: one up-and-down sweep per generation."""
+
+    __slots__ = ("tree", "key")
+
+    def __init__(self, tree: TreeComm, tag: str):
+        self.tree = tree
+        self.key = f"b:{tag}"
+        tree.redops[self.key] = None
+
+    def arrive_and_wait_event(self, generation: int,
+                              label: str | None = None) -> _NetEvent:
+        # My arrival at generation g proves g-1 fully resolved everywhere
+        # in my subtree and at my parent, so no frame for g-1 can still
+        # arrive: retire its state here to keep the dict O(live gens).
+        self.tree.retire(self.key, generation - 1)
+        return _NetEvent(self.tree.contribute(self.key, generation, None),
+                         label=label)
+
+
+class _CopyPostEvent:
+    """Post-barrier event of a barrier-synchronized copy statement: set
+    once the barrier completed *and* every inbound payload arrived, at
+    which point checking it applies them in the shard thread.
+
+    The barrier sweep and the data frames travel different socket paths
+    (tree edges vs. the direct producer link), so barrier completion
+    alone does not imply arrival.
+    """
+
+    __slots__ = ("inner", "rx", "g")
+
+    def __init__(self, inner, rx, g: int):
+        self.inner = inner
+        self.rx = rx
+        self.g = g
+
+    @property
+    def label(self):
+        return self.inner.label
+
+    def is_set(self) -> bool:
+        if not self.inner.is_set():
+            return False
+        g = self.g
+        for chan in self.rx:
+            if chan.arrived.value < g:
+                return False
+        for chan in self.rx:
+            chan.apply_up_to(g)
+        return True
+
+    def wait_blocking(self, timeout: float | None = None) -> bool:
+        deadline = (None if timeout is None
+                    else time.monotonic() + timeout)
+        while not self.is_set():
+            if deadline is not None and time.monotonic() >= deadline:
+                return False
+            time.sleep(0.001)
+        return True
+
+
+class _CopyPostBarrier:
+    """The ``post:<uid>`` barrier of a barrier-mode copy, composed with
+    the statement's inbound channel arrivals.  Barrier-mode statements
+    exchange no credits: the lockstep pre/post sweeps already bound every
+    producer to at most one outstanding generation."""
+
+    __slots__ = ("barrier", "rx")
+
+    def __init__(self, barrier: _NetBarrier, rx):
+        self.barrier = barrier
+        self.rx = rx
+
+    def arrive_and_wait_event(self, generation: int,
+                              label: str | None = None) -> _CopyPostEvent:
+        inner = self.barrier.arrive_and_wait_event(generation, label=label)
+        return _CopyPostEvent(inner, self.rx, generation)
+
+
+# -- the per-launch communication context -----------------------------------
+class _LocalChannel:
+    """Both endpoints of a producer-is-consumer pair: plain in-memory
+    sequences, exactly the threaded backend's channel."""
+
+    __slots__ = ("ready", "acked")
+
+    def __init__(self):
+        self.ready = Sequence()
+        self.acked = Sequence()
+
+
+class _NetChannel:
+    """A cross-rank channel: one wire-backed endpoint per role."""
+
+    __slots__ = ("ready", "acked")
+
+    def __init__(self, ready, acked):
+        self.ready = ready
+        self.acked = acked
+
+
+class NetCommContext:
+    """Everything one rank needs to run a shard launch over the wire.
+
+    Builds the channel endpoint matrix (deterministically — channel ids
+    are assigned in statement walk order crossed with pair-set order, so
+    forked ranks and independently started workers agree without any
+    exchanged spec), the tree endpoints for collectives and barriers, and
+    the receive-side plans; registers all frame handlers.  Construct
+    *before* ``transport.start_receivers()``.
+    """
+
+    def __init__(self, ex, transport, stmt, ns: int):
+        self.ex = ex
+        self.transport = transport
+        self.rank = transport.rank
+        self.ns = ns
+        self.depth = _credit_depth()
+        self.tree = TreeComm(transport, ns)
+        self.failed = threading.Event()
+        self.failure: BaseException | None = None
+        self.copies: dict[int, PairwiseCopy] = {}
+        self._chan_ids: dict[tuple[int, tuple[int, int]], int] = {}
+        self._credit: dict[int, Sequence] = {}
+        self._rx: dict[int, _RxChannel] = {}
+        self._rx_by_pair: dict[tuple[int, tuple[int, int]], _RxChannel] = {}
+        self._send_copies: dict[int, NetSendCopy] = {}
+        self._unpack_plans: dict = {}
+        self.done_barrier = _NetBarrier(self.tree, "__done__")
+
+        me = self.rank
+        cid = 0
+        channels: dict[int, dict] = {}
+        collectives: dict[int, _NetCollective] = {}
+        barriers: dict[str, object] = {}
+        for s in walk(stmt):
+            if isinstance(s, PairwiseCopy):
+                self.copies[s.uid] = s
+                src_n = s.src.num_colors
+                dst_n = s.dst.num_colors
+                chans: dict[tuple[int, int], object] = {}
+                inbound: list[_RxChannel] = []
+                for pair in ex._copy_pairs(s):
+                    i, j = pair
+                    this = cid
+                    cid += 1
+                    producer = owner_of_color(src_n, ns, i)
+                    consumer = owner_of_color(dst_n, ns, j)
+                    if producer == me and consumer == me:
+                        chans[pair] = _LocalChannel()
+                    elif producer == me:
+                        self._chan_ids[(s.uid, pair)] = this
+                        mirror = Sequence(start=self.depth)
+                        self._credit[this] = mirror
+                        chans[pair] = _NetChannel(ready=_MirrorSequence(),
+                                                  acked=mirror)
+                    elif consumer == me:
+                        rx = _RxChannel(self, s, pair)
+                        self._rx[this] = rx
+                        self._rx_by_pair[(s.uid, pair)] = rx
+                        inbound.append(rx)
+                        chans[pair] = _NetChannel(
+                            ready=_RxReady(rx),
+                            acked=_TxSequence(transport, producer, this))
+                    # Pairs between two other ranks get no endpoints: the
+                    # interpreter only touches channels it produces into
+                    # or consumes from.
+                channels[s.uid] = chans
+                if s.sync_mode == "barrier":
+                    barriers.setdefault(
+                        f"pre:{s.uid}", _NetBarrier(self.tree, f"pre:{s.uid}"))
+                    barriers.setdefault(
+                        f"post:{s.uid}",
+                        _CopyPostBarrier(
+                            _NetBarrier(self.tree, f"post:{s.uid}"), inbound))
+            elif isinstance(s, ScalarCollective):
+                collectives[s.uid] = _NetCollective(self.tree, s.uid, s.redop)
+            elif isinstance(s, BarrierStmt):
+                barriers[s.tag] = _NetBarrier(self.tree, s.tag)
+
+        from ..spmd import _EpochContext
+        self.ctx = _EpochContext(channels=channels, collectives=collectives,
+                                 barriers=barriers, num_shards=ns)
+
+        transport.register(frame.DATA, self._on_data)
+        transport.register(frame.MSG, self._on_msg)
+        transport.register(frame.CREDIT, self._on_credit)
+        transport.register(frame.CREDITN, self._on_creditn)
+        transport.register(frame.COLL, self.tree.on_coll)
+        transport.register(frame.COLLR, self.tree.on_collr)
+        transport.register(frame.GATHER, self.tree.on_gather)
+        transport.register(frame.ERROR, self._on_error)
+
+    # -- frame handlers (receiver threads) ---------------------------------
+    def _on_data(self, peer: int, payload) -> None:
+        cid, gen, vals = payload
+        self._rx[cid].deliver(gen, vals)
+
+    def _on_msg(self, peer: int, payload) -> None:
+        uid, members, gen, vals = payload
+        pp = _PackedPayload(uid, members, vals)
+        for pair in members:
+            self._rx_by_pair[(uid, pair)].deliver(gen, pp)
+
+    def _on_credit(self, peer: int, payload) -> None:
+        cid, gen = payload
+        self._credit[cid].advance_to(gen - 1 + self.depth)
+
+    def _on_creditn(self, peer: int, payload) -> None:
+        cids, gen = payload
+        n = gen - 1 + self.depth
+        for cid in cids:
+            self._credit[cid].advance_to(n)
+
+    def _on_error(self, peer: int, exc) -> None:
+        if not isinstance(exc, BaseException):
+            exc = RuntimeError(f"rank {peer} failed: {exc!r}")
+        self.failure = exc
+        self.failed.set()
+
+    # -- producer hook (shard thread) --------------------------------------
+    def pair_copy(self, stmt, i: int, j: int, state, rec, ns: int) -> bool:
+        """Intercept one producer-side pair copy; returns False for local
+        pairs (the in-memory path handles them)."""
+        if owner_of_color(stmt.dst.num_colors, ns, j) == self.rank:
+            return False
+        state.pair_visits += 1
+        cid = self._chan_ids[(stmt.uid, (i, j))]
+        sc = self._send_copies.get(cid)
+        if sc is None:
+            sc = self._send_copies[cid] = self._build_send(stmt, i, j, cid)
+        if rec is not None:
+            rec.copy(stmt.uid, i, j, sc)
+        t0 = time.perf_counter()
+        sc.apply()
+        # An empty pair still counts as a performed copy here (unlike the
+        # in-memory path's early return): the empty frame must replay so
+        # the consumer's arrival sequence advances, and interpretation
+        # must match what its own recorded OP_COPY will count.
+        state.elements_copied += sc.count
+        state.copies_performed += 1
+        state.bytes_copied += sc.nbytes
+        state.flight.record(_flight.COPY, stmt.uid, t0, time.perf_counter(),
+                            sc.nbytes)
+        return True
+
+    def _build_send(self, stmt, i: int, j: int, cid: int) -> NetSendCopy:
+        ex = self.ex
+        pts = self.pair_pts(stmt, i, j)
+        src_inst = ex.dist_instance(stmt.src, i)
+        src_ix = _as_index(src_inst.localize(pts))
+        srcs = tuple(src_inst.fields[f] for f in stmt.fields)
+        count = int(pts.count)
+        peer = owner_of_color(stmt.dst.num_colors, self.ns, j)
+        tx = self._tx_state(cid)
+        return NetSendCopy(self.transport, peer, cid, tx, srcs, src_ix,
+                           (i, j), count, count * ex._field_width(stmt),
+                           stmt.uid)
+
+    def _tx_state(self, cid: int) -> _TxState:
+        # One generation counter per channel, shared between the cached
+        # interpreted send and any packed send built from it.
+        sc = self._send_copies.get(cid)
+        return sc.tx if sc is not None else _TxState()
+
+    # -- receive-side plans (shard thread) ---------------------------------
+    def pair_pts(self, stmt, i: int, j: int):
+        ex = self.ex
+        if stmt.pairs_name is not None:
+            return ex.pair_sets[stmt.pairs_name].pairs[(i, j)]
+        return stmt.src.subset(i) & stmt.dst.subset(j)
+
+    def rx_plan(self, stmt, pair):
+        i, j = pair
+        pts = self.pair_pts(stmt, i, j)
+        dst_inst = self.ex.dist_instance(stmt.dst, j)
+        dst_ix = _as_index(dst_inst.localize(pts))
+        arrs = tuple(dst_inst.fields[f] for f in stmt.fields)
+        ufunc = (None if stmt.redop is None
+                 else _REDUCTION_UFUNCS[stmt.redop])
+        return arrs, dst_ix, ufunc
+
+    def unpack_plan(self, uid: int, members):
+        key = (uid, members)
+        plan = self._unpack_plans.get(key)
+        if plan is None:
+            stmt = self.copies[uid]
+            plan = []
+            off = 0
+            for pair in members:
+                chan = self._rx_by_pair[(uid, pair)]
+                arrs, dst_ix, ufunc = chan.plan()
+                cnt = int(self.pair_pts(stmt, pair[0], pair[1]).count)
+                plan.append((arrs, dst_ix, slice(off, off + cnt), ufunc))
+                off += cnt
+            self._unpack_plans[key] = plan
+        return plan

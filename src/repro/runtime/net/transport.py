@@ -1,0 +1,267 @@
+"""Peer-mesh TCP transport for the ``net`` backend.
+
+Every rank holds one listening socket plus one connected socket per peer
+(a full mesh — rank counts here are the shard counts of §5, not MPI
+world sizes).  Connection establishment is deadlock-free by convention:
+rank ``r`` *connects* to every lower rank and *accepts* from every
+higher rank, identifying itself with a ``HELLO`` frame immediately
+after connecting.
+
+One daemon receiver thread per peer reads frames off the socket and
+dispatches them to handlers registered per frame kind; the handlers
+(credit bumps, payload delivery, collective partials) are designed to be
+cheap and lock-scoped so the receiver threads never block on the shard
+thread.  A clean EOF at a frame boundary marks the peer *finished* — the
+normal end of a run, since ranks close their sockets after the shutdown
+barrier; a mid-frame EOF or decode error marks the peer finished too and
+leaves failure reporting to the driver's cancellation path (a dying rank
+broadcasts an ``ERROR`` frame first when it can).
+
+Byte/message counters are kept per peer per direction with single-writer
+discipline (sends count under the per-peer send lock, receives count in
+the one receiver thread) and summed by :meth:`Transport.stats`.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+
+from .frame import FrameError, HELLO, KIND_NAMES, encode_frame, read_frame
+
+__all__ = ["Transport", "bind_listeners"]
+
+_HANDSHAKE_TIMEOUT_S = 60.0
+
+
+def bind_listeners(ns: int, host: str = "127.0.0.1"):
+    """Pre-bind one listening socket per rank on ephemeral ports.
+
+    Called in the parent before forking so every child inherits the full
+    address map (and its own already-listening socket) with no rendezvous
+    file or port race.  The backlog is ``ns``: every peer may connect
+    before the owning rank first calls ``accept``.
+    """
+    listeners, addrs = [], []
+    for _ in range(ns):
+        s = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        s.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        s.bind((host, 0))
+        s.listen(ns)
+        listeners.append(s)
+        addrs.append(s.getsockname())
+    return listeners, addrs
+
+
+def _prepare(sock: socket.socket) -> None:
+    # Credit and collective frames are tiny and latency-bound; Nagle
+    # would batch them behind data frames.
+    sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+
+
+class _CountingSocket:
+    """recv-only façade that bumps a single-writer byte counter."""
+
+    __slots__ = ("_sock", "_counter")
+
+    def __init__(self, sock, counter: list) -> None:
+        self._sock = sock
+        self._counter = counter  # one-element list, receiver-thread-only
+
+    def recv(self, n: int) -> bytes:
+        chunk = self._sock.recv(n)
+        self._counter[0] += len(chunk)
+        return chunk
+
+
+class Transport:
+    """The full-mesh peer transport of one rank."""
+
+    def __init__(self, rank: int, ns: int, listener: socket.socket, addrs):
+        self.rank = rank
+        self.ns = ns
+        self._listener = listener
+        self._addrs = [tuple(a) for a in addrs]
+        self._socks: dict[int, socket.socket] = {}
+        self._send_locks: dict[int, threading.Lock] = {}
+        self._handlers: dict[int, object] = {}
+        self._recv_threads: list[threading.Thread] = []
+        self.finished = {r: threading.Event()
+                         for r in range(ns) if r != rank}
+        self.closing = False
+        # Single-writer counters: sends under the per-peer send lock,
+        # receives in the per-peer receiver thread.
+        self._sent_bytes = {r: [0] for r in self.finished}
+        self._recv_bytes = {r: [0] for r in self.finished}
+        self._sent_msgs: dict[int, dict[int, int]] = {r: {}
+                                                      for r in self.finished}
+        self._recv_msgs: dict[int, dict[int, int]] = {r: {}
+                                                      for r in self.finished}
+
+    # -- connection establishment -----------------------------------------
+    def register(self, kind: int, handler) -> None:
+        """Install ``handler(peer_rank, payload)`` for one frame kind.
+
+        Must be called before :meth:`start_receivers`; handlers run on
+        the per-peer receiver threads.
+        """
+        self._handlers[kind] = handler
+
+    def connect_all(self, timeout_s: float = _HANDSHAKE_TIMEOUT_S) -> None:
+        """Establish the mesh: accept from higher ranks, dial lower ones."""
+        expect = self.ns - 1 - self.rank
+        accepted: dict[int, socket.socket] = {}
+        accept_errors: list[BaseException] = []
+
+        def acceptor() -> None:
+            try:
+                self._listener.settimeout(timeout_s)
+                for _ in range(expect):
+                    sock, _ = self._listener.accept()
+                    _prepare(sock)
+                    sock.settimeout(timeout_s)
+                    kind, peer = read_frame(sock)
+                    if kind != HELLO or not isinstance(peer, int):
+                        raise FrameError(
+                            f"rank {self.rank}: expected HELLO, got "
+                            f"{KIND_NAMES.get(kind, kind)}")
+                    sock.settimeout(None)
+                    accepted[peer] = sock
+            except BaseException as exc:  # surfaced on the joining thread
+                accept_errors.append(exc)
+
+        t = None
+        if expect:
+            t = threading.Thread(target=acceptor, daemon=True,
+                                 name=f"repro-net-accept-{self.rank}")
+            t.start()
+        for peer in range(self.rank):
+            sock = self._dial(self._addrs[peer], timeout_s)
+            sock.sendall(encode_frame(HELLO, self.rank))
+            self._socks[peer] = sock
+        if t is not None:
+            t.join(timeout_s + 5.0)
+            if accept_errors:
+                raise RuntimeError(
+                    f"rank {self.rank}: handshake failed") from accept_errors[0]
+            if len(accepted) != expect:
+                raise RuntimeError(
+                    f"rank {self.rank}: only {len(accepted)}/{expect} higher "
+                    f"ranks connected within {timeout_s}s")
+            self._socks.update(accepted)
+        for peer in self._socks:
+            self._send_locks[peer] = threading.Lock()
+
+    @staticmethod
+    def _dial(addr, timeout_s: float) -> socket.socket:
+        # Worker mode starts ranks independently, so a lower rank's
+        # listener may not be up yet: retry until the deadline.
+        deadline = time.monotonic() + timeout_s
+        while True:
+            sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            try:
+                sock.settimeout(min(5.0, timeout_s))
+                sock.connect(addr)
+                sock.settimeout(None)
+                _prepare(sock)
+                return sock
+            except OSError:
+                sock.close()
+                if time.monotonic() >= deadline:
+                    raise
+                time.sleep(0.05)
+
+    def start_receivers(self) -> None:
+        for peer in sorted(self._socks):
+            th = threading.Thread(
+                target=self._recv_loop, args=(peer,), daemon=True,
+                name=f"repro-net-recv-{self.rank}-{peer}")
+            th.start()
+            self._recv_threads.append(th)
+
+    # -- receive -----------------------------------------------------------
+    def _recv_loop(self, peer: int) -> None:
+        sock = _CountingSocket(self._socks[peer], self._recv_bytes[peer])
+        msgs = self._recv_msgs[peer]
+        handlers = self._handlers
+        try:
+            while True:
+                kind, payload = read_frame(sock)
+                if kind is None:
+                    break  # clean EOF: the peer finished and closed
+                msgs[kind] = msgs.get(kind, 0) + 1
+                handler = handlers.get(kind)
+                if handler is not None:
+                    handler(peer, payload)
+        except (FrameError, OSError):
+            # A hard peer death (mid-frame EOF, reset).  The failure
+            # itself propagates through the driver's cancellation path
+            # (ERROR broadcast / parent exit-code watch); here we only
+            # stop reading.
+            pass
+        finally:
+            self.finished[peer].set()
+
+    # -- send --------------------------------------------------------------
+    def send(self, peer: int, kind: int, payload) -> None:
+        frame = encode_frame(kind, payload)
+        lock = self._send_locks[peer]
+        try:
+            with lock:
+                self._socks[peer].sendall(frame)
+                self._sent_bytes[peer][0] += len(frame)
+                msgs = self._sent_msgs[peer]
+                msgs[kind] = msgs.get(kind, 0) + 1
+        except OSError:
+            # The peer may have finished cleanly and closed its end while
+            # our last credits were still in flight (credits trail the
+            # final data exchange by construction).  Give its receiver a
+            # moment to observe the clean EOF; only a peer that is truly
+            # gone without finishing is an error.
+            if self.closing or self.finished[peer].wait(2.0):
+                return
+            raise
+
+    def broadcast(self, kind: int, payload) -> None:
+        """Best-effort send to every peer (used for ERROR frames)."""
+        for peer in self._socks:
+            try:
+                self.send(peer, kind, payload)
+            except OSError:
+                pass
+
+    # -- lifecycle ---------------------------------------------------------
+    def stats(self) -> dict:
+        def name_keys(per_peer: dict[int, dict[int, int]]) -> dict[str, int]:
+            out: dict[str, int] = {}
+            for msgs in per_peer.values():
+                for kind, n in msgs.items():
+                    key = KIND_NAMES.get(kind, str(kind))
+                    out[key] = out.get(key, 0) + n
+            return out
+
+        return {
+            "bytes_sent": sum(c[0] for c in self._sent_bytes.values()),
+            "bytes_recv": sum(c[0] for c in self._recv_bytes.values()),
+            "messages_sent": name_keys(self._sent_msgs),
+            "messages_recv": name_keys(self._recv_msgs),
+        }
+
+    def close(self) -> None:
+        self.closing = True
+        for sock in self._socks.values():
+            try:
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                sock.close()
+            except OSError:
+                pass
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        for th in self._recv_threads:
+            th.join(timeout=2.0)

@@ -333,6 +333,42 @@ def _wait_event(shard: int, ev, cancel, timeout_s: float, tracer,
                               kind=wait_kind(label)).observe(elapsed_us / 1e6)
 
 
+def _child_payload(ex, state, trace_base: int, anchor,
+                   flight_base: int, error) -> dict:
+    """The result dict a shard child ships back to the parent; shared by
+    the procs and net drivers so funneling stays format-identical."""
+    tracer = ex.tracer
+    return {
+        "shard": state.shard,
+        "scalars": state.scalars,
+        "pair_visits": state.pair_visits,
+        "elements_copied": state.elements_copied,
+        "copies_performed": state.copies_performed,
+        "bytes_copied": state.bytes_copied,
+        "replay_hits": state.replay_hits,
+        "replay_misses": state.replay_misses,
+        "replay_guard_fallbacks": state.replay_guard_fallbacks,
+        "fused_copies": state.fused_copies,
+        "fused_pairs": state.fused_pairs,
+        "lockfree_folds": state.lockfree_folds,
+        "locked_folds": state.locked_folds,
+        "capture_points": state.capture_points,
+        "tasks_executed": state.tasks_executed,
+        "window_ops_recorded": state.window_ops_recorded,
+        "window_ops_lowered": state.window_ops_lowered,
+        "window_closures": state.window_closures,
+        "window_compiles": state.window_compiles,
+        "metrics": (state.metrics.to_dict()
+                    if state.metrics.enabled else None),
+        "trace_events": tracer.events()[trace_base:] if tracer.enabled else [],
+        "clock_anchor": anchor,
+        "flight": (state.flight.export_since(flight_base)
+                   if state.flight.enabled else None),
+        "flight_anchor": flight_anchor() if state.flight.enabled else None,
+        "error": error,
+    }
+
+
 def _shard_main(ex, body, state, ctx, cancel, conn) -> None:
     """Child-process entry point: drive one shard's generator to the end,
     then ship scalars / counters / trace spans back to the parent."""
@@ -364,35 +400,8 @@ def _shard_main(ex, body, state, ctx, cancel, conn) -> None:
     except BaseException as exc:
         cancel.set()
         error = exc
-    payload = {
-        "shard": state.shard,
-        "scalars": state.scalars,
-        "pair_visits": state.pair_visits,
-        "elements_copied": state.elements_copied,
-        "copies_performed": state.copies_performed,
-        "bytes_copied": state.bytes_copied,
-        "replay_hits": state.replay_hits,
-        "replay_misses": state.replay_misses,
-        "replay_guard_fallbacks": state.replay_guard_fallbacks,
-        "fused_copies": state.fused_copies,
-        "fused_pairs": state.fused_pairs,
-        "lockfree_folds": state.lockfree_folds,
-        "locked_folds": state.locked_folds,
-        "capture_points": state.capture_points,
-        "tasks_executed": state.tasks_executed,
-        "window_ops_recorded": state.window_ops_recorded,
-        "window_ops_lowered": state.window_ops_lowered,
-        "window_closures": state.window_closures,
-        "window_compiles": state.window_compiles,
-        "metrics": (state.metrics.to_dict()
-                    if state.metrics.enabled else None),
-        "trace_events": tracer.events()[trace_base:] if tracer.enabled else [],
-        "clock_anchor": anchor,
-        "flight": (state.flight.export_since(flight_base)
-                   if state.flight.enabled else None),
-        "flight_anchor": flight_anchor() if state.flight.enabled else None,
-        "error": error,
-    }
+    payload = _child_payload(ex, state, trace_base, anchor, flight_base,
+                             error)
     try:
         conn.send(payload)
     except Exception:
@@ -436,6 +445,59 @@ def _rebased(payload: dict, parent_anchor: tuple[float, float] | None) -> list:
     if abs(delta_us) <= _REBASE_THRESHOLD_US:
         return events
     return rebase_events(events, delta_us)
+
+
+def _apply_payload(ex, st, payload: dict, parent_anchor,
+                   parent_flight_anchor) -> None:
+    """Restore one shard's state from a child payload and funnel its
+    metrics / trace spans / flight records into the parent; shared by the
+    procs and net drivers."""
+    st.scalars = payload["scalars"]
+    st.pair_visits = payload["pair_visits"]
+    st.elements_copied = payload["elements_copied"]
+    st.copies_performed = payload["copies_performed"]
+    st.bytes_copied = payload["bytes_copied"]
+    st.replay_hits = payload["replay_hits"]
+    st.replay_misses = payload["replay_misses"]
+    st.replay_guard_fallbacks = payload["replay_guard_fallbacks"]
+    st.fused_copies = payload["fused_copies"]
+    st.fused_pairs = payload["fused_pairs"]
+    st.lockfree_folds = payload["lockfree_folds"]
+    st.locked_folds = payload["locked_folds"]
+    st.capture_points = payload["capture_points"]
+    st.tasks_executed = payload["tasks_executed"]
+    st.window_ops_recorded = payload["window_ops_recorded"]
+    st.window_ops_lowered = payload["window_ops_lowered"]
+    st.window_closures = payload["window_closures"]
+    st.window_compiles = payload["window_compiles"]
+    if payload["metrics"] is not None:
+        # The parent's copy of the child registry never saw the
+        # child's increments (they happened post-fork); fold the
+        # shipped snapshot in so _merge_counters sees them.
+        st.metrics.merge(payload["metrics"])
+    if ex.tracer.enabled and payload["trace_events"]:
+        ex.tracer.ingest(_rebased(payload, parent_anchor))
+    if ex.flight is not None and payload.get("flight") is not None:
+        # Funnel the child's ring records into the parent recorder;
+        # the wall-clock anchors repair a differing perf_counter
+        # base exactly as the span rebase above does.
+        delta = (anchor_delta_s(parent_flight_anchor,
+                                payload["flight_anchor"])
+                 if payload.get("flight_anchor") else 0.0)
+        ex.flight.ring(st.shard).ingest(payload["flight"], delta)
+
+
+def _raise_shard_errors(errors: list) -> None:
+    """Raise the collected shard failures with the drivers' shared
+    single-vs-group semantics."""
+    from .spmd import ShardExceptionGroup
+
+    if len(errors) == 1:
+        raise errors[0]
+    if errors:
+        if not all(isinstance(e, Exception) for e in errors):
+            raise errors[0]  # e.g. KeyboardInterrupt: re-raise directly
+        raise ShardExceptionGroup(f"{len(errors)} shards failed", errors)
 
 
 def run_shard_launch_procs(ex, stmt, states, ns: int) -> None:
@@ -540,40 +602,8 @@ def run_shard_launch_procs(ex, stmt, states, ns: int) -> None:
                 continue
             if payload["error"] is not None:
                 errors.append(payload["error"])
-            st = states[x]
-            st.scalars = payload["scalars"]
-            st.pair_visits = payload["pair_visits"]
-            st.elements_copied = payload["elements_copied"]
-            st.copies_performed = payload["copies_performed"]
-            st.bytes_copied = payload["bytes_copied"]
-            st.replay_hits = payload["replay_hits"]
-            st.replay_misses = payload["replay_misses"]
-            st.replay_guard_fallbacks = payload["replay_guard_fallbacks"]
-            st.fused_copies = payload["fused_copies"]
-            st.fused_pairs = payload["fused_pairs"]
-            st.lockfree_folds = payload["lockfree_folds"]
-            st.locked_folds = payload["locked_folds"]
-            st.capture_points = payload["capture_points"]
-            st.tasks_executed = payload["tasks_executed"]
-            st.window_ops_recorded = payload["window_ops_recorded"]
-            st.window_ops_lowered = payload["window_ops_lowered"]
-            st.window_closures = payload["window_closures"]
-            st.window_compiles = payload["window_compiles"]
-            if payload["metrics"] is not None:
-                # The parent's copy of the child registry never saw the
-                # child's increments (they happened post-fork); fold the
-                # shipped snapshot in so _merge_counters sees them.
-                st.metrics.merge(payload["metrics"])
-            if ex.tracer.enabled and payload["trace_events"]:
-                ex.tracer.ingest(_rebased(payload, parent_anchor))
-            if ex.flight is not None and payload.get("flight") is not None:
-                # Funnel the child's ring records into the parent recorder;
-                # the wall-clock anchors repair a differing perf_counter
-                # base exactly as the span rebase above does.
-                delta = (anchor_delta_s(parent_flight_anchor,
-                                        payload["flight_anchor"])
-                         if payload.get("flight_anchor") else 0.0)
-                ex.flight.ring(st.shard).ingest(payload["flight"], delta)
+            _apply_payload(ex, states[x], payload, parent_anchor,
+                           parent_flight_anchor)
     finally:
         ex._copy_lock = old_lock
         ex._copy_locks = old_locks
@@ -585,9 +615,4 @@ def run_shard_launch_procs(ex, stmt, states, ns: int) -> None:
                 p.terminate()
                 p.join(timeout=5.0)
 
-    if len(errors) == 1:
-        raise errors[0]
-    if errors:
-        if not all(isinstance(e, Exception) for e in errors):
-            raise errors[0]  # e.g. KeyboardInterrupt: re-raise directly
-        raise ShardExceptionGroup(f"{len(errors)} shards failed", errors)
+    _raise_shard_errors(errors)

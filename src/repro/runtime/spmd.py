@@ -226,10 +226,11 @@ class SPMDExecutor(SequentialExecutor):
                  window_dump_sink=None, retain_plans: bool = False,
                  flight: bool | None = None,
                  flight_capacity: int = _flight.DEFAULT_CAPACITY,
-                 flight_dir: str | None = None):
+                 flight_dir: str | None = None,
+                 net_aggregate: str = "auto", net_worker=None):
         super().__init__(instances=instances)
-        if mode not in ("stepped", "threaded", "procs"):
-            raise ValueError(f"unknown mode {mode!r}")
+        from .backends import ensure_backend
+        ensure_backend(mode)
         if replay not in ("auto", "off", "force"):
             raise ValueError(f"unknown replay mode {replay!r}")
         if fuse_copies not in ("auto", "off"):
@@ -238,15 +239,22 @@ class SPMDExecutor(SequentialExecutor):
             raise ValueError(f"unknown jit mode {jit!r}")
         if num_shards <= 0:
             raise ValueError("need at least one shard")
-        if mode == "procs":
-            from .procs import ensure_procs_available
-            ensure_procs_available()
+        if net_aggregate not in ("auto", "off"):
+            raise ValueError(f"unknown net_aggregate mode {net_aggregate!r}")
         self.num_shards = num_shards
         self.mode = mode
         self.seed = seed
         self.replay = replay
         self.fuse_copies = fuse_copies
         self.jit = jit
+        # net mode: the launch-scoped comm context (set by the driver in
+        # each rank process for the span of a shard launch), aggregation
+        # switch, optional (rank, addrs) worker identity, and the
+        # per-rank transport stats funneled back after a launch.
+        self.net_aggregate = net_aggregate
+        self.net_worker = net_worker
+        self._net = None
+        self.net_stats: dict[int, dict] = {}
         self.window_dump_after = frozenset(window_dump_after)
         self.window_dump_sink = window_dump_sink
         self.window_ops_recorded = 0
@@ -330,7 +338,13 @@ class SPMDExecutor(SequentialExecutor):
             self.reset_session()
             self._resident_program = program if self.retain_plans else None
         try:
-            return super().run(program)
+            result = super().run(program)
+            # Flush the flight rings on clean shutdown too, so `repro
+            # top` over a dump directory shows the final iteration's
+            # records, not only crash windows.
+            if self.flight_dir:
+                self.dump_flight()
+            return result
         except BaseException as exc:
             # Failed shards are what the flight recorder exists for: dump
             # the final window before the resident state is torn down.
@@ -518,7 +532,7 @@ class SPMDExecutor(SequentialExecutor):
         # children — a resident procs executor still reuses the compiled
         # program, the warm arena, and the intersection results, but
         # re-captures per run.
-        persistent = self.retain_plans and self.mode != "procs"
+        persistent = self.retain_plans and self.mode not in ("procs", "net")
         # One lock per (reduction copy stmt, dst color): folds into
         # different destination instances never contend.  The procs driver
         # rebuilds this table with cross-process locks before forking.
@@ -554,6 +568,13 @@ class SPMDExecutor(SequentialExecutor):
         if self.mode == "procs":
             from .procs import run_shard_launch_procs
             run_shard_launch_procs(self, stmt, states, ns)
+        elif self.mode == "net":
+            from .net.driver import (run_shard_launch_net,
+                                     run_shard_launch_net_worker)
+            if self.net_worker is not None:
+                run_shard_launch_net_worker(self, stmt, states, ns)
+            else:
+                run_shard_launch_net(self, stmt, states, ns)
         else:
             ctx = self._resident_ctx.get(stmt.uid) if persistent else None
             if ctx is None:
@@ -1101,6 +1122,9 @@ class SPMDExecutor(SequentialExecutor):
 
     def _do_pair_copy(self, stmt: PairwiseCopy, i: int, j: int,
                       state: _ShardState, rec=None, ns: int = 1) -> None:
+        net = self._net
+        if net is not None and net.pair_copy(stmt, i, j, state, rec, ns):
+            return  # cross-rank pair, lowered to a framed send
         state.pair_visits += 1
         if stmt.pairs_name is not None:
             pts = self.pair_sets[stmt.pairs_name].pairs[(i, j)]

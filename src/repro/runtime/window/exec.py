@@ -77,6 +77,7 @@ from .recorder import (
     OP_FILL,
     OP_FUSED,
     OP_MEGA,
+    OP_MSG,
     OP_SETVAR,
     OP_TASK,
     OP_VISIT,
@@ -168,6 +169,20 @@ class ReplayTrace:
                                           "groups": len(fb.items)})
                     tracer.counter("bytes copied", float(state.bytes_copied),
                                    pid=PID_SPMD, tid=state.shard)
+            elif k == OP_MSG:
+                ps = op[1]
+                t0 = tracer.now_us() if traced else 0
+                ps.apply()
+                state.pair_visits += ps.pair_count
+                state.copies_performed += ps.pair_count
+                state.elements_copied += ps.count
+                state.bytes_copied += ps.nbytes
+                if traced:
+                    tracer.complete("copy:msg", t0, tracer.now_us() - t0,
+                                    cat="copy", pid=PID_SPMD,
+                                    tid=state.shard,
+                                    args={"uid": ps.uid, "peer": ps.peer,
+                                          "pairs": ps.pair_count})
             elif k == OP_VISITS:
                 state.pair_visits += op[1]
             elif k == OP_WAIT:
@@ -309,7 +324,7 @@ class CompiledWindow:
                                    _const_thunk(state, ((op[1], op[2]),))))
             elif k == OP_FILL:
                 classified.append(("compute", _fill_thunk(op[1])))
-            elif k in (OP_COPY, OP_FUSED):
+            elif k in (OP_COPY, OP_FUSED, OP_MSG):
                 classified.append(("copy", op[1].apply))
             elif k == OP_ADV:
                 classified.append(
@@ -441,7 +456,14 @@ def compile_window(ex, rec: IterationRecorder, state, *, jit: str = "off",
         verify_fn=lambda w, stage: verify_window(w, baseline, stage),
         dump_fn=format_window)
     tier_a: list = [FreezeTasksPass()]
-    if getattr(ex, "fuse_copies", "off") != "off":
+    if getattr(ex, "_net", None) is not None:
+        # Net mode: cross-rank pair sends aggregate into per-peer packed
+        # messages instead of fusing into in-memory batches (a FusedBatch
+        # would bypass the wire path entirely).
+        if getattr(ex, "net_aggregate", "auto") != "off":
+            from ..net.plan import MessagePlanPass
+            tier_a.append(MessagePlanPass())
+    elif getattr(ex, "fuse_copies", "off") != "off":
         tier_a.append(FuseCopiesPass())
     tier_a.append(BatchSyncPass())
     wir = run_pass_pipeline(wir, tier_a, ctx, **pipeline_kw)

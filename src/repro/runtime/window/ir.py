@@ -38,6 +38,7 @@ from .recorder import (
     OP_FILL,
     OP_FUSED,
     OP_MEGA,
+    OP_MSG,
     OP_NAMES,
     OP_SETVAR,
     OP_TASK,
@@ -553,6 +554,12 @@ def op_arrays(op) -> frozenset[int]:
                     ids.add(id(dst))
                     ids.add(id(src))
         return frozenset(ids)
+    if k == OP_MSG:
+        ids: set[int] = set()
+        for m in op[1].members:
+            for src in m.srcs:
+                ids.add(id(src))
+        return frozenset(ids)
     if k == OP_FILL:
         return frozenset(id(arr) for arr, _ in op[1])
     return frozenset()
@@ -589,6 +596,17 @@ def counter_deltas(ops) -> dict[str, int]:
             d["fused_pairs"] += fb.fused_pairs
             d["lockfree_folds"] += fb.lockfree_folds
             d["locked_folds"] += fb.locked_folds
+        elif k == OP_MSG:
+            # One packed transfer stands in for its member pair copies;
+            # the sender counts each member exactly as interpretation
+            # counted the per-pair sends it replaced.  Remote sends carry
+            # no reduction fold (folds happen receiver-side), so the fold
+            # counters stay untouched — matching the per-pair form.
+            ps = op[1]
+            d["pair_visits"] += ps.pair_count
+            d["copies_performed"] += ps.pair_count
+            d["elements_copied"] += ps.count
+            d["bytes_copied"] += ps.nbytes
         elif k == OP_VISIT:
             d["pair_visits"] += 1
         elif k == OP_VISITS:
@@ -683,6 +701,10 @@ def format_window(wir: WindowIR) -> str:
         elif k == OP_FUSED:
             fb = op[1]
             detail = f"uid={fb.uid} pairs={fb.pair_count} groups={len(fb.items)}"
+        elif k == OP_MSG:
+            ps = op[1]
+            detail = (f"uid={ps.uid} peer={ps.peer} pairs={ps.pair_count} "
+                      f"count={ps.count}")
         elif k == OP_CONST:
             detail = " ".join(f"{n}={v!r}" for n, v in op[1])
         elif k in (OP_ASSIGN, OP_SETVAR):

@@ -25,7 +25,7 @@ __all__ = [
     "IterationRecorder", "ReplayError",
     "OP_ASSIGN", "OP_SETVAR", "OP_TASK", "OP_FILL", "OP_ADV", "OP_WAIT",
     "OP_COPY", "OP_BARRIER", "OP_COLL", "OP_VISIT", "OP_YIELD", "OP_FUSED",
-    "OP_VISITS", "OP_ADVN", "OP_MEGA", "OP_CONST", "OP_NAMES",
+    "OP_VISITS", "OP_ADVN", "OP_MEGA", "OP_CONST", "OP_MSG", "OP_NAMES",
 ]
 
 # Op kinds of a recorded/lowered window (first element of every op tuple).
@@ -45,10 +45,11 @@ OP_VISITS = 12   # (k, n)                            batched empty-pair visits
 OP_ADVN = 13     # (k, seqs, uid, stride, kind)      batched channel advances
 OP_MEGA = 14     # (k, mega_launch)                  fused adjacent launches
 OP_CONST = 15    # (k, ((name, value), ...))         folded scalar stores
+OP_MSG = 16      # (k, packedsend)                   one aggregated net transfer
 
 OP_NAMES = ("assign", "setvar", "task", "fill", "adv", "wait", "copy",
             "barrier", "coll", "visit", "yield", "fused", "visits", "advn",
-            "mega", "const")
+            "mega", "const", "msg")
 
 
 class ReplayError(RuntimeError):

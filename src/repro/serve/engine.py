@@ -433,6 +433,15 @@ class ServeEngine:
             self._queue.put(None)
         for t in self._workers:
             t.join(timeout)
+        # Flush resident flight rings before the executors are torn
+        # down: a clean shutdown should leave the final iterations'
+        # records on disk (when a dump dir is configured), not only
+        # crash windows.
+        for ex in self.cache.executors():
+            try:
+                ex.dump_flight()
+            except Exception:  # pragma: no cover - best-effort at exit
+                pass
         self.cache.clear()
 
     def __enter__(self) -> "ServeEngine":

@@ -24,7 +24,15 @@ from dataclasses import asdict, dataclass, fields
 __all__ = ["ServeRequest", "build_problem"]
 
 _APPS = ("circuit", "miniaero", "pennant", "stencil")
-_BACKENDS = ("stepped", "threaded", "procs")
+
+
+def _backend_choices() -> tuple[str, ...]:
+    from ..runtime.backends import backend_names
+
+    return backend_names()
+
+
+_BACKENDS = _backend_choices()
 _CHOICES = {
     "backend": _BACKENDS,
     "sync": ("p2p", "barrier"),
